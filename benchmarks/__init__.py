@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating every table of the paper plus ablations."""

@@ -1,0 +1,45 @@
+"""Table V: "real implementation" (host) timing of the software-only variants.
+
+The paper ran the decNumber library and Method-1-with-dummy-functions natively
+on an Intel i7; here the equivalent pure-Python implementations are timed on
+the benchmark host.  Only the speedup ratio is comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import reporting
+from repro.core.host_eval import HostEvaluator
+from repro.core.method1 import DummyHardware, Method1HostModel
+from repro.core.software_baseline import SoftwareBaseline
+from repro.testgen.config import SolutionKind
+from benchmarks.conftest import bench_samples
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return HostEvaluator(num_samples=max(bench_samples(), 500), seed=2018)
+
+
+def test_table_v_full(benchmark, evaluator):
+    report = benchmark.pedantic(evaluator.evaluate, rounds=1, iterations=1)
+    print()
+    print(reporting.render_table_v(report))
+    benchmark.extra_info["speedup_dummy"] = round(
+        report.speedup(SolutionKind.METHOD1_DUMMY), 2
+    )
+
+
+def test_table_v_software_row(benchmark, evaluator):
+    """Per-multiplication host cost of the library baseline."""
+    baseline = SoftwareBaseline()
+    x_word, y_word = evaluator.operand_words[0]
+    benchmark(baseline.multiply_words, x_word, y_word)
+
+
+def test_table_v_dummy_row(benchmark, evaluator):
+    """Per-multiplication host cost of Method-1 with dummy functions."""
+    model = Method1HostModel(hardware=DummyHardware())
+    x_word, y_word = evaluator.operand_words[0]
+    benchmark(model.multiply_words, x_word, y_word)

@@ -1,0 +1,45 @@
+"""Table VI: the dummy-function binaries on the Gem5 AtomicSimpleCPU model."""
+
+from __future__ import annotations
+
+from repro.core import reporting
+from repro.testgen.config import SolutionKind
+
+
+def test_table_vi_full(benchmark, framework):
+    report = benchmark.pedantic(framework.evaluate_table_vi, rounds=1, iterations=1)
+    print()
+    print(reporting.render_table_vi(report))
+    benchmark.extra_info["speedup_dummy"] = round(
+        report.speedup(SolutionKind.METHOD1_DUMMY), 2
+    )
+    benchmark.extra_info["instructions_software"] = report.instructions[
+        SolutionKind.SOFTWARE
+    ]
+    benchmark.extra_info["instructions_dummy"] = report.instructions[
+        SolutionKind.METHOD1_DUMMY
+    ]
+
+
+def test_dummy_speedup_consistency(benchmark, framework):
+    """The paper's cross-check: the dummy-function speedup estimate should be
+    roughly the same in the cycle-accurate framework (Table IV) and on the
+    coarse Gem5 atomic model (Table VI)."""
+
+    def both():
+        table_iv = framework.evaluate_table_iv(
+            kinds=(SolutionKind.SOFTWARE, SolutionKind.METHOD1_DUMMY)
+        )
+        table_vi = framework.evaluate_table_vi()
+        return (
+            table_iv.speedups()[SolutionKind.METHOD1_DUMMY],
+            table_vi.speedup(SolutionKind.METHOD1_DUMMY),
+        )
+
+    rocket_speedup, gem5_speedup = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(
+        f"\ndummy-function speedup estimate: Rocket {rocket_speedup:.2f}x, "
+        f"Gem5 atomic {gem5_speedup:.2f}x (paper: 2.27x vs 2.30x)"
+    )
+    benchmark.extra_info["rocket_speedup"] = round(rocket_speedup, 2)
+    benchmark.extra_info["gem5_speedup"] = round(gem5_speedup, 2)

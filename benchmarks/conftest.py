@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Sample counts default to values that keep a full benchmark run under a couple
+of minutes; set ``REPRO_BENCH_SAMPLES`` (e.g. to 8000, the paper's count) for a
+full-scale run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.evaluation import EvaluationFramework
+
+
+def bench_samples(default: int = 150) -> int:
+    """Number of operand samples per evaluation (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", default))
+
+
+@pytest.fixture(scope="session")
+def framework() -> EvaluationFramework:
+    """One shared framework instance so every table uses the same vectors."""
+    return EvaluationFramework(num_samples=bench_samples(), seed=2018)

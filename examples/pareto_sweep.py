@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Sweep accelerator configurations and print the co-design Pareto points.
+
+The paper's premise is that software-hardware co-design "can provide several
+Pareto points ... in terms of hardware cost and performance".  This example
+uses the framework to evaluate a family of design points:
+
+* the all-software baseline (zero extra hardware),
+* Method-1 with a narrow (time-multiplexed) BCD adder,
+* Method-1 with the default 20-digit adder,
+* Method-1 with a full accumulator-width adder,
+* Method-1 plus a full hardware BCD multiplier (DEC_MUL capable),
+
+and reports which of them are Pareto-optimal in (cycles, gate equivalents).
+
+Usage::
+
+    python examples/pareto_sweep.py [num_samples]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.core import EvaluationFramework, ParetoAnalyzer, reporting
+from repro.rocc.decimal_accel import DecimalAcceleratorConfig
+from repro.testgen.config import SolutionKind
+
+
+def main() -> None:
+    num_samples = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    framework = EvaluationFramework(num_samples=num_samples, seed=11,
+                                    verify_functionally=False)
+    analyzer = ParetoAnalyzer(framework)
+
+    # Point 1: no dedicated hardware at all.
+    analyzer.evaluate_solution(framework.solutions[SolutionKind.SOFTWARE])
+
+    # Points 2-5: Method-1 with increasingly capable accelerators.
+    method1 = framework.solutions[SolutionKind.METHOD1]
+    variants = [
+        ("Method-1 (narrow 17-digit adder)",
+         DecimalAcceleratorConfig(adder_width_digits=17)),
+        ("Method-1 (default 20-digit adder)",
+         DecimalAcceleratorConfig()),
+        ("Method-1 (full-width 32-digit adder)",
+         DecimalAcceleratorConfig(adder_width_digits=32)),
+        ("Method-1 + hardware BCD multiplier",
+         DecimalAcceleratorConfig(include_multiplier=True)),
+    ]
+    for name, config in variants:
+        analyzer.evaluate_solution(
+            replace(method1, name=name, accelerator_config=config)
+        )
+
+    print()
+    print(reporting.render_pareto(analyzer.points))
+    print()
+    frontier = analyzer.frontier()
+    print("Pareto frontier (cheapest-to-fastest):")
+    for point in frontier:
+        print(
+            f"  {point.name:<40s} {point.avg_cycles:7.0f} cycles, "
+            f"{point.gate_equivalents:9.0f} GE"
+        )
+
+
+if __name__ == "__main__":
+    main()

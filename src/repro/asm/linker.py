@@ -1,0 +1,139 @@
+"""Section layout and fix-up resolution.
+
+The linker assigns base addresses to sections, computes absolute symbol
+addresses and patches label-relative instructions (branches, jumps, address
+materialisation) recorded by the assembler front ends.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import LinkError
+from repro.isa.encoder import encode_b, encode_i, encode_jal, encode_u
+from repro.asm.program import (
+    DEFAULT_DATA_BASE,
+    DEFAULT_TEXT_BASE,
+    Image,
+    Program,
+)
+
+
+class Linker:
+    """Lays out a :class:`Program` into a flat :class:`Image`."""
+
+    def __init__(
+        self,
+        text_base: int = DEFAULT_TEXT_BASE,
+        data_base: int = DEFAULT_DATA_BASE,
+        section_bases: dict = None,
+    ) -> None:
+        self.section_bases = {".text": text_base, ".data": data_base}
+        if section_bases:
+            self.section_bases.update(section_bases)
+
+    # ------------------------------------------------------------------ layout
+    def _assign_bases(self, program: Program) -> dict:
+        bases = {}
+        # Unknown sections are stacked after .data, 4 KiB aligned.
+        next_free = None
+        for name, section in program.sections.items():
+            if section.base is not None:
+                bases[name] = section.base
+            elif name in self.section_bases:
+                bases[name] = self.section_bases[name]
+            else:
+                if next_free is None:
+                    data_base = self.section_bases[".data"]
+                    data_len = len(program.sections.get(".data", b""))
+                    next_free = (data_base + data_len + 0xFFF) & ~0xFFF
+                bases[name] = next_free
+                next_free = (next_free + len(section) + 0xFFF) & ~0xFFF
+        self._check_overlaps(program, bases)
+        return bases
+
+    @staticmethod
+    def _check_overlaps(program: Program, bases: dict) -> None:
+        ranges = sorted(
+            (bases[name], bases[name] + len(section), name)
+            for name, section in program.sections.items()
+            if len(section)
+        )
+        for (start_a, end_a, name_a), (start_b, _end_b, name_b) in zip(
+            ranges, ranges[1:]
+        ):
+            if start_b < end_a:
+                raise LinkError(
+                    f"sections overlap: {name_a!r} [{start_a:#x},{end_a:#x}) and "
+                    f"{name_b!r} starting at {start_b:#x}"
+                )
+
+    # ------------------------------------------------------------------ fixups
+    @staticmethod
+    def _apply_fixup(fixup, program: Program, bases: dict, symbols: dict) -> None:
+        if fixup.label not in symbols:
+            raise LinkError(f"undefined label: {fixup.label!r}")
+        target = symbols[fixup.label]
+        section = program.sections[fixup.section]
+        address = bases[fixup.section] + fixup.offset
+        if fixup.kind == "branch":
+            delta = target - address
+            word = encode_b(fixup.mnemonic, fixup.rs1, fixup.rs2, delta)
+            section.patch_word(fixup.offset, word)
+        elif fixup.kind == "jal":
+            delta = target - address
+            word = encode_jal(fixup.rd, delta)
+            section.patch_word(fixup.offset, word)
+        elif fixup.kind == "la":
+            hi = (target + 0x800) >> 12
+            lo = target - (hi << 12)
+            section.patch_word(fixup.offset, encode_u("lui", fixup.rd, hi & 0xFFFFF))
+            section.patch_word(
+                fixup.offset + 4, encode_i("addi", fixup.rd, fixup.rd, lo)
+            )
+        else:  # pragma: no cover - defensive
+            raise LinkError(f"unknown fixup kind: {fixup.kind!r}")
+
+    # -------------------------------------------------------------------- link
+    def link(self, program: Program, fixups=()) -> Image:
+        """Resolve symbols and fix-ups; return a loadable :class:`Image`."""
+        bases = self._assign_bases(program)
+        symbols = {
+            name: bases[section] + offset
+            for name, (section, offset) in program.symbols.items()
+        }
+        for fixup in fixups:
+            self._apply_fixup(fixup, program, bases, symbols)
+        segments = {
+            name: (bases[name], bytes(section.data))
+            for name, section in program.sections.items()
+            if len(section)
+        }
+        if program.entry_symbol in symbols:
+            entry = symbols[program.entry_symbol]
+        else:
+            entry = bases[".text"]
+        return Image(segments=segments, symbols=symbols, entry=entry)
+
+
+def dump_disassembly(image: Image, section: str = ".text") -> str:
+    """Best-effort textual dump of a linked text segment (for debugging)."""
+    from repro.isa.decoder import decode_instruction
+    from repro.errors import DecodingError
+
+    base, data = image.segments[section]
+    lines = []
+    address_to_symbol = {addr: name for name, addr in image.symbols.items()}
+    for offset in range(0, len(data) - 3, 4):
+        address = base + offset
+        if address in address_to_symbol:
+            lines.append(f"{address_to_symbol[address]}:")
+        (word,) = struct.unpack_from("<I", data, offset)
+        try:
+            decoded = decode_instruction(word)
+            text = decoded.mnemonic
+            detail = f"rd=x{decoded.rd} rs1=x{decoded.rs1} rs2=x{decoded.rs2} imm={decoded.imm}"
+        except DecodingError:
+            text, detail = ".word", ""
+        lines.append(f"  {address:#010x}: {word:08x}  {text:10s} {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Dynamic macro generation for RoCC custom instructions.
+
+Section IV-B of the paper describes "a set of dynamic MACROs to automatically
+generate the hex value of corresponding instruction" so that the software part
+can invoke accelerator functions through in-line assembly, e.g.::
+
+    int DEC_ADD_rocc(int a, int b, int c) {
+        asm __volatile__ (".word 0x08A5F617\\n");
+        return a;
+    }
+
+This module reproduces that facility: given an accelerator function name and
+the register assignment, it produces the encoded instruction word, the
+``.word`` in-line assembly line, and the full C wrapper function text — the
+same artefacts the paper's framework generates for its users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import parse_register, register_abi_name
+from repro.isa.rocc import DecimalFunct, RoccInstruction
+
+#: The register convention used throughout the paper's example: core integer
+#: registers 10 and 11 (a0/a1) are sources, 12 (a2) is the destination.
+DEFAULT_RS1 = 11
+DEFAULT_RS2 = 10
+DEFAULT_RD = 12
+
+
+@dataclass(frozen=True)
+class RoccMacro:
+    """A generated RoCC invocation macro."""
+
+    name: str
+    instruction: RoccInstruction
+
+    @property
+    def hex_word(self) -> str:
+        return self.instruction.hex_word()
+
+    @property
+    def inline_asm(self) -> str:
+        """The ``.word`` in-line assembly statement."""
+        return f'asm __volatile__ (".word {self.hex_word}\\n");'
+
+    def c_wrapper(self) -> str:
+        """A C wrapper function in the style of the paper's ``DEC_ADD_rocc``."""
+        fname = f"{self.name}_rocc"
+        return (
+            f"static inline long {fname}(long a, long b, long c) {{\n"
+            f"    /* {self.name}: funct7={self.instruction.funct7:#09b}, "
+            f"rd={register_abi_name(self.instruction.rd)}, "
+            f"rs1={register_abi_name(self.instruction.rs1)}, "
+            f"rs2={register_abi_name(self.instruction.rs2)} */\n"
+            f"    {self.inline_asm}\n"
+            f"    return a;\n"
+            f"}}\n"
+        )
+
+
+def make_macro(
+    function: str,
+    rd=DEFAULT_RD,
+    rs1=DEFAULT_RS1,
+    rs2=DEFAULT_RS2,
+    xd: bool = True,
+    xs1: bool = True,
+    xs2: bool = True,
+    custom: int = 0,
+) -> RoccMacro:
+    """Build a :class:`RoccMacro` for a Table II accelerator function."""
+    instruction = RoccInstruction(
+        funct7=DecimalFunct.BY_NAME[function.upper()],
+        rd=parse_register(rd),
+        rs1=parse_register(rs1),
+        rs2=parse_register(rs2),
+        xd=xd,
+        xs1=xs1,
+        xs2=xs2,
+        custom=custom,
+    )
+    return RoccMacro(name=function.upper(), instruction=instruction)
+
+
+def standard_macros() -> dict:
+    """The macro set the framework ships for Method-1 (Table III rows)."""
+    return {
+        "CLR_ALL": make_macro("CLR_ALL", rd=0, rs1=0, rs2=0, xd=False, xs1=False, xs2=False),
+        "WR": make_macro("WR", rd=0, rs1=DEFAULT_RS1, rs2=0, xd=False, xs1=True, xs2=False),
+        "RD": make_macro("RD", rd=DEFAULT_RD, rs1=DEFAULT_RS1, rs2=0, xd=True, xs1=False, xs2=True),
+        "DEC_ADD": make_macro("DEC_ADD"),
+        "DEC_ACCUM": make_macro("DEC_ACCUM"),
+        "DEC_CNV": make_macro("DEC_CNV"),
+        "DEC_MUL": make_macro("DEC_MUL"),
+        "ACCUM": make_macro("ACCUM"),
+        "LD": make_macro("LD", xd=False),
+    }
+
+
+def table_iii_rows() -> list:
+    """Rows equivalent to the paper's Table III (our encodings).
+
+    Returns a list of dictionaries with the instruction name, funct7, the
+    register/flag fields and the resulting hex word, as produced by the
+    framework's macro generator.
+    """
+    rows = []
+    specs = [
+        ("CLR_ALL", dict(rd=0, rs1=0, rs2=0, xd=False, xs1=False, xs2=False)),
+        ("RD", dict(rd=0, rs1=DEFAULT_RS1, rs2=0, xd=False, xs1=False, xs2=True)),
+        ("WR", dict(rd=0, rs1=DEFAULT_RS1, rs2=0, xd=True, xs1=False, xs2=False)),
+        ("DEC_ADD", dict(rd=DEFAULT_RD, rs1=DEFAULT_RS1, rs2=DEFAULT_RS2,
+                         xd=True, xs1=True, xs2=True)),
+    ]
+    for name, kwargs in specs:
+        macro = make_macro(name, **kwargs)
+        instr = macro.instruction
+        rows.append(
+            {
+                "instruction": name,
+                "funct7": f"{instr.funct7:07b}",
+                "rs2": f"{instr.rs2:05b}",
+                "rs1": f"{instr.rs1:05b}",
+                "xd": int(instr.xd),
+                "xs1": int(instr.xs1),
+                "xs2": int(instr.xs2),
+                "rd": f"{instr.rd:05b}",
+                "opcode": f"{instr.encode() & 0x7F:07b}",
+                "hex": macro.hex_word,
+            }
+        )
+    return rows

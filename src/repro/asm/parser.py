@@ -1,0 +1,270 @@
+"""Textual assembler for a practical subset of GNU ``as`` RV64 syntax.
+
+The kernel generators use the programmatic :class:`~repro.asm.builder.AsmBuilder`
+directly, but the framework also accepts assembly *source text* (the paper's
+flow compiles "RISC-V in-line assembly and C source code"); this front end
+covers the directives and pseudo-instructions those sources need.
+
+Supported:
+
+* sections: ``.text``, ``.data``; data directives ``.dword``, ``.word``,
+  ``.byte``, ``.asciz``, ``.space``, ``.align``
+* labels (``name:``), comments (``#`` and ``//``)
+* all RV64IM/Zicsr instructions known to :mod:`repro.isa`
+* loads/stores in ``offset(base)`` form
+* pseudo-instructions: ``li``, ``la``, ``mv``, ``nop``, ``ret``, ``j``,
+  ``call``, ``beqz``, ``bnez``, ``csrr``, ``rdcycle``, ``rdinstret``, ``not``,
+  ``neg``, ``seqz``, ``snez``
+* RoCC decimal instructions by Table II name, e.g.
+  ``dec_add a2, a1, a0`` or ``clr_all``
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa import csr as csrdefs
+from repro.isa.instructions import (
+    B_TYPE,
+    CSR_OPS,
+    I_TYPE,
+    R_TYPE,
+    S_TYPE,
+    SHIFT_IMM,
+    U_TYPE,
+)
+from repro.isa.registers import parse_register
+from repro.isa.rocc import DecimalFunct
+from repro.asm.builder import AsmBuilder
+
+_MEM_OPERAND_RE = re.compile(r"^(?P<offset>-?(?:0[xX][0-9a-fA-F]+|\d+)?)\((?P<base>\w+)\)$")
+_LOAD_MNEMONICS = {"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"}
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"expected an integer, got {token!r}") from None
+
+
+def _split_operands(rest: str) -> list:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _csr_operand(token: str) -> int:
+    token = token.strip().lower()
+    if token in csrdefs.NAME_TO_ADDR:
+        return csrdefs.NAME_TO_ADDR[token]
+    return _parse_int(token)
+
+
+def _is_identifier(token: str) -> bool:
+    return re.fullmatch(r"[A-Za-z_.][\w.$]*", token) is not None
+
+
+class _SourceAssembler:
+    """One-pass-over-text front end feeding an :class:`AsmBuilder`."""
+
+    def __init__(self, builder: AsmBuilder) -> None:
+        self.builder = builder
+
+    # ------------------------------------------------------------------ lines
+    def assemble(self, source: str) -> None:
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw_line)
+            if not line:
+                continue
+            try:
+                self._assemble_line(line)
+            except AssemblerError as exc:
+                raise AssemblerError(f"line {line_number}: {exc}") from None
+
+    def _assemble_line(self, line: str) -> None:
+        while True:
+            match = re.match(r"^([A-Za-z_.][\w.$]*):\s*(.*)$", line)
+            if not match:
+                break
+            self.builder.label(match.group(1))
+            line = match.group(2).strip()
+            if not line:
+                return
+        if line.startswith("."):
+            self._directive(line)
+            return
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        self._instruction(mnemonic, operands)
+
+    # -------------------------------------------------------------- directives
+    def _directive(self, line: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        builder = self.builder
+        if name == ".text":
+            builder.text()
+        elif name == ".data":
+            builder.data()
+        elif name == ".align":
+            builder.align(1 << _parse_int(rest))
+        elif name in (".dword", ".quad"):
+            builder.dword(*[_parse_int(tok) for tok in _split_operands(rest)])
+        elif name == ".word":
+            builder.word(*[_parse_int(tok) for tok in _split_operands(rest)])
+        elif name == ".byte":
+            builder.byte(*[_parse_int(tok) for tok in _split_operands(rest)])
+        elif name in (".asciz", ".string"):
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AssemblerError(f"{name} expects a quoted string")
+            builder.asciz(text[1:-1])
+        elif name in (".space", ".zero", ".skip"):
+            builder.space(_parse_int(rest))
+        elif name in (".globl", ".global", ".section", ".option", ".type", ".size"):
+            pass  # accepted and ignored
+        else:
+            raise AssemblerError(f"unknown directive: {name}")
+
+    # ------------------------------------------------------------ instructions
+    def _instruction(self, mnemonic: str, operands: list) -> None:
+        builder = self.builder
+
+        # Pseudo-instructions first.
+        if mnemonic == "nop":
+            builder.nop()
+        elif mnemonic == "mv":
+            builder.mv(operands[0], operands[1])
+        elif mnemonic == "not":
+            builder.not_(operands[0], operands[1])
+        elif mnemonic == "neg":
+            builder.neg(operands[0], operands[1])
+        elif mnemonic == "seqz":
+            builder.seqz(operands[0], operands[1])
+        elif mnemonic == "snez":
+            builder.snez(operands[0], operands[1])
+        elif mnemonic == "ret":
+            builder.ret()
+        elif mnemonic == "li":
+            builder.li(operands[0], _parse_int(operands[1]))
+        elif mnemonic == "la":
+            builder.la(operands[0], operands[1])
+        elif mnemonic == "j":
+            builder.j(operands[0])
+        elif mnemonic == "call":
+            builder.call(operands[0])
+        elif mnemonic == "jr":
+            builder.jr(operands[0])
+        elif mnemonic == "beqz":
+            builder.beqz(operands[0], operands[1])
+        elif mnemonic == "bnez":
+            builder.bnez(operands[0], operands[1])
+        elif mnemonic == "csrr":
+            builder.csrr(operands[0], _csr_operand(operands[1]))
+        elif mnemonic == "rdcycle":
+            builder.rdcycle(operands[0])
+        elif mnemonic == "rdinstret":
+            builder.rdinstret(operands[0])
+        elif mnemonic == "jal":
+            if len(operands) == 1:
+                builder.jal("ra", operands[0])
+            else:
+                builder.jal(operands[0], operands[1])
+        # Regular encodings.
+        elif mnemonic in R_TYPE:
+            builder.emit(mnemonic, operands[0], operands[1], operands[2])
+        elif mnemonic in SHIFT_IMM:
+            builder.emit(mnemonic, operands[0], operands[1], _parse_int(operands[2]))
+        elif mnemonic in _LOAD_MNEMONICS:
+            rd = operands[0]
+            offset, base = self._memory_operand(operands[1])
+            builder.emit(mnemonic, rd, base, offset)
+        elif mnemonic == "jalr":
+            if len(operands) == 1:
+                builder.emit("jalr", 1, operands[0], 0)
+            elif _MEM_OPERAND_RE.match(operands[-1].replace(" ", "")):
+                offset, base = self._memory_operand(operands[1])
+                builder.emit("jalr", operands[0], base, offset)
+            else:
+                builder.emit("jalr", operands[0], operands[1], _parse_int(operands[2]))
+        elif mnemonic in I_TYPE:
+            builder.emit(mnemonic, operands[0], operands[1], _parse_int(operands[2]))
+        elif mnemonic in S_TYPE:
+            rs2 = operands[0]
+            offset, base = self._memory_operand(operands[1])
+            builder.emit(mnemonic, rs2, base, offset)
+        elif mnemonic in B_TYPE:
+            target = operands[2]
+            if _is_identifier(target):
+                builder.branch(mnemonic, operands[0], operands[1], target)
+            else:
+                raise AssemblerError("branch targets must be labels")
+        elif mnemonic in U_TYPE:
+            builder.emit(mnemonic, operands[0], _parse_int(operands[1]))
+        elif mnemonic in CSR_OPS:
+            builder.emit(
+                mnemonic,
+                operands[0],
+                _csr_operand(operands[1]),
+                _parse_int(operands[2]) if CSR_OPS[mnemonic][1] else parse_register(operands[2]),
+            )
+        elif mnemonic in ("ecall", "ebreak", "fence", "fence.i"):
+            builder.emit(mnemonic)
+        # RoCC decimal instructions by Table II name (checked after the
+        # standard mnemonics so e.g. the integer load "ld" wins over the
+        # accelerator LD; a "rocc." prefix selects the accelerator form
+        # unambiguously).
+        elif mnemonic.upper() in DecimalFunct.BY_NAME:
+            self._rocc(mnemonic.upper(), operands)
+        elif mnemonic.startswith("rocc.") and mnemonic[5:].upper() in DecimalFunct.BY_NAME:
+            self._rocc(mnemonic[5:].upper(), operands)
+        else:
+            raise AssemblerError(f"unknown mnemonic: {mnemonic!r}")
+
+    def _rocc(self, name: str, operands: list) -> None:
+        """``dec_add rd, rs1, rs2`` style RoCC instruction."""
+        rd = operands[0] if len(operands) > 0 else 0
+        rs1 = operands[1] if len(operands) > 1 else 0
+        rs2 = operands[2] if len(operands) > 2 else 0
+        self.builder.rocc(
+            name,
+            rd=rd,
+            rs1=rs1,
+            rs2=rs2,
+            xd=len(operands) > 0,
+            xs1=len(operands) > 1,
+            xs2=len(operands) > 2,
+        )
+
+    @staticmethod
+    def _memory_operand(token: str) -> tuple:
+        token = token.replace(" ", "")
+        match = _MEM_OPERAND_RE.match(token)
+        if not match:
+            raise AssemblerError(f"expected offset(base) operand, got {token!r}")
+        offset_text = match.group("offset") or "0"
+        return _parse_int(offset_text), match.group("base")
+
+
+def assemble_source(source: str, builder: AsmBuilder = None) -> AsmBuilder:
+    """Assemble ``source`` text, returning the populated builder.
+
+    Call :meth:`AsmBuilder.link` on the result to obtain a loadable image.
+    """
+    builder = builder if builder is not None else AsmBuilder()
+    _SourceAssembler(builder).assemble(source)
+    return builder

@@ -1,0 +1,112 @@
+"""Program, section and image containers shared by the assembler and linker."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import LinkError
+
+#: Default load addresses.  Kept in the positive 31-bit range so that
+#: ``lui``/``addi`` address materialisation needs no 64-bit fix-ups.
+DEFAULT_TEXT_BASE = 0x1000_0000
+DEFAULT_DATA_BASE = 0x2000_0000
+
+#: Conventional MMIO address for the HTIF-style "tohost" register: writing an
+#: odd value terminates simulation with exit code ``value >> 1``; writing an
+#: even value prints the low byte to the console.
+TOHOST_ADDRESS = 0x4000_0000
+
+
+@dataclass
+class Section:
+    """A named, contiguous chunk of bytes with a (possibly unresolved) base."""
+
+    name: str
+    base: int = None
+    data: bytearray = field(default_factory=bytearray)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def append_bytes(self, raw: bytes) -> int:
+        """Append raw bytes; return the offset they were placed at."""
+        offset = len(self.data)
+        self.data.extend(raw)
+        return offset
+
+    def append_word(self, value: int) -> int:
+        """Append a 32-bit little-endian word."""
+        return self.append_bytes(struct.pack("<I", value & 0xFFFFFFFF))
+
+    def append_dword(self, value: int) -> int:
+        """Append a 64-bit little-endian word."""
+        return self.append_bytes(struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    def align(self, boundary: int) -> None:
+        """Pad with zero bytes up to ``boundary`` alignment."""
+        remainder = len(self.data) % boundary
+        if remainder:
+            self.data.extend(b"\x00" * (boundary - remainder))
+
+    def patch_word(self, offset: int, value: int) -> None:
+        """Overwrite a previously appended 32-bit word (used by fix-ups)."""
+        if offset + 4 > len(self.data):
+            raise LinkError(f"patch outside section {self.name!r}: offset {offset}")
+        self.data[offset:offset + 4] = struct.pack("<I", value & 0xFFFFFFFF)
+
+
+@dataclass
+class Program:
+    """An assembled program: sections plus a symbol table (pre-layout)."""
+
+    sections: dict = field(default_factory=dict)
+    #: symbol name -> (section name, offset)
+    symbols: dict = field(default_factory=dict)
+    entry_symbol: str = "_start"
+
+    def section(self, name: str) -> Section:
+        """Get or create a section by name."""
+        if name not in self.sections:
+            self.sections[name] = Section(name)
+        return self.sections[name]
+
+    def define_symbol(self, name: str, section: str, offset: int) -> None:
+        if name in self.symbols:
+            raise LinkError(f"duplicate symbol: {name!r}")
+        self.symbols[name] = (section, offset)
+
+    def has_symbol(self, name: str) -> bool:
+        return name in self.symbols
+
+
+@dataclass
+class Image:
+    """A laid-out program: every byte has an absolute address."""
+
+    #: section name -> (base address, bytes)
+    segments: dict
+    #: symbol name -> absolute address
+    symbols: dict
+    entry: int
+
+    def symbol(self, name: str) -> int:
+        """Absolute address of a symbol."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise LinkError(f"undefined symbol: {name!r}") from None
+
+    def total_size(self) -> int:
+        """Total number of bytes across all segments."""
+        return sum(len(data) for _base, data in self.segments.values())
+
+    def iter_bytes(self):
+        """Yield ``(address, bytes)`` pairs for loading into memory."""
+        for _name, (base, data) in self.segments.items():
+            yield base, bytes(data)
+
+    def segment_range(self, name: str) -> tuple:
+        """Return ``(base, end)`` addresses of a named segment."""
+        base, data = self.segments[name]
+        return base, base + len(data)

@@ -1,0 +1,198 @@
+"""The evaluation framework: functional verification + cycle-accurate measurement.
+
+``EvaluationFramework`` reproduces the paper's flow end to end.  A typical use
+(the Table IV experiment) is::
+
+    framework = EvaluationFramework(num_samples=200)
+    table_iv = framework.evaluate_table_iv()
+    print(reporting.render_table_iv(table_iv))
+
+All three solutions are evaluated over the *same* operand vectors, results of
+verifiable solutions are checked against the golden library on the functional
+simulator first, and the cycle measurements come from the Rocket-like emulator
+with the decimal accelerator attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.host_eval import HostEvaluator
+from repro.core.results import (
+    SolutionCycleReport,
+    TableIVReport,
+    TableVIReport,
+    TimedRow,
+)
+from repro.core.solution import CoDesignSolution, standard_solutions
+from repro.errors import VerificationError
+from repro.gem5.se_mode import Gem5Config, SyscallEmulationRunner
+from repro.rocket.config import RocketConfig
+from repro.rocket.core import RocketEmulator
+from repro.sim.spike import SpikeSimulator
+from repro.testgen.config import SolutionKind, TestProgramConfig
+from repro.testgen.generator import build_test_program
+from repro.verification.checker import ResultChecker
+from repro.verification.database import OperandClass, VerificationDatabase
+from repro.verification.reference import GoldenReference
+
+
+@dataclass
+class EvaluationRun:
+    """Everything produced by evaluating one solution once."""
+
+    solution: CoDesignSolution
+    program: object
+    functional_result: object = None
+    timed_result: object = None
+    check_report: object = None
+    cycle_report: SolutionCycleReport = None
+
+
+@dataclass
+class EvaluationFramework:
+    """Drives the full evaluation pipeline over a shared set of vectors."""
+
+    num_samples: int = 100
+    repetitions: int = 1
+    seed: int = 2018
+    operand_classes: tuple = OperandClass.TABLE_IV_MIX
+    rocket_config: RocketConfig = field(default_factory=RocketConfig)
+    verify_functionally: bool = True
+    solutions: dict = field(default_factory=standard_solutions)
+
+    def __post_init__(self) -> None:
+        self.database = VerificationDatabase(self.seed)
+        self.vectors = self.database.generate_mix(self.num_samples, self.operand_classes)
+        self.reference = GoldenReference()
+        self.checker = ResultChecker(self.reference)
+
+    # ----------------------------------------------------------------- building
+    def _config_for(self, kind: str) -> TestProgramConfig:
+        return TestProgramConfig(
+            solution=kind,
+            num_samples=self.num_samples,
+            repetitions=self.repetitions,
+            operand_classes=self.operand_classes,
+            seed=self.seed,
+        )
+
+    def build_program(self, kind: str):
+        """Generate the test program for one solution over the shared vectors."""
+        return build_test_program(self._config_for(kind), vectors=self.vectors)
+
+    # ------------------------------------------------------------- single runs
+    def run_functional(self, kind: str) -> EvaluationRun:
+        """SPIKE-style functional run + golden check (when verifiable)."""
+        solution = self.solutions[kind]
+        program = self.build_program(kind)
+        simulator = SpikeSimulator(
+            program.image, accelerator=solution.make_accelerator()
+        )
+        result = simulator.run()
+        run = EvaluationRun(
+            solution=solution, program=program, functional_result=result
+        )
+        if solution.verifiable:
+            run.check_report = self.checker.check_run(
+                self.vectors, program.read_results(result)
+            )
+        return run
+
+    def run_cycle_accurate(self, kind: str) -> EvaluationRun:
+        """Full pipeline for one solution: verify functionally, then measure."""
+        solution = self.solutions[kind]
+        program = self.build_program(kind)
+        run = EvaluationRun(solution=solution, program=program)
+
+        if self.verify_functionally and solution.verifiable:
+            functional = SpikeSimulator(
+                program.image, accelerator=solution.make_accelerator()
+            ).run()
+            run.functional_result = functional
+            run.check_report = self.checker.check_run(
+                self.vectors, program.read_results(functional)
+            )
+            if not run.check_report.all_passed:
+                raise VerificationError(
+                    f"{solution.name}: functional verification failed "
+                    f"({run.check_report.failed}/{run.check_report.total})"
+                )
+
+        emulator = RocketEmulator(
+            program.image,
+            accelerator=solution.make_accelerator(),
+            config=self.rocket_config,
+        )
+        timed = emulator.run()
+        run.timed_result = timed
+
+        per_sample = program.read_cycle_samples(timed)
+        run.cycle_report = SolutionCycleReport(
+            solution_name=solution.name,
+            solution_kind=kind,
+            num_samples=self.num_samples,
+            per_sample_cycles=[count / self.repetitions for count in per_sample],
+            hw_cycles_total=timed.hw_cycles // self.repetitions,
+            sw_cycles_total=timed.sw_cycles,
+            instructions_retired=timed.instructions_retired,
+            total_cycles_run=timed.cycles,
+            verification_passed=(
+                run.check_report.all_passed if run.check_report else True
+            ),
+            verification_failures=(
+                run.check_report.failed if run.check_report else 0
+            ),
+            icache_hit_rate=timed.icache_stats.hit_rate,
+            dcache_hit_rate=timed.dcache_stats.hit_rate,
+            rocc_commands=timed.rocc_commands,
+        )
+        return run
+
+    # -------------------------------------------------------------- experiments
+    def evaluate_table_iv(self, kinds=None) -> TableIVReport:
+        """Reproduce Table IV: average cycles and speedups of the solutions."""
+        kinds = kinds or (
+            SolutionKind.METHOD1,
+            SolutionKind.SOFTWARE,
+            SolutionKind.METHOD1_DUMMY,
+        )
+        report = TableIVReport(
+            num_samples=self.num_samples, baseline_kind=SolutionKind.SOFTWARE
+        )
+        for kind in kinds:
+            run = self.run_cycle_accurate(kind)
+            report.reports[kind] = run.cycle_report
+        return report
+
+    def evaluate_table_v(self, num_samples: int = None, repetitions: int = 1):
+        """Reproduce Table V: host wall-clock of the software-only variants."""
+        evaluator = HostEvaluator(
+            num_samples=num_samples or self.num_samples,
+            repetitions=repetitions,
+            seed=self.seed,
+            operand_classes=self.operand_classes,
+        )
+        return evaluator.evaluate()
+
+    def evaluate_table_vi(self, frequency_hz: int = 2_000_000_000) -> TableVIReport:
+        """Reproduce Table VI: the same binaries on the Gem5 atomic model."""
+        runner = SyscallEmulationRunner(Gem5Config(frequency_hz=frequency_hz))
+        report = TableVIReport(baseline_kind=SolutionKind.SOFTWARE)
+        for kind in (SolutionKind.METHOD1_DUMMY, SolutionKind.SOFTWARE):
+            solution = self.solutions[kind]
+            program = self.build_program(kind)
+            result = runner.run_binary(
+                program.image, accelerator=solution.make_accelerator()
+            )
+            report.rows[kind] = TimedRow(
+                name=solution.name,
+                seconds=result.simulated_seconds,
+                samples=self.num_samples,
+            )
+            report.instructions[kind] = result.instructions_retired
+        return report
+
+    def hardware_overhead(self, kind: str = SolutionKind.METHOD1):
+        """Area report of the accelerator a solution needs (None if software-only)."""
+        return self.solutions[kind].hardware_overhead()

@@ -1,0 +1,87 @@
+"""Host wall-clock evaluation (the Table V "real implementation" comparison).
+
+The paper times the two *software-only* implementations — the decNumber
+library and Method-1 with dummy functions — natively on an Intel i7.  Our
+equivalents are the pure-Python implementations in
+:mod:`repro.core.software_baseline` and :mod:`repro.core.method1`; only the
+speedup *ratio* is comparable, never the absolute seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.method1 import DummyHardware, Method1HostModel
+from repro.core.results import TableVReport, TimedRow
+from repro.core.software_baseline import SoftwareBaseline
+from repro.testgen.config import SolutionKind
+from repro.verification.database import OperandClass, VerificationDatabase
+from repro.verification.reference import GoldenReference
+
+
+@dataclass(frozen=True)
+class HostTiming:
+    """Wall-clock measurement of one implementation."""
+
+    name: str
+    seconds: float
+    samples: int
+    repetitions: int
+
+    @property
+    def seconds_per_sample(self) -> float:
+        return self.seconds / (self.samples * self.repetitions) if self.samples else 0.0
+
+
+class HostEvaluator:
+    """Times the host implementations over a shared vector set."""
+
+    def __init__(self, num_samples: int = 2000, repetitions: int = 1, seed: int = 2018,
+                 operand_classes=OperandClass.TABLE_IV_MIX) -> None:
+        self.num_samples = num_samples
+        self.repetitions = repetitions
+        database = VerificationDatabase(seed)
+        self.vectors = database.generate_mix(num_samples, operand_classes)
+        reference = GoldenReference()
+        self.operand_words = [
+            (reference.encode_operand(vector.x), reference.encode_operand(vector.y))
+            for vector in self.vectors
+        ]
+
+    # ------------------------------------------------------------------ timing
+    def _time_implementation(self, name: str, multiply_words) -> HostTiming:
+        start = time.perf_counter()
+        for _ in range(self.repetitions):
+            for x_word, y_word in self.operand_words:
+                multiply_words(x_word, y_word)
+        elapsed = time.perf_counter() - start
+        return HostTiming(
+            name=name,
+            seconds=elapsed,
+            samples=self.num_samples,
+            repetitions=self.repetitions,
+        )
+
+    def time_software(self) -> HostTiming:
+        baseline = SoftwareBaseline()
+        return self._time_implementation("Software [2]", baseline.multiply_words)
+
+    def time_method1_dummy(self) -> HostTiming:
+        model = Method1HostModel(hardware=DummyHardware())
+        return self._time_implementation(
+            "Method-1 using dummy function [9]", model.multiply_words
+        )
+
+    def evaluate(self) -> TableVReport:
+        """Produce the Table V comparison."""
+        software = self.time_software()
+        dummy = self.time_method1_dummy()
+        report = TableVReport(baseline_kind=SolutionKind.SOFTWARE)
+        report.rows[SolutionKind.SOFTWARE] = TimedRow(
+            name=software.name, seconds=software.seconds, samples=software.samples
+        )
+        report.rows[SolutionKind.METHOD1_DUMMY] = TimedRow(
+            name=dummy.name, seconds=dummy.seconds, samples=dummy.samples
+        )
+        return report

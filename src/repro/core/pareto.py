@@ -1,0 +1,79 @@
+"""Pareto analysis of co-design configurations (performance vs hardware cost).
+
+The paper motivates co-design by the *Pareto points* it offers between
+hardware cost and performance.  This module evaluates a set of solutions /
+accelerator configurations with the same framework and extracts the Pareto
+frontier over (average cycles, gate equivalents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.evaluation import EvaluationFramework
+from repro.core.solution import CoDesignSolution
+from repro.testgen.config import SolutionKind
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One evaluated design point."""
+
+    name: str
+    avg_cycles: float
+    gate_equivalents: float
+    flip_flops: int = 0
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is at least as good on both axes and better on one."""
+        not_worse = (
+            self.avg_cycles <= other.avg_cycles
+            and self.gate_equivalents <= other.gate_equivalents
+        )
+        strictly_better = (
+            self.avg_cycles < other.avg_cycles
+            or self.gate_equivalents < other.gate_equivalents
+        )
+        return not_worse and strictly_better
+
+
+@dataclass
+class ParetoAnalyzer:
+    """Evaluates a family of solutions and reports the Pareto frontier."""
+
+    framework: EvaluationFramework
+    points: list = field(default_factory=list)
+
+    def evaluate_solution(self, solution: CoDesignSolution) -> ParetoPoint:
+        """Measure one solution and record its design point."""
+        original = self.framework.solutions.get(solution.kind)
+        self.framework.solutions[solution.kind] = solution
+        try:
+            run = self.framework.run_cycle_accurate(solution.kind)
+        finally:
+            if original is not None:
+                self.framework.solutions[solution.kind] = original
+        overhead = solution.hardware_overhead()
+        point = ParetoPoint(
+            name=solution.name,
+            avg_cycles=run.cycle_report.avg_total_cycles,
+            gate_equivalents=overhead.total_gate_equivalents if overhead else 0.0,
+            flip_flops=overhead.total_flip_flops if overhead else 0,
+        )
+        self.points.append(point)
+        return point
+
+    def evaluate_standard_points(self) -> list:
+        """Evaluate the software baseline and Method-1 (the paper's two designs)."""
+        for kind in (SolutionKind.SOFTWARE, SolutionKind.METHOD1):
+            self.evaluate_solution(self.framework.solutions[kind])
+        return self.points
+
+    def frontier(self) -> list:
+        """The non-dominated subset of evaluated points, sorted by cycles."""
+        frontier = [
+            point
+            for point in self.points
+            if not any(other.dominates(point) for other in self.points)
+        ]
+        return sorted(frontier, key=lambda point: point.avg_cycles)

@@ -1,0 +1,147 @@
+"""Plain-text rendering of the paper's tables from measured data.
+
+Every render function takes the corresponding report object and returns a
+string shaped like the table in the paper, so benchmark output can be compared
+against the published numbers side by side (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from repro.asm import macros
+from repro.isa.rocc import DecimalFunct
+from repro.testgen.config import SolutionKind
+
+#: The published numbers, kept here so reports can show paper-vs-measured.
+PAPER_TABLE_IV = {
+    SolutionKind.METHOD1: {"sw": 1013, "hw": 188, "total": 1201, "speedup": 2.73},
+    SolutionKind.SOFTWARE: {"sw": 3285, "hw": 0, "total": 3285, "speedup": None},
+    SolutionKind.METHOD1_DUMMY: {"sw": 1446, "hw": 0, "total": 1446, "speedup": 2.27},
+}
+PAPER_TABLE_V = {
+    SolutionKind.METHOD1_DUMMY: {"seconds": 589.0, "speedup": 2.32},
+    SolutionKind.SOFTWARE: {"seconds": 1367.0, "speedup": None},
+}
+PAPER_TABLE_VI = {
+    SolutionKind.METHOD1_DUMMY: {"seconds": 0.005443, "speedup": 2.30},
+    SolutionKind.SOFTWARE: {"seconds": 0.012511, "speedup": None},
+}
+
+
+def _format_speedup(value) -> str:
+    return "-" if value is None else f"{value:.2f}x"
+
+
+def render_table_ii() -> str:
+    """Table II: the decimal accelerator instruction set."""
+    lines = [
+        "Table II: List of instructions",
+        f"{'Function':<12s} {'Function7':<10s} Description",
+        "-" * 72,
+    ]
+    for name, funct in DecimalFunct.BY_NAME.items():
+        description = DecimalFunct.DESCRIPTIONS.get(name, "")
+        lines.append(f"{name:<12s} {funct:07b}    {description}")
+    return "\n".join(lines)
+
+
+def render_table_iii() -> str:
+    """Table III: RoCC instruction encodings produced by the macro generator."""
+    rows = macros.table_iii_rows()
+    header = (
+        f"{'Instruction':<12s} {'funct7':>8s} {'rs2':>6s} {'rs1':>6s} "
+        f"{'xd':>3s} {'xs1':>4s} {'xs2':>4s} {'rd':>6s} {'opcode':>8s} {'hex':>12s}"
+    )
+    lines = ["Table III: RoCC instructions (our encodings)", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['instruction']:<12s} {row['funct7']:>8s} {row['rs2']:>6s} "
+            f"{row['rs1']:>6s} {row['xd']:>3d} {row['xs1']:>4d} {row['xs2']:>4d} "
+            f"{row['rd']:>6s} {row['opcode']:>8s} {row['hex']:>12s}"
+        )
+    return "\n".join(lines)
+
+
+def render_table_iv(report, include_paper: bool = True) -> str:
+    """Table IV: average cycles per multiplication and speedups."""
+    lines = [
+        f"Table IV: Average number of cycles ({report.num_samples} samples)",
+        f"{'Solution':<36s} {'SW part':>9s} {'HW part':>9s} {'Total':>9s} {'Speedup':>9s}",
+    ]
+    lines.append("-" * 76)
+    speedups = report.speedups()
+    for kind, cycle_report in report.reports.items():
+        speedup = None if kind == report.baseline_kind else speedups[kind]
+        lines.append(
+            f"{cycle_report.solution_name:<36s} "
+            f"{cycle_report.avg_sw_cycles:>9.0f} {cycle_report.avg_hw_cycles:>9.0f} "
+            f"{cycle_report.avg_total_cycles:>9.0f} {_format_speedup(speedup):>9s}"
+        )
+        if include_paper and kind in PAPER_TABLE_IV:
+            paper = PAPER_TABLE_IV[kind]
+            lines.append(
+                f"{'  (paper)':<36s} {paper['sw']:>9d} {paper['hw']:>9d} "
+                f"{paper['total']:>9d} {_format_speedup(paper['speedup']):>9s}"
+            )
+    return "\n".join(lines)
+
+
+def render_table_v(report, include_paper: bool = True) -> str:
+    """Table V: host wall-clock comparison."""
+    lines = [
+        "Table V: Evaluation by real (host) implementation",
+        f"{'Solution':<36s} {'Time (sec)':>12s} {'Speedup':>9s}",
+        "-" * 60,
+    ]
+    for kind, row in report.rows.items():
+        speedup = None if kind == report.baseline_kind else report.speedup(kind)
+        lines.append(
+            f"{row.name:<36s} {row.seconds:>12.4f} {_format_speedup(speedup):>9s}"
+        )
+        if include_paper and kind in PAPER_TABLE_V:
+            paper = PAPER_TABLE_V[kind]
+            lines.append(
+                f"{'  (paper, Intel i7)':<36s} {paper['seconds']:>12.4f} "
+                f"{_format_speedup(paper['speedup']):>9s}"
+            )
+    return "\n".join(lines)
+
+
+def render_table_vi(report, include_paper: bool = True) -> str:
+    """Table VI: Gem5 AtomicSimpleCPU comparison."""
+    lines = [
+        "Table VI: Evaluation using Gem5 AtomicSimpleCPU (SE mode, RISC-V ISA)",
+        f"{'Solution':<36s} {'Time (sec)':>12s} {'Speedup':>9s}",
+        "-" * 60,
+    ]
+    for kind, row in report.rows.items():
+        speedup = None if kind == report.baseline_kind else report.speedup(kind)
+        lines.append(
+            f"{row.name:<36s} {row.seconds:>12.6f} {_format_speedup(speedup):>9s}"
+        )
+        if include_paper and kind in PAPER_TABLE_VI:
+            paper = PAPER_TABLE_VI[kind]
+            lines.append(
+                f"{'  (paper)':<36s} {paper['seconds']:>12.6f} "
+                f"{_format_speedup(paper['speedup']):>9s}"
+            )
+    return "\n".join(lines)
+
+
+def render_pareto(points) -> str:
+    """Design points and which of them are Pareto-optimal."""
+    frontier = {
+        point.name
+        for point in points
+        if not any(other.dominates(point) for other in points)
+    }
+    lines = [
+        "Co-design Pareto points (performance vs hardware overhead)",
+        f"{'Design':<36s} {'Avg cycles':>12s} {'Gate equiv.':>12s} {'Pareto':>8s}",
+        "-" * 72,
+    ]
+    for point in sorted(points, key=lambda item: item.avg_cycles):
+        lines.append(
+            f"{point.name:<36s} {point.avg_cycles:>12.0f} "
+            f"{point.gate_equivalents:>12.0f} {'yes' if point.name in frontier else 'no':>8s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Result containers for the evaluation framework (Tables IV, V, VI)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def _stdev(values) -> float:
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return math.sqrt(sum((value - mean) ** 2 for value in values) / (len(values) - 1))
+
+
+@dataclass
+class SolutionCycleReport:
+    """Cycle-accurate measurements of one solution (one row of Table IV)."""
+
+    solution_name: str
+    solution_kind: str
+    num_samples: int
+    per_sample_cycles: list = field(default_factory=list)
+    hw_cycles_total: int = 0
+    sw_cycles_total: int = 0
+    instructions_retired: int = 0
+    total_cycles_run: int = 0
+    verification_passed: bool = True
+    verification_failures: int = 0
+    icache_hit_rate: float = 0.0
+    dcache_hit_rate: float = 0.0
+    rocc_commands: int = 0
+
+    @property
+    def avg_total_cycles(self) -> float:
+        """Average RDCYCLE-measured cycles per multiplication."""
+        return _mean(self.per_sample_cycles)
+
+    @property
+    def avg_hw_cycles(self) -> float:
+        """Average hardware-part cycles per multiplication."""
+        if not self.num_samples:
+            return 0.0
+        return self.hw_cycles_total / self.num_samples
+
+    @property
+    def avg_sw_cycles(self) -> float:
+        """Average software-part cycles per multiplication."""
+        return self.avg_total_cycles - self.avg_hw_cycles
+
+    @property
+    def stdev_cycles(self) -> float:
+        return _stdev(self.per_sample_cycles)
+
+    def speedup_over(self, baseline: "SolutionCycleReport") -> float:
+        """Speedup of this solution relative to ``baseline``."""
+        if not self.avg_total_cycles:
+            return 0.0
+        return baseline.avg_total_cycles / self.avg_total_cycles
+
+
+@dataclass
+class TableIVReport:
+    """The three-row cycle comparison of Table IV."""
+
+    num_samples: int
+    reports: dict = field(default_factory=dict)  # kind -> SolutionCycleReport
+    baseline_kind: str = "software"
+
+    def speedups(self) -> dict:
+        baseline = self.reports[self.baseline_kind]
+        return {
+            kind: report.speedup_over(baseline) for kind, report in self.reports.items()
+        }
+
+    def rows(self) -> list:
+        """Rows in the paper's layout: SW part / HW part / Total / Speedup."""
+        speedups = self.speedups()
+        rows = []
+        for kind, report in self.reports.items():
+            speedup = speedups[kind]
+            rows.append(
+                {
+                    "solution": report.solution_name,
+                    "sw_part": round(report.avg_sw_cycles),
+                    "hw_part": round(report.avg_hw_cycles),
+                    "total": round(report.avg_total_cycles),
+                    "speedup": None if kind == self.baseline_kind else round(speedup, 2),
+                }
+            )
+        return rows
+
+
+@dataclass
+class TimedRow:
+    """One row of a wall-clock (Table V) or simulated-time (Table VI) report."""
+
+    name: str
+    seconds: float
+    samples: int
+
+
+@dataclass
+class TableVReport:
+    """Host "real implementation" timing comparison (Table V)."""
+
+    rows: dict = field(default_factory=dict)   # kind -> TimedRow
+    baseline_kind: str = "software"
+
+    def speedup(self, kind: str) -> float:
+        baseline = self.rows[self.baseline_kind].seconds
+        mine = self.rows[kind].seconds
+        return baseline / mine if mine else 0.0
+
+
+@dataclass
+class TableVIReport:
+    """Gem5 AtomicSimpleCPU timing comparison (Table VI)."""
+
+    rows: dict = field(default_factory=dict)   # kind -> TimedRow
+    baseline_kind: str = "software"
+    instructions: dict = field(default_factory=dict)
+
+    def speedup(self, kind: str) -> float:
+        baseline = self.rows[self.baseline_kind].seconds
+        mine = self.rows[kind].seconds
+        return baseline / mine if mine else 0.0

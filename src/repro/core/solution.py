@@ -1,0 +1,75 @@
+"""Co-design solution descriptions.
+
+A :class:`CoDesignSolution` bundles everything the framework needs to evaluate
+one point in the software/hardware design space: which kernel to generate,
+whether (and which) accelerator to attach, and how to describe it in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rocc.decimal_accel import DecimalAccelerator, DecimalAcceleratorConfig
+from repro.testgen.config import SolutionKind
+
+
+@dataclass(frozen=True)
+class CoDesignSolution:
+    """One evaluated solution (a row of Table IV)."""
+
+    name: str
+    kind: str                       # a SolutionKind value
+    description: str = ""
+    uses_accelerator: bool = False
+    accelerator_config: DecimalAcceleratorConfig = None
+    #: whether functional results are meaningful (False for dummy functions)
+    verifiable: bool = True
+
+    def make_accelerator(self):
+        """Instantiate a fresh accelerator for a run (or None)."""
+        if not self.uses_accelerator:
+            return None
+        config = self.accelerator_config or DecimalAcceleratorConfig()
+        return DecimalAccelerator(config)
+
+    def hardware_overhead(self):
+        """Area report of the required dedicated hardware (None if all-software)."""
+        accelerator = self.make_accelerator()
+        if accelerator is None:
+            return None
+        return accelerator.area_report()
+
+
+def standard_solutions() -> dict:
+    """The three solutions the paper's Table IV compares."""
+    return {
+        SolutionKind.SOFTWARE: CoDesignSolution(
+            name="Software [2]",
+            kind=SolutionKind.SOFTWARE,
+            description=(
+                "decNumber-style pure-software decimal64 multiplication on the "
+                "binary ALU (base-billion limbs, division-based rounding)"
+            ),
+            uses_accelerator=False,
+        ),
+        SolutionKind.METHOD1: CoDesignSolution(
+            name="Method-1 [9]",
+            kind=SolutionKind.METHOD1,
+            description=(
+                "software-hardware co-design: DPD<->BCD and rounding in "
+                "software, multiplicand multiples and partial-product "
+                "accumulation on the RoCC BCD accelerator"
+            ),
+            uses_accelerator=True,
+        ),
+        SolutionKind.METHOD1_DUMMY: CoDesignSolution(
+            name="Method-1 using dummy function [9]",
+            kind=SolutionKind.METHOD1_DUMMY,
+            description=(
+                "the same software flow with accelerator calls replaced by "
+                "fixed-return dummy functions (estimation methodology)"
+            ),
+            uses_accelerator=False,
+            verifiable=False,
+        ),
+    }

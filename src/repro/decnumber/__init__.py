@@ -1,0 +1,58 @@
+"""Pure-Python IEEE 754-2008 decimal floating-point library.
+
+This subpackage plays the role of IBM's decNumber C library in the paper: it
+is both the *golden reference* used for functional verification and the
+algorithmic template for the pure-software baseline kernel that is lowered to
+RISC-V assembly in :mod:`repro.kernels.software_mul`.
+
+Public surface:
+
+* :class:`~repro.decnumber.context.Context` / rounding-mode constants / flags
+* :class:`~repro.decnumber.number.DecNumber` — sign / coefficient / exponent
+  triple plus special values
+* :mod:`~repro.decnumber.arith` — ``add``, ``subtract``, ``multiply``,
+  ``compare`` under a context
+* :mod:`~repro.decnumber.dpd` — densely-packed-decimal declet codec
+* :mod:`~repro.decnumber.decimal64` / :mod:`~repro.decnumber.decimal128` —
+  interchange-format pack/unpack
+"""
+
+from repro.decnumber.context import (
+    Context,
+    Flags,
+    ROUND_CEILING,
+    ROUND_DOWN,
+    ROUND_FLOOR,
+    ROUND_HALF_DOWN,
+    ROUND_HALF_EVEN,
+    ROUND_HALF_UP,
+    ROUND_UP,
+    DECIMAL64_CONTEXT,
+    DECIMAL128_CONTEXT,
+)
+from repro.decnumber.number import DecNumber
+from repro.decnumber.arith import add, compare, multiply, subtract
+from repro.decnumber import dpd, bcd, decimal64, decimal128
+
+__all__ = [
+    "Context",
+    "Flags",
+    "ROUND_CEILING",
+    "ROUND_DOWN",
+    "ROUND_FLOOR",
+    "ROUND_HALF_DOWN",
+    "ROUND_HALF_EVEN",
+    "ROUND_HALF_UP",
+    "ROUND_UP",
+    "DECIMAL64_CONTEXT",
+    "DECIMAL128_CONTEXT",
+    "DecNumber",
+    "add",
+    "subtract",
+    "multiply",
+    "compare",
+    "dpd",
+    "bcd",
+    "decimal64",
+    "decimal128",
+]

@@ -1,0 +1,262 @@
+"""Decimal arithmetic under a context: add, subtract, multiply, compare.
+
+The algorithms follow the General Decimal Arithmetic specification (the one
+decNumber and Python's :mod:`decimal` implement): compute the exact result on
+integers, then round/finalise to the context's precision and exponent range,
+raising condition flags on the way.  The multiplication path in particular is
+the algorithmic template for the pure-software RISC-V kernel
+(:mod:`repro.kernels.software_mul`).
+"""
+
+from __future__ import annotations
+
+from repro.decnumber.context import (
+    Context,
+    ROUND_CEILING,
+    ROUND_DOWN,
+    ROUND_FLOOR,
+    ROUND_HALF_DOWN,
+    ROUND_HALF_EVEN,
+    ROUND_HALF_UP,
+    ROUND_UP,
+)
+from repro.decnumber.number import (
+    DecNumber,
+    KIND_FINITE,
+    KIND_INFINITY,
+    KIND_QNAN,
+    KIND_SNAN,
+    num_digits,
+)
+
+
+# ---------------------------------------------------------------------------
+# Rounding primitives
+# ---------------------------------------------------------------------------
+
+def round_coefficient(
+    coefficient: int, drop: int, sign: int, rounding: str
+) -> tuple:
+    """Drop ``drop`` digits from ``coefficient`` applying ``rounding``.
+
+    Returns ``(rounded_coefficient, inexact)``.
+    """
+    if drop <= 0:
+        return coefficient, False
+    divisor = 10 ** drop
+    quotient, remainder = divmod(coefficient, divisor)
+    if remainder == 0:
+        return quotient, False
+    if rounding == ROUND_DOWN:
+        pass
+    elif rounding == ROUND_UP:
+        quotient += 1
+    elif rounding == ROUND_CEILING:
+        if sign == 0:
+            quotient += 1
+    elif rounding == ROUND_FLOOR:
+        if sign == 1:
+            quotient += 1
+    else:
+        half = divisor // 2
+        if remainder > half:
+            quotient += 1
+        elif remainder == half:
+            if rounding == ROUND_HALF_UP:
+                quotient += 1
+            elif rounding == ROUND_HALF_DOWN:
+                pass
+            else:  # ROUND_HALF_EVEN
+                quotient += quotient & 1
+        # remainder < half: truncate
+    return quotient, True
+
+
+def _overflow_result(sign: int, ctx: Context) -> DecNumber:
+    """Result of an overflow per the rounding direction."""
+    ctx.flags.overflow = True
+    ctx.flags.inexact = True
+    ctx.flags.rounded = True
+    round_to_inf = (
+        ctx.rounding in (ROUND_HALF_EVEN, ROUND_HALF_UP, ROUND_HALF_DOWN, ROUND_UP)
+        or (ctx.rounding == ROUND_CEILING and sign == 0)
+        or (ctx.rounding == ROUND_FLOOR and sign == 1)
+    )
+    if round_to_inf:
+        return DecNumber.infinity(sign)
+    return DecNumber(sign, 10 ** ctx.prec - 1, ctx.etop)
+
+
+def finalize(sign: int, coefficient: int, exponent: int, ctx: Context) -> DecNumber:
+    """Round an exact (sign, coefficient, exponent) result into the context.
+
+    Handles precision rounding, overflow, subnormals/underflow and the
+    fold-down clamp, raising the corresponding flags on ``ctx.flags``.
+
+    Rounding is done in a *single* step: the number of digits to drop is the
+    maximum required by the precision constraint and by the smallest usable
+    exponent (``etiny``), which avoids double rounding on subnormal results.
+    The same one-shot-drop algorithm is what the RISC-V kernels implement.
+    """
+    ndigits = num_digits(coefficient)
+    was_subnormal = coefficient != 0 and exponent + ndigits - 1 < ctx.emin
+
+    drop = max(0, ndigits - ctx.prec, ctx.etiny - exponent)
+    if drop > 0 and coefficient != 0:
+        coefficient, inexact = round_coefficient(
+            coefficient, drop, sign, ctx.rounding
+        )
+        exponent += drop
+        ctx.flags.rounded = True
+        if inexact:
+            ctx.flags.inexact = True
+            if was_subnormal:
+                ctx.flags.underflow = True
+        ndigits = num_digits(coefficient)
+        if ndigits > ctx.prec:  # rounding carried out (e.g. 999.. -> 1000..)
+            coefficient //= 10
+            exponent += 1
+            ndigits -= 1
+
+    adjusted = exponent + ndigits - 1
+
+    if coefficient != 0 and adjusted > ctx.emax:
+        return _overflow_result(sign, ctx)
+
+    if coefficient != 0 and adjusted < ctx.emin:
+        ctx.flags.subnormal = True
+        return DecNumber(sign, coefficient, exponent)
+
+    if coefficient == 0:
+        # Zeros carry an exponent but it is clamped into the usable range.
+        if exponent > ctx.etop:
+            exponent = ctx.etop
+            ctx.flags.clamped = True
+        elif exponent < ctx.etiny:
+            exponent = ctx.etiny
+            ctx.flags.clamped = True
+        return DecNumber(sign, 0, exponent)
+
+    # Fold-down clamp: the value is representable but its preferred exponent
+    # exceeds the largest usable exponent, so pad the coefficient with zeros.
+    if ctx.clamp and exponent > ctx.etop:
+        pad = exponent - ctx.etop
+        coefficient *= 10 ** pad
+        exponent = ctx.etop
+        ctx.flags.clamped = True
+
+    return DecNumber(sign, coefficient, exponent)
+
+
+# ---------------------------------------------------------------------------
+# Special-value handling
+# ---------------------------------------------------------------------------
+
+def _propagate_nan(x: DecNumber, y: DecNumber, ctx: Context) -> DecNumber:
+    """IEEE NaN propagation: signaling NaNs raise invalid and become quiet."""
+    for operand in (x, y):
+        if operand.kind == KIND_SNAN:
+            ctx.flags.invalid = True
+            return DecNumber.qnan(operand.coefficient, operand.sign)
+    for operand in (x, y):
+        if operand.kind == KIND_QNAN:
+            return DecNumber.qnan(operand.coefficient, operand.sign)
+    raise AssertionError("no NaN operand")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Operations
+# ---------------------------------------------------------------------------
+
+def multiply(x: DecNumber, y: DecNumber, ctx: Context) -> DecNumber:
+    """IEEE 754-2008 decimal multiplication under ``ctx``."""
+    if x.is_nan or y.is_nan:
+        return _propagate_nan(x, y, ctx)
+    sign = x.sign ^ y.sign
+    if x.is_infinite or y.is_infinite:
+        if x.is_zero or y.is_zero:
+            ctx.flags.invalid = True
+            return DecNumber.qnan()
+        return DecNumber.infinity(sign)
+    coefficient = x.coefficient * y.coefficient
+    exponent = x.exponent + y.exponent
+    return finalize(sign, coefficient, exponent, ctx)
+
+
+def add(x: DecNumber, y: DecNumber, ctx: Context) -> DecNumber:
+    """IEEE 754-2008 decimal addition under ``ctx``."""
+    if x.is_nan or y.is_nan:
+        return _propagate_nan(x, y, ctx)
+    if x.is_infinite or y.is_infinite:
+        if x.is_infinite and y.is_infinite and x.sign != y.sign:
+            ctx.flags.invalid = True
+            return DecNumber.qnan()
+        sign = x.sign if x.is_infinite else y.sign
+        return DecNumber.infinity(sign)
+
+    exponent = min(x.exponent, y.exponent)
+    xc = x.coefficient * 10 ** (x.exponent - exponent)
+    yc = y.coefficient * 10 ** (y.exponent - exponent)
+    xs = -xc if x.sign else xc
+    ys = -yc if y.sign else yc
+    total = xs + ys
+    if total == 0:
+        # Sign of an exact zero sum depends on the rounding direction.
+        sign = 1 if ctx.rounding == ROUND_FLOOR and (x.sign or y.sign) else 0
+        if x.sign == 1 and y.sign == 1:
+            sign = 1
+        return finalize(sign, 0, exponent, ctx)
+    sign = 1 if total < 0 else 0
+    return finalize(sign, abs(total), exponent, ctx)
+
+
+def subtract(x: DecNumber, y: DecNumber, ctx: Context) -> DecNumber:
+    """IEEE 754-2008 decimal subtraction under ``ctx``."""
+    if y.is_nan:
+        return _propagate_nan(x, y, ctx)
+    return add(x, y.copy_negate(), ctx)
+
+
+def compare(x: DecNumber, y: DecNumber, ctx: Context):
+    """Compare two decimals.
+
+    Returns -1, 0 or 1 for ordered operands; returns ``None`` and raises the
+    invalid flag when either operand is a NaN (unordered).
+    """
+    if x.is_nan or y.is_nan:
+        if x.kind == KIND_SNAN or y.kind == KIND_SNAN:
+            ctx.flags.invalid = True
+        return None
+    xd = x.to_decimal() if not x.is_infinite else None
+    yd = y.to_decimal() if not y.is_infinite else None
+    if x.is_infinite or y.is_infinite:
+        xk = (2 if x.is_infinite else 1) * (-1 if x.sign else 1) if x.is_infinite else 0
+        yk = (2 if y.is_infinite else 1) * (-1 if y.sign else 1) if y.is_infinite else 0
+        if x.is_infinite and y.is_infinite:
+            if xk == yk:
+                return 0
+            return -1 if xk < yk else 1
+        if x.is_infinite:
+            return -1 if x.sign else 1
+        return 1 if y.sign else -1
+    if xd == yd:
+        return 0
+    return -1 if xd < yd else 1
+
+
+def minus(x: DecNumber, ctx: Context) -> DecNumber:
+    """Unary minus (rounds like ``0 - x`` per the specification)."""
+    if x.is_nan:
+        return _propagate_nan(x, x, ctx)
+    if x.is_infinite:
+        return DecNumber.infinity(1 - x.sign)
+    return finalize(1 - x.sign if not x.is_zero else 0, x.coefficient, x.exponent, ctx)
+
+
+def absolute(x: DecNumber, ctx: Context) -> DecNumber:
+    """Absolute value under the context."""
+    if x.is_nan:
+        return _propagate_nan(x, x, ctx)
+    if x.is_infinite:
+        return DecNumber.infinity(0)
+    return finalize(0, x.coefficient, x.exponent, ctx)

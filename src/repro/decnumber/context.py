@@ -1,0 +1,154 @@
+"""Arithmetic contexts: precision, exponent range, rounding mode and flags.
+
+Mirrors the decNumber / General Decimal Arithmetic ``decContext`` structure
+closely enough that results can be cross-checked against Python's
+:mod:`decimal` module (which implements the same specification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+# Rounding modes --------------------------------------------------------------
+ROUND_HALF_EVEN = "half_even"
+ROUND_HALF_UP = "half_up"
+ROUND_HALF_DOWN = "half_down"
+ROUND_DOWN = "down"
+ROUND_UP = "up"
+ROUND_CEILING = "ceiling"
+ROUND_FLOOR = "floor"
+
+ALL_ROUNDING_MODES = (
+    ROUND_HALF_EVEN,
+    ROUND_HALF_UP,
+    ROUND_HALF_DOWN,
+    ROUND_DOWN,
+    ROUND_UP,
+    ROUND_CEILING,
+    ROUND_FLOOR,
+)
+
+#: Mapping to the equivalent :mod:`decimal` module rounding constants,
+#: used by the verification reference.
+PYTHON_ROUNDING = {
+    ROUND_HALF_EVEN: "ROUND_HALF_EVEN",
+    ROUND_HALF_UP: "ROUND_HALF_UP",
+    ROUND_HALF_DOWN: "ROUND_HALF_DOWN",
+    ROUND_DOWN: "ROUND_DOWN",
+    ROUND_UP: "ROUND_UP",
+    ROUND_CEILING: "ROUND_CEILING",
+    ROUND_FLOOR: "ROUND_FLOOR",
+}
+
+
+class Flags:
+    """IEEE 754 / decNumber condition flags raised during an operation."""
+
+    NAMES = (
+        "inexact",
+        "rounded",
+        "overflow",
+        "underflow",
+        "subnormal",
+        "clamped",
+        "invalid",
+        "division_by_zero",
+    )
+
+    def __init__(self) -> None:
+        self.clear()
+
+    def clear(self) -> None:
+        """Reset every flag to False."""
+        for name in self.NAMES:
+            setattr(self, name, False)
+
+    def raised(self) -> frozenset:
+        """Return the set of flag names currently raised."""
+        return frozenset(name for name in self.NAMES if getattr(self, name))
+
+    def copy(self) -> "Flags":
+        other = Flags()
+        for name in self.NAMES:
+            setattr(other, name, getattr(self, name))
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Flags({', '.join(sorted(self.raised())) or 'none'})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Flags):
+            return NotImplemented
+        return self.raised() == other.raised()
+
+    def __hash__(self) -> int:
+        return hash(self.raised())
+
+
+@dataclass
+class Context:
+    """Arithmetic context (precision, exponent range, rounding, flags)."""
+
+    prec: int = 16
+    emax: int = 384
+    emin: int = -383
+    rounding: str = ROUND_HALF_EVEN
+    clamp: bool = True
+    flags: Flags = field(default_factory=Flags)
+
+    def __post_init__(self) -> None:
+        if self.prec < 1:
+            raise ConfigurationError("precision must be at least 1")
+        if self.emin > 0 or self.emax < 0 or self.emin > self.emax:
+            raise ConfigurationError(
+                f"invalid exponent range: emin={self.emin} emax={self.emax}"
+            )
+        if self.rounding not in ALL_ROUNDING_MODES:
+            raise ConfigurationError(f"unknown rounding mode: {self.rounding!r}")
+
+    @property
+    def etiny(self) -> int:
+        """Smallest usable exponent (exponent of the smallest subnormal)."""
+        return self.emin - self.prec + 1
+
+    @property
+    def etop(self) -> int:
+        """Largest usable exponent for a full-precision coefficient."""
+        return self.emax - self.prec + 1
+
+    def copy(self, **overrides) -> "Context":
+        """Return a copy of the context with fresh flags (and any overrides)."""
+        params = {
+            "prec": self.prec,
+            "emax": self.emax,
+            "emin": self.emin,
+            "rounding": self.rounding,
+            "clamp": self.clamp,
+        }
+        params.update(overrides)
+        return Context(**params)
+
+    def to_python_context(self):
+        """Build an equivalent :class:`decimal.Context` for cross-checking."""
+        import decimal
+
+        return decimal.Context(
+            prec=self.prec,
+            Emax=self.emax,
+            Emin=self.emin,
+            rounding=getattr(decimal, PYTHON_ROUNDING[self.rounding]),
+            clamp=1 if self.clamp else 0,
+            traps=[],
+        )
+
+
+def DECIMAL64_CONTEXT() -> Context:
+    """A fresh IEEE 754-2008 decimal64 context (16 digits, emax 384)."""
+    return Context(prec=16, emax=384, emin=-383)
+
+
+def DECIMAL128_CONTEXT() -> Context:
+    """A fresh IEEE 754-2008 decimal128 context (34 digits, emax 6144)."""
+    return Context(prec=34, emax=6144, emin=-6143)

@@ -1,0 +1,48 @@
+"""decimal128 ("quad precision" in the paper) convenience wrappers."""
+
+from __future__ import annotations
+
+from repro.decnumber.formats import DECIMAL128
+from repro.decnumber.number import DecNumber
+
+#: Format parameters re-exported for readability at call sites.
+PRECISION = DECIMAL128.precision
+EMAX = DECIMAL128.emax
+EMIN = DECIMAL128.emin
+BIAS = DECIMAL128.bias
+ETINY = DECIMAL128.etiny
+ETOP = DECIMAL128.etop
+TOTAL_BITS = DECIMAL128.total_bits
+MAX_COEFFICIENT = DECIMAL128.max_coefficient
+
+FORMAT = DECIMAL128
+
+
+def encode(number: DecNumber, ctx=None) -> int:
+    """Pack a :class:`DecNumber` into a 128-bit decimal128 word."""
+    return DECIMAL128.encode(number, ctx)
+
+
+def decode(word: int) -> DecNumber:
+    """Unpack a 128-bit decimal128 word."""
+    return DECIMAL128.decode(word)
+
+
+def components(word: int) -> tuple:
+    """``(sign, biased_exponent, coefficient)`` of a finite decimal128 word."""
+    return DECIMAL128.components(word)
+
+
+def coefficient_bcd(word: int) -> int:
+    """Packed-BCD (34 nibbles) coefficient of a finite decimal128 word."""
+    return DECIMAL128.coefficient_bcd(word)
+
+
+def is_special(word: int) -> bool:
+    """True when the word encodes an infinity or NaN."""
+    return DECIMAL128.is_special(word)
+
+
+def context():
+    """A fresh decimal128 arithmetic context."""
+    return DECIMAL128.context()

@@ -1,0 +1,48 @@
+"""decimal64 ("double precision" in the paper) convenience wrappers."""
+
+from __future__ import annotations
+
+from repro.decnumber.formats import DECIMAL64
+from repro.decnumber.number import DecNumber
+
+#: Format parameters re-exported for readability at call sites.
+PRECISION = DECIMAL64.precision
+EMAX = DECIMAL64.emax
+EMIN = DECIMAL64.emin
+BIAS = DECIMAL64.bias
+ETINY = DECIMAL64.etiny
+ETOP = DECIMAL64.etop
+TOTAL_BITS = DECIMAL64.total_bits
+MAX_COEFFICIENT = DECIMAL64.max_coefficient
+
+FORMAT = DECIMAL64
+
+
+def encode(number: DecNumber, ctx=None) -> int:
+    """Pack a :class:`DecNumber` into a 64-bit decimal64 word."""
+    return DECIMAL64.encode(number, ctx)
+
+
+def decode(word: int) -> DecNumber:
+    """Unpack a 64-bit decimal64 word."""
+    return DECIMAL64.decode(word)
+
+
+def components(word: int) -> tuple:
+    """``(sign, biased_exponent, coefficient)`` of a finite decimal64 word."""
+    return DECIMAL64.components(word)
+
+
+def coefficient_bcd(word: int) -> int:
+    """Packed-BCD (16 nibbles) coefficient of a finite decimal64 word."""
+    return DECIMAL64.coefficient_bcd(word)
+
+
+def is_special(word: int) -> bool:
+    """True when the word encodes an infinity or NaN."""
+    return DECIMAL64.is_special(word)
+
+
+def context():
+    """A fresh decimal64 arithmetic context."""
+    return DECIMAL64.context()

@@ -1,0 +1,177 @@
+"""Densely Packed Decimal (DPD) declet codec.
+
+DPD (Cowlishaw 2002, adopted by IEEE 754-2008) packs three decimal digits
+into 10 bits.  Small digits (0-7) keep their three low BCD bits in place;
+large digits (8-9) keep only their lowest bit and the freed positions are
+reused, with indicator bits selecting the case.  The decode table below is the
+standard one; encoding is its canonical inverse.
+
+Bit naming follows the paper/standard: the declet bits are
+``p q r s t u v w x y`` from most to least significant, and the three digits
+are ``d2 d1 d0`` (most significant digit first).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecimalError
+
+
+def _decode_declet_bits(declet: int) -> tuple:
+    """Decode one 10-bit declet into three digits using the standard rules."""
+    p = (declet >> 9) & 1
+    q = (declet >> 8) & 1
+    r = (declet >> 7) & 1
+    s = (declet >> 6) & 1
+    t = (declet >> 5) & 1
+    u = (declet >> 4) & 1
+    v = (declet >> 3) & 1
+    w = (declet >> 2) & 1
+    x = (declet >> 1) & 1
+    y = declet & 1
+
+    if v == 0:
+        return (4 * p + 2 * q + r, 4 * s + 2 * t + u, 4 * w + 2 * x + y)
+    wx = (w << 1) | x
+    if wx == 0b00:
+        return (4 * p + 2 * q + r, 4 * s + 2 * t + u, 8 + y)
+    if wx == 0b01:
+        return (4 * p + 2 * q + r, 8 + u, 4 * s + 2 * t + y)
+    if wx == 0b10:
+        return (8 + r, 4 * s + 2 * t + u, 4 * p + 2 * q + y)
+    # wx == 0b11: two or three large digits, (s, t) selects the layout.
+    st = (s << 1) | t
+    if st == 0b00:
+        return (8 + r, 8 + u, 4 * p + 2 * q + y)
+    if st == 0b01:
+        return (8 + r, 4 * p + 2 * q + u, 8 + y)
+    if st == 0b10:
+        return (4 * p + 2 * q + r, 8 + u, 8 + y)
+    return (8 + r, 8 + u, 8 + y)
+
+
+def _encode_declet_digits(d2: int, d1: int, d0: int) -> int:
+    """Encode three digits into the canonical 10-bit declet."""
+    a3, a2, a1, a0 = (d2 >> 3) & 1, (d2 >> 2) & 1, (d2 >> 1) & 1, d2 & 1
+    b3, b2, b1, b0 = (d1 >> 3) & 1, (d1 >> 2) & 1, (d1 >> 1) & 1, d1 & 1
+    c3, c2, c1, c0 = (d0 >> 3) & 1, (d0 >> 2) & 1, (d0 >> 1) & 1, d0 & 1
+
+    def pack(p, q, r, s, t, u, v, w, x, y):
+        return (
+            p << 9 | q << 8 | r << 7 | s << 6 | t << 5
+            | u << 4 | v << 3 | w << 2 | x << 1 | y
+        )
+
+    large2, large1, large0 = a3, b3, c3
+    if not large2 and not large1 and not large0:
+        return pack(a2, a1, a0, b2, b1, b0, 0, c2, c1, c0)
+    if not large2 and not large1 and large0:
+        return pack(a2, a1, a0, b2, b1, b0, 1, 0, 0, c0)
+    if not large2 and large1 and not large0:
+        return pack(a2, a1, a0, c2, c1, b0, 1, 0, 1, c0)
+    if large2 and not large1 and not large0:
+        return pack(c2, c1, a0, b2, b1, b0, 1, 1, 0, c0)
+    if large2 and large1 and not large0:
+        return pack(c2, c1, a0, 0, 0, b0, 1, 1, 1, c0)
+    if large2 and not large1 and large0:
+        return pack(b2, b1, a0, 0, 1, b0, 1, 1, 1, c0)
+    if not large2 and large1 and large0:
+        return pack(a2, a1, a0, 1, 0, b0, 1, 1, 1, c0)
+    # all large
+    return pack(0, 0, a0, 1, 1, b0, 1, 1, 1, c0)
+
+
+#: declet value (0..1023) -> (d2, d1, d0)
+DECLET_TO_DIGITS = tuple(_decode_declet_bits(i) for i in range(1024))
+
+#: 3-digit value (0..999) -> canonical declet
+DIGITS_TO_DECLET = tuple(
+    _encode_declet_digits(value // 100, (value // 10) % 10, value % 10)
+    for value in range(1000)
+)
+
+
+def decode_declet(declet: int) -> int:
+    """Decode a 10-bit declet into its 3-digit value (0-999).
+
+    All 1024 bit patterns decode (the 24 non-canonical patterns alias
+    canonical values, as in the standard).
+    """
+    if not 0 <= declet <= 0x3FF:
+        raise DecimalError(f"declet out of range: {declet}")
+    d2, d1, d0 = DECLET_TO_DIGITS[declet]
+    return d2 * 100 + d1 * 10 + d0
+
+
+def encode_declet(value: int) -> int:
+    """Encode a 3-digit value (0-999) into its canonical declet."""
+    if not 0 <= value <= 999:
+        raise DecimalError(f"declet value out of range: {value}")
+    return DIGITS_TO_DECLET[value]
+
+
+def encode_coefficient(coefficient: int, num_digits: int) -> int:
+    """Pack the low ``num_digits`` digits of ``coefficient`` into DPD declets.
+
+    ``num_digits`` must be a multiple of 3 (the interchange formats encode the
+    most significant digit separately in the combination field).  Returns an
+    integer with ``num_digits // 3 * 10`` significant bits, most significant
+    declet first.
+    """
+    if num_digits % 3:
+        raise DecimalError("DPD coefficient fields hold a multiple of 3 digits")
+    if coefficient < 0:
+        raise DecimalError("coefficient must be non-negative")
+    declet_count = num_digits // 3
+    result = 0
+    remaining = coefficient
+    declets = []
+    for _ in range(declet_count):
+        declets.append(encode_declet(remaining % 1000))
+        remaining //= 1000
+    if remaining:
+        raise DecimalError(
+            f"coefficient {coefficient} does not fit in {num_digits} digits"
+        )
+    for declet in reversed(declets):
+        result = (result << 10) | declet
+    return result
+
+
+def decode_coefficient(field: int, num_digits: int) -> int:
+    """Unpack a DPD coefficient continuation field into an integer."""
+    if num_digits % 3:
+        raise DecimalError("DPD coefficient fields hold a multiple of 3 digits")
+    declet_count = num_digits // 3
+    value = 0
+    for i in range(declet_count):
+        shift = 10 * (declet_count - 1 - i)
+        value = value * 1000 + decode_declet((field >> shift) & 0x3FF)
+    return value
+
+
+def declet_table_bcd() -> tuple:
+    """Return a 1024-entry table mapping declets to 12-bit packed BCD.
+
+    This is the lookup table the Method-1 software part uses for DPD -> BCD
+    conversion (the paper notes the conversion "can be easily converted" in
+    software); the kernel generator embeds it in the test program's data
+    section.
+    """
+    table = []
+    for declet in range(1024):
+        d2, d1, d0 = DECLET_TO_DIGITS[declet]
+        table.append((d2 << 8) | (d1 << 4) | d0)
+    return tuple(table)
+
+
+def bcd_to_declet_table() -> tuple:
+    """Return a 4096-entry table mapping 12-bit packed BCD to declets.
+
+    Entries whose nibbles are not valid BCD digits hold 0; the kernels only
+    index it with valid BCD.
+    """
+    table = [0] * 4096
+    for value in range(1000):
+        bcd = ((value // 100) << 8) | (((value // 10) % 10) << 4) | (value % 10)
+        table[bcd] = DIGITS_TO_DECLET[value]
+    return tuple(table)

@@ -1,0 +1,209 @@
+"""IEEE 754-2008 decimal interchange formats (DPD encoding).
+
+A single :class:`InterchangeFormat` class parameterises the two formats used
+in the paper (decimal64, "double precision", and decimal128, "quad
+precision").  Layout (most significant bit first):
+
+========================  =========  ==========
+field                     decimal64  decimal128
+========================  =========  ==========
+sign                      1 bit      1 bit
+combination (G)           5 bits     5 bits
+exponent continuation     8 bits     12 bits
+coefficient continuation  50 bits    110 bits
+========================  =========  ==========
+
+The combination field packs the two most significant bits of the biased
+exponent together with the most significant coefficient digit, and also
+flags infinities (``11110``) and NaNs (``11111``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decnumber import dpd
+from repro.decnumber.arith import finalize
+from repro.decnumber.bcd import int_to_bcd
+from repro.decnumber.context import Context
+from repro.decnumber.number import (
+    DecNumber,
+    KIND_FINITE,
+    KIND_INFINITY,
+    KIND_QNAN,
+    KIND_SNAN,
+)
+from repro.errors import DecimalError
+
+
+@dataclass(frozen=True)
+class InterchangeFormat:
+    """Parameters and pack/unpack logic of a DPD interchange format."""
+
+    name: str
+    total_bits: int
+    precision: int
+    emax: int
+    bias: int
+    exponent_continuation_bits: int
+
+    # Derived sizes ------------------------------------------------------------
+    @property
+    def emin(self) -> int:
+        return 1 - self.emax
+
+    @property
+    def etiny(self) -> int:
+        return self.emin - self.precision + 1
+
+    @property
+    def etop(self) -> int:
+        return self.emax - self.precision + 1
+
+    @property
+    def coefficient_continuation_digits(self) -> int:
+        return self.precision - 1
+
+    @property
+    def coefficient_continuation_bits(self) -> int:
+        return (self.precision - 1) // 3 * 10
+
+    @property
+    def max_biased_exponent(self) -> int:
+        return 3 * (1 << self.exponent_continuation_bits) - 1
+
+    @property
+    def max_coefficient(self) -> int:
+        return 10 ** self.precision - 1
+
+    def context(self) -> Context:
+        """A fresh arithmetic context matching this format."""
+        return Context(prec=self.precision, emax=self.emax, emin=self.emin)
+
+    # Packing -------------------------------------------------------------------
+    def encode(self, number: DecNumber, ctx: Context = None) -> int:
+        """Pack a :class:`DecNumber` into this format's bit pattern.
+
+        Finite values are first finalised (rounded/clamped) under ``ctx`` (a
+        fresh format context when omitted), so any representable DecNumber can
+        be encoded; flags raised by that finalisation are visible on ``ctx``.
+        """
+        sign_bit = number.sign << (self.total_bits - 1)
+        g_shift = self.total_bits - 6
+        ec_shift = self.coefficient_continuation_bits
+        cc_digits = self.coefficient_continuation_digits
+
+        if number.kind == KIND_INFINITY:
+            return sign_bit | (0b11110 << g_shift)
+        if number.kind in (KIND_QNAN, KIND_SNAN):
+            payload = number.coefficient
+            if payload > 10 ** cc_digits - 1:
+                raise DecimalError(
+                    f"NaN payload {payload} too wide for {self.name}"
+                )
+            word = sign_bit | (0b11111 << g_shift)
+            if number.kind == KIND_SNAN:
+                word |= 1 << (g_shift - 1)  # MSB of the exponent continuation
+            return word | dpd.encode_coefficient(payload, cc_digits)
+
+        if ctx is None:
+            ctx = self.context()
+        finite = finalize(number.sign, number.coefficient, number.exponent, ctx)
+        if not finite.is_finite:
+            # Overflowed to infinity during finalisation.
+            return self.encode(finite)
+        coefficient = finite.coefficient
+        exponent = finite.exponent
+        biased = exponent + self.bias
+        if not 0 <= biased <= self.max_biased_exponent:
+            raise DecimalError(
+                f"exponent {exponent} out of range for {self.name}"
+            )
+        msd = coefficient // 10 ** cc_digits
+        rest = coefficient % 10 ** cc_digits
+        e_hi = biased >> self.exponent_continuation_bits
+        e_lo = biased & ((1 << self.exponent_continuation_bits) - 1)
+        if msd <= 7:
+            combination = (e_hi << 3) | msd
+        else:
+            combination = 0b11000 | (e_hi << 1) | (msd - 8)
+        return (
+            (finite.sign << (self.total_bits - 1))
+            | (combination << g_shift)
+            | (e_lo << ec_shift)
+            | dpd.encode_coefficient(rest, cc_digits)
+        )
+
+    # Unpacking -----------------------------------------------------------------
+    def decode(self, word: int) -> DecNumber:
+        """Unpack a bit pattern into a :class:`DecNumber`."""
+        if not 0 <= word < (1 << self.total_bits):
+            raise DecimalError(f"bit pattern out of range for {self.name}")
+        sign = (word >> (self.total_bits - 1)) & 1
+        g_shift = self.total_bits - 6
+        combination = (word >> g_shift) & 0x1F
+        ec_shift = self.coefficient_continuation_bits
+        cc_mask = (1 << self.coefficient_continuation_bits) - 1
+        cc_digits = self.coefficient_continuation_digits
+
+        if combination == 0b11110:
+            return DecNumber.infinity(sign)
+        if combination == 0b11111:
+            signaling = (word >> (g_shift - 1)) & 1
+            payload = dpd.decode_coefficient(word & cc_mask, cc_digits)
+            if signaling:
+                return DecNumber.snan(payload, sign)
+            return DecNumber.qnan(payload, sign)
+
+        if combination >> 3 != 0b11:
+            e_hi = combination >> 3
+            msd = combination & 0x7
+        else:
+            e_hi = (combination >> 1) & 0x3
+            msd = 8 + (combination & 0x1)
+        e_lo = (word >> ec_shift) & ((1 << self.exponent_continuation_bits) - 1)
+        biased = (e_hi << self.exponent_continuation_bits) | e_lo
+        coefficient = msd * 10 ** cc_digits + dpd.decode_coefficient(
+            word & cc_mask, cc_digits
+        )
+        return DecNumber(sign, coefficient, biased - self.bias, KIND_FINITE)
+
+    # Field helpers used by the kernels / accelerator ----------------------------
+    def components(self, word: int) -> tuple:
+        """Return ``(sign, biased_exponent, coefficient)`` of a finite value.
+
+        Raises :class:`DecimalError` for specials (callers check those first).
+        """
+        number = self.decode(word)
+        if not number.is_finite:
+            raise DecimalError("components() is only defined for finite values")
+        return number.sign, number.exponent + self.bias, number.coefficient
+
+    def coefficient_bcd(self, word: int) -> int:
+        """Packed-BCD coefficient (``precision`` nibbles) of a finite value."""
+        _sign, _biased, coefficient = self.components(word)
+        return int_to_bcd(coefficient, self.precision)
+
+    def is_special(self, word: int) -> bool:
+        """True when the bit pattern encodes an infinity or NaN."""
+        combination = (word >> (self.total_bits - 6)) & 0x1F
+        return combination in (0b11110, 0b11111)
+
+
+DECIMAL64 = InterchangeFormat(
+    name="decimal64",
+    total_bits=64,
+    precision=16,
+    emax=384,
+    bias=398,
+    exponent_continuation_bits=8,
+)
+
+DECIMAL128 = InterchangeFormat(
+    name="decimal128",
+    total_bits=128,
+    precision=34,
+    emax=6144,
+    bias=6176,
+    exponent_continuation_bits=12,
+)

@@ -1,0 +1,238 @@
+"""The :class:`DecNumber` value type: sign / coefficient / exponent + specials.
+
+A finite decimal floating-point number is the triple ``(-1)**sign *
+coefficient * 10**exponent`` with a non-negative integer coefficient; special
+values are signed infinities and (quiet/signaling) NaNs carrying a payload,
+exactly as in IEEE 754-2008 and the decNumber library.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import DecimalError
+
+KIND_FINITE = "finite"
+KIND_INFINITY = "infinity"
+KIND_QNAN = "qnan"
+KIND_SNAN = "snan"
+
+_NUMBER_RE = re.compile(
+    r"""^\s*
+        (?P<sign>[-+])?
+        (?:
+            (?P<int>\d+)(?:\.(?P<frac>\d*))?
+            |\.(?P<onlyfrac>\d+)
+        )
+        (?:[eE](?P<exp>[-+]?\d+))?
+        \s*$""",
+    re.VERBOSE,
+)
+_SPECIAL_RE = re.compile(
+    r"""^\s*
+        (?P<sign>[-+])?
+        (?:
+            (?P<inf>inf(?:inity)?)
+            |(?P<snan>snan)(?P<spayload>\d*)
+            |(?P<nan>nan)(?P<payload>\d*)
+        )
+        \s*$""",
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+def num_digits(value: int) -> int:
+    """Number of decimal digits in a non-negative integer (0 has one digit)."""
+    if value == 0:
+        return 1
+    return len(str(value))
+
+
+class DecNumber:
+    """An IEEE 754-2008 decimal value (finite, infinite, or NaN)."""
+
+    __slots__ = ("sign", "coefficient", "exponent", "kind")
+
+    def __init__(
+        self,
+        sign: int = 0,
+        coefficient: int = 0,
+        exponent: int = 0,
+        kind: str = KIND_FINITE,
+    ) -> None:
+        if sign not in (0, 1):
+            raise DecimalError(f"sign must be 0 or 1, got {sign!r}")
+        if coefficient < 0:
+            raise DecimalError("coefficient must be non-negative")
+        if kind not in (KIND_FINITE, KIND_INFINITY, KIND_QNAN, KIND_SNAN):
+            raise DecimalError(f"unknown kind: {kind!r}")
+        self.sign = sign
+        self.coefficient = coefficient
+        self.exponent = exponent
+        self.kind = kind
+
+    # Constructors ------------------------------------------------------------
+    @classmethod
+    def from_int(cls, value: int) -> "DecNumber":
+        """Exact conversion from a Python integer."""
+        sign = 1 if value < 0 else 0
+        return cls(sign, abs(value), 0)
+
+    @classmethod
+    def infinity(cls, sign: int = 0) -> "DecNumber":
+        return cls(sign, 0, 0, KIND_INFINITY)
+
+    @classmethod
+    def qnan(cls, payload: int = 0, sign: int = 0) -> "DecNumber":
+        return cls(sign, payload, 0, KIND_QNAN)
+
+    @classmethod
+    def snan(cls, payload: int = 0, sign: int = 0) -> "DecNumber":
+        return cls(sign, payload, 0, KIND_SNAN)
+
+    @classmethod
+    def zero(cls, sign: int = 0, exponent: int = 0) -> "DecNumber":
+        return cls(sign, 0, exponent)
+
+    @classmethod
+    def from_string(cls, text: str) -> "DecNumber":
+        """Parse a decimal string ("123.45", "-1E+3", "Infinity", "NaN123")."""
+        match = _SPECIAL_RE.match(text)
+        if match:
+            sign = 1 if match.group("sign") == "-" else 0
+            if match.group("inf"):
+                return cls.infinity(sign)
+            if match.group("snan") is not None:
+                payload = int(match.group("spayload") or 0)
+                return cls.snan(payload, sign)
+            payload = int(match.group("payload") or 0)
+            return cls.qnan(payload, sign)
+        match = _NUMBER_RE.match(text)
+        if not match:
+            raise DecimalError(f"cannot parse decimal string: {text!r}")
+        sign = 1 if match.group("sign") == "-" else 0
+        int_part = match.group("int") or ""
+        frac_part = match.group("frac")
+        if match.group("onlyfrac") is not None:
+            int_part = ""
+            frac_part = match.group("onlyfrac")
+        frac_part = frac_part or ""
+        digits = (int_part + frac_part) or "0"
+        exponent = int(match.group("exp") or 0) - len(frac_part)
+        return cls(sign, int(digits), exponent)
+
+    @classmethod
+    def from_decimal(cls, value) -> "DecNumber":
+        """Convert from :class:`decimal.Decimal` (used by the golden reference)."""
+        sign, digits, exponent = value.as_tuple()
+        if exponent == "F":
+            return cls.infinity(sign)
+        if exponent in ("n", "N"):
+            payload = int("".join(map(str, digits)) or 0)
+            return cls.snan(payload, sign) if exponent == "N" else cls.qnan(payload, sign)
+        coefficient = int("".join(map(str, digits)) or 0)
+        return cls(sign, coefficient, exponent)
+
+    # Predicates ---------------------------------------------------------------
+    @property
+    def is_finite(self) -> bool:
+        return self.kind == KIND_FINITE
+
+    @property
+    def is_infinite(self) -> bool:
+        return self.kind == KIND_INFINITY
+
+    @property
+    def is_nan(self) -> bool:
+        return self.kind in (KIND_QNAN, KIND_SNAN)
+
+    @property
+    def is_snan(self) -> bool:
+        return self.kind == KIND_SNAN
+
+    @property
+    def is_special(self) -> bool:
+        return self.kind != KIND_FINITE
+
+    @property
+    def is_zero(self) -> bool:
+        return self.kind == KIND_FINITE and self.coefficient == 0
+
+    @property
+    def digits(self) -> int:
+        """Number of digits in the coefficient (1 for zero)."""
+        return num_digits(self.coefficient)
+
+    @property
+    def adjusted_exponent(self) -> int:
+        """Exponent of the most significant digit."""
+        return self.exponent + self.digits - 1
+
+    # Conversions ---------------------------------------------------------------
+    def to_decimal(self):
+        """Convert to :class:`decimal.Decimal` (exact for finite values)."""
+        import decimal
+
+        if self.kind == KIND_FINITE:
+            digits = tuple(int(ch) for ch in str(self.coefficient))
+            return decimal.Decimal((self.sign, digits, self.exponent))
+        if self.kind == KIND_INFINITY:
+            return decimal.Decimal("-Infinity" if self.sign else "Infinity")
+        payload_digits = tuple(int(ch) for ch in str(self.coefficient)) if self.coefficient else ()
+        marker = "N" if self.kind == KIND_SNAN else "n"
+        return decimal.Decimal((self.sign, payload_digits, marker))
+
+    def to_sci_string(self) -> str:
+        """Scientific string in the style of decNumber's to-sci-string."""
+        if self.kind == KIND_INFINITY:
+            return "-Infinity" if self.sign else "Infinity"
+        if self.kind in (KIND_QNAN, KIND_SNAN):
+            prefix = "-" if self.sign else ""
+            name = "sNaN" if self.kind == KIND_SNAN else "NaN"
+            payload = str(self.coefficient) if self.coefficient else ""
+            return f"{prefix}{name}{payload}"
+        return str(self.to_decimal())
+
+    def copy_negate(self) -> "DecNumber":
+        """Return the value with the sign flipped (no rounding)."""
+        return DecNumber(1 - self.sign, self.coefficient, self.exponent, self.kind)
+
+    def copy_abs(self) -> "DecNumber":
+        """Return the value with a positive sign (no rounding)."""
+        return DecNumber(0, self.coefficient, self.exponent, self.kind)
+
+    # Comparison / hashing -------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        """Structural equality (same member values, not numeric equality)."""
+        if not isinstance(other, DecNumber):
+            return NotImplemented
+        return (
+            self.sign == other.sign
+            and self.coefficient == other.coefficient
+            and self.exponent == other.exponent
+            and self.kind == other.kind
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sign, self.coefficient, self.exponent, self.kind))
+
+    def numerically_equal(self, other: "DecNumber") -> bool:
+        """Numeric equality: 1.0 == 1E+0, NaNs compare unequal."""
+        if self.is_nan or other.is_nan:
+            return False
+        if self.is_infinite or other.is_infinite:
+            return (
+                self.is_infinite and other.is_infinite and self.sign == other.sign
+            )
+        return self.to_decimal() == other.to_decimal()
+
+    def __repr__(self) -> str:
+        if self.kind == KIND_FINITE:
+            return (
+                f"DecNumber(sign={self.sign}, coefficient={self.coefficient}, "
+                f"exponent={self.exponent})"
+            )
+        return f"DecNumber({self.to_sci_string()!r})"
+
+    def __str__(self) -> str:
+        return self.to_sci_string()

@@ -1,0 +1,14 @@
+"""Gem5-style simulation layer (used only for the Table VI cross-check).
+
+The paper's third evaluation point runs the dummy-function binaries on Gem5's
+``AtomicSimpleCPU`` in system-call-emulation (SE) mode targeting the RISC-V
+ISA.  :class:`~repro.gem5.atomic_cpu.AtomicSimpleCPU` reproduces that timing
+model: every instruction takes one CPU cycle and memory responds atomically,
+so simulated time is simply ``instructions / frequency`` (plus a fixed cost
+per memory access when configured).
+"""
+
+from repro.gem5.atomic_cpu import AtomicSimpleCPU, AtomicResult
+from repro.gem5.se_mode import SyscallEmulationRunner
+
+__all__ = ["AtomicSimpleCPU", "AtomicResult", "SyscallEmulationRunner"]

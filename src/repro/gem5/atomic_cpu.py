@@ -1,0 +1,99 @@
+"""AtomicSimpleCPU timing model.
+
+Gem5's ``AtomicSimpleCPU`` advances simulated time by a fixed period per
+instruction and performs memory accesses atomically (no cache timing, no
+pipeline).  That is deliberately a much coarser model than the Rocket
+emulator — the paper uses it only to show that the *dummy-function* speedup is
+consistent across evaluation environments (Table VI), not to measure the
+accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa import csr as csrdefs
+from repro.sim.executor import Executor
+from repro.sim.hart import DEFAULT_STACK_TOP, Hart
+from repro.sim.htif import Htif
+from repro.sim.memory import SparseMemory
+from repro.sim.spike import DEFAULT_MAX_INSTRUCTIONS, SimulationResult
+
+
+@dataclass
+class AtomicResult(SimulationResult):
+    """Functional result plus the atomic model's simulated time."""
+
+    ticks: int = 0
+    simulated_seconds: float = 0.0
+    frequency_hz: int = 0
+
+
+class AtomicSimpleCPU:
+    """One-instruction-per-cycle atomic CPU model (SE mode)."""
+
+    def __init__(
+        self,
+        image,
+        frequency_hz: int = 2_000_000_000,
+        memory_access_extra_cycles: int = 0,
+        accelerator=None,
+        stack_top: int = DEFAULT_STACK_TOP,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ) -> None:
+        self.image = image
+        self.frequency_hz = frequency_hz
+        self.memory_access_extra_cycles = memory_access_extra_cycles
+        self.max_instructions = max_instructions
+
+        self.memory = SparseMemory()
+        self.memory.load_image(image)
+        self.htif = Htif()
+        self.htif.attach(self.memory)
+        self.hart = Hart(pc=image.entry, stack_pointer=stack_top)
+        rocc_adapter = accelerator.rocc_adapter() if accelerator is not None else None
+        self.executor = Executor(
+            self.hart,
+            self.memory,
+            csr_provider=self._read_counter,
+            rocc=rocc_adapter,
+        )
+        self.cycles = 0
+        self.instructions_retired = 0
+
+    def _read_counter(self, address: int) -> int:
+        if address in (csrdefs.CYCLE, csrdefs.MCYCLE, csrdefs.TIME):
+            return self.cycles
+        if address in (csrdefs.INSTRET, csrdefs.MINSTRET):
+            return self.instructions_retired
+        return 0
+
+    def run(self) -> AtomicResult:
+        """Run to completion; simulated time is cycles / frequency."""
+        executor = self.executor
+        htif = self.htif
+        limit = self.max_instructions
+        extra = self.memory_access_extra_cycles
+        while not htif.exited and not executor.exit_requested:
+            if self.instructions_retired >= limit:
+                raise SimulationError(
+                    f"instruction limit exceeded ({limit}); pc={self.hart.pc:#x}"
+                )
+            info = executor.step()
+            self.cycles += 1
+            if extra and info.mem_addr is not None:
+                self.cycles += extra
+            self.instructions_retired += 1
+        exit_code = htif.exit_code if htif.exited else executor.exit_code
+        return AtomicResult(
+            exit_code=exit_code,
+            instructions_retired=self.instructions_retired,
+            console_output=htif.console_output,
+            symbols=dict(self.image.symbols),
+            memory=self.memory,
+            hart=self.hart,
+            ticks=self.cycles,
+            simulated_seconds=self.cycles / self.frequency_hz,
+            frequency_hz=self.frequency_hz,
+        )

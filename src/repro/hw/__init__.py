@@ -1,0 +1,20 @@
+"""Hardware component models with gate-level cost estimates.
+
+These classes model the *dedicated hardware* side of the co-design: the BCD
+carry-lookahead adder that Method-1 requires, a BCD multiplier and a
+binary-to-BCD converter, together with a simple gate/delay cost model used to
+report hardware overhead (the other axis of the paper's Pareto trade-off).
+"""
+
+from repro.hw.cost import GateCost, AreaReport
+from repro.hw.bcd_adder import BcdCarryLookaheadAdder
+from repro.hw.bcd_multiplier import BcdMultiplier
+from repro.hw.binary_to_bcd import BinaryToBcdConverter
+
+__all__ = [
+    "GateCost",
+    "AreaReport",
+    "BcdCarryLookaheadAdder",
+    "BcdMultiplier",
+    "BinaryToBcdConverter",
+]

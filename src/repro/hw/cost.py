@@ -1,0 +1,114 @@
+"""Gate-count / delay cost model for the accelerator's hardware components.
+
+The paper evaluates co-design solutions along two axes: performance (cycles)
+and hardware overhead.  Without a synthesis flow we report *gate equivalents*
+(2-input NAND equivalents) and logic depth, using conventional per-cell
+estimates.  The absolute numbers are estimates; what matters for the Pareto
+analysis is that they scale correctly with datapath width and component
+choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Gate-equivalent cost of common cells (2-input NAND equivalents).
+GE_PER_FLIPFLOP = 6.0
+GE_PER_FULL_ADDER = 6.5
+GE_PER_MUX2 = 2.5
+GE_PER_AND_OR = 1.0
+GE_PER_XOR = 2.5
+
+
+@dataclass(frozen=True)
+class GateCost:
+    """Area (gate equivalents) and delay (logic levels) of one component."""
+
+    name: str
+    gate_equivalents: float
+    logic_levels: int
+    flip_flops: int = 0
+
+    def scaled(self, factor: float, name: str = None) -> "GateCost":
+        """Cost of ``factor`` copies of this component."""
+        return GateCost(
+            name=name or f"{factor}x {self.name}",
+            gate_equivalents=self.gate_equivalents * factor,
+            logic_levels=self.logic_levels,
+            flip_flops=int(self.flip_flops * factor),
+        )
+
+    def __add__(self, other: "GateCost") -> "GateCost":
+        return GateCost(
+            name=f"{self.name}+{other.name}",
+            gate_equivalents=self.gate_equivalents + other.gate_equivalents,
+            logic_levels=max(self.logic_levels, other.logic_levels),
+            flip_flops=self.flip_flops + other.flip_flops,
+        )
+
+
+@dataclass
+class AreaReport:
+    """Aggregated hardware overhead of an accelerator configuration."""
+
+    components: list = field(default_factory=list)
+
+    def add(self, cost: GateCost) -> None:
+        self.components.append(cost)
+
+    @property
+    def total_gate_equivalents(self) -> float:
+        return sum(component.gate_equivalents for component in self.components)
+
+    @property
+    def total_flip_flops(self) -> int:
+        return sum(component.flip_flops for component in self.components)
+
+    @property
+    def critical_path_levels(self) -> int:
+        return max(
+            (component.logic_levels for component in self.components), default=0
+        )
+
+    def as_rows(self) -> list:
+        """Rows for tabular reporting (component, GE, FFs, levels)."""
+        rows = [
+            {
+                "component": component.name,
+                "gate_equivalents": round(component.gate_equivalents, 1),
+                "flip_flops": component.flip_flops,
+                "logic_levels": component.logic_levels,
+            }
+            for component in self.components
+        ]
+        rows.append(
+            {
+                "component": "TOTAL",
+                "gate_equivalents": round(self.total_gate_equivalents, 1),
+                "flip_flops": self.total_flip_flops,
+                "logic_levels": self.critical_path_levels,
+            }
+        )
+        return rows
+
+    def render(self) -> str:
+        """Plain-text table of the report."""
+        rows = self.as_rows()
+        header = f"{'component':<32s} {'GE':>10s} {'FFs':>8s} {'levels':>7s}"
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            lines.append(
+                f"{row['component']:<32s} {row['gate_equivalents']:>10.1f} "
+                f"{row['flip_flops']:>8d} {row['logic_levels']:>7d}"
+            )
+        return "\n".join(lines)
+
+
+def register_cost(name: str, bits: int) -> GateCost:
+    """Cost of a ``bits``-wide register."""
+    return GateCost(
+        name=name,
+        gate_equivalents=bits * GE_PER_FLIPFLOP,
+        logic_levels=1,
+        flip_flops=bits,
+    )

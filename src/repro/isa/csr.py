@@ -1,0 +1,43 @@
+"""Control and status register (CSR) addresses used by the framework.
+
+Only the user-level counters matter for the paper's methodology: the test
+programs bracket each decimal operation with ``RDCYCLE`` (a ``csrrs`` of the
+``cycle`` CSR) exactly as described in Section V of the paper.
+"""
+
+from __future__ import annotations
+
+# User counter/timers (read-only shadows of the machine counters).
+CYCLE = 0xC00
+TIME = 0xC01
+INSTRET = 0xC02
+
+# Machine-mode counters.
+MCYCLE = 0xB00
+MINSTRET = 0xB02
+
+# Machine information registers.
+MVENDORID = 0xF11
+MARCHID = 0xF12
+MIMPID = 0xF13
+MHARTID = 0xF14
+
+#: CSRs the simulators implement.  Anything else traps.
+IMPLEMENTED = {
+    CYCLE: "cycle",
+    TIME: "time",
+    INSTRET: "instret",
+    MCYCLE: "mcycle",
+    MINSTRET: "minstret",
+    MVENDORID: "mvendorid",
+    MARCHID: "marchid",
+    MIMPID: "mimpid",
+    MHARTID: "mhartid",
+}
+
+NAME_TO_ADDR = {name: addr for addr, name in IMPLEMENTED.items()}
+
+
+def csr_name(addr: int) -> str:
+    """Return the symbolic name of a CSR address (or a hex literal)."""
+    return IMPLEMENTED.get(addr, f"csr_0x{addr:03x}")

@@ -1,0 +1,226 @@
+"""32-bit machine word -> :class:`~repro.isa.instructions.Decoded`.
+
+The decoder is used on the hot path of every simulator, so lookup tables are
+built once at import time and the returned objects are plain ``__slots__``
+containers.  Simulators additionally memoise decode results per word value
+(see :class:`repro.sim.executor.DecodeCache`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError
+from repro.isa import encoding as enc
+from repro.isa.instructions import (
+    B_TYPE,
+    CSR_OPS,
+    Decoded,
+    I_TYPE,
+    InstrFormat,
+    OPCODE_AUIPC,
+    OPCODE_BRANCH,
+    OPCODE_JAL,
+    OPCODE_JALR,
+    OPCODE_LOAD,
+    OPCODE_LUI,
+    OPCODE_MISC_MEM,
+    OPCODE_OP,
+    OPCODE_OP_32,
+    OPCODE_OP_IMM,
+    OPCODE_OP_IMM_32,
+    OPCODE_STORE,
+    OPCODE_SYSTEM,
+    R_TYPE,
+    S_TYPE,
+    SHIFT_IMM,
+    U_TYPE,
+)
+from repro.isa.rocc import OPCODE_TO_CUSTOM
+
+# Reverse lookup tables ------------------------------------------------------
+_R_LOOKUP = {
+    (opcode, funct3, funct7): name for name, (opcode, funct3, funct7) in R_TYPE.items()
+}
+_I_LOOKUP = {
+    (opcode, funct3): name for name, (opcode, funct3) in I_TYPE.items()
+}
+_S_LOOKUP = {funct3: name for name, funct3 in S_TYPE.items()}
+_B_LOOKUP = {funct3: name for name, funct3 in B_TYPE.items()}
+_U_LOOKUP = {opcode: name for name, opcode in U_TYPE.items()}
+_CSR_LOOKUP = {funct3: name for name, (funct3, _imm) in CSR_OPS.items()}
+
+# Shift-immediate lookup: (opcode, funct3, funct_hi) -> (name, shamt_bits)
+_SHIFT_LOOKUP = {}
+for _name, (_opcode, _funct3, _funct_hi, _shamt_bits) in SHIFT_IMM.items():
+    _SHIFT_LOOKUP[(_opcode, _funct3, _funct_hi)] = (_name, _shamt_bits)
+
+
+def _decode_op(word: int, opcode: int) -> Decoded:
+    funct3 = enc.bits(word, 14, 12)
+    funct7 = enc.bits(word, 31, 25)
+    key = (opcode, funct3, funct7)
+    name = _R_LOOKUP.get(key)
+    if name is None:
+        raise DecodingError(f"unknown R-type instruction: 0x{word:08x}")
+    return Decoded(
+        raw=word,
+        mnemonic=name,
+        fmt=InstrFormat.R,
+        rd=enc.bits(word, 11, 7),
+        rs1=enc.bits(word, 19, 15),
+        rs2=enc.bits(word, 24, 20),
+        funct3=funct3,
+        funct7=funct7,
+    )
+
+
+def _decode_op_imm(word: int, opcode: int) -> Decoded:
+    funct3 = enc.bits(word, 14, 12)
+    rd = enc.bits(word, 11, 7)
+    rs1 = enc.bits(word, 19, 15)
+    if funct3 in (0x1, 0x5):
+        # Shift by immediate; distinguish logical/arithmetic via the top bits.
+        if opcode == OPCODE_OP_IMM:
+            funct_hi = enc.bits(word, 31, 26)
+            shamt = enc.bits(word, 25, 20)
+        else:
+            funct_hi = enc.bits(word, 31, 25)
+            shamt = enc.bits(word, 24, 20)
+        entry = _SHIFT_LOOKUP.get((opcode, funct3, funct_hi))
+        if entry is None:
+            raise DecodingError(f"unknown shift instruction: 0x{word:08x}")
+        name, _bits_ = entry
+        fmt = InstrFormat.SHIFT64 if opcode == OPCODE_OP_IMM else InstrFormat.SHIFT32
+        return Decoded(
+            raw=word, mnemonic=name, fmt=fmt, rd=rd, rs1=rs1, imm=shamt, funct3=funct3
+        )
+    name = _I_LOOKUP.get((opcode, funct3))
+    if name is None:
+        raise DecodingError(f"unknown OP-IMM instruction: 0x{word:08x}")
+    return Decoded(
+        raw=word,
+        mnemonic=name,
+        fmt=InstrFormat.I,
+        rd=rd,
+        rs1=rs1,
+        imm=enc.imm_i(word),
+        funct3=funct3,
+    )
+
+
+def _decode_system(word: int) -> Decoded:
+    funct3 = enc.bits(word, 14, 12)
+    rd = enc.bits(word, 11, 7)
+    rs1 = enc.bits(word, 19, 15)
+    if funct3 == 0:
+        imm = enc.bits(word, 31, 20)
+        if imm == 0:
+            return Decoded(raw=word, mnemonic="ecall", fmt=InstrFormat.SYSTEM)
+        if imm == 1:
+            return Decoded(raw=word, mnemonic="ebreak", fmt=InstrFormat.SYSTEM)
+        raise DecodingError(f"unknown SYSTEM instruction: 0x{word:08x}")
+    name = _CSR_LOOKUP.get(funct3)
+    if name is None:
+        raise DecodingError(f"unknown CSR instruction: 0x{word:08x}")
+    fmt = InstrFormat.CSR_IMM if CSR_OPS[name][1] else InstrFormat.CSR
+    return Decoded(
+        raw=word,
+        mnemonic=name,
+        fmt=fmt,
+        rd=rd,
+        rs1=rs1,
+        csr=enc.bits(word, 31, 20),
+        funct3=funct3,
+    )
+
+
+def decode_instruction(word: int) -> Decoded:
+    """Decode a 32-bit instruction word.
+
+    Raises :class:`~repro.errors.DecodingError` for unrecognised encodings.
+    """
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+
+    if opcode in (OPCODE_OP, OPCODE_OP_32):
+        return _decode_op(word, opcode)
+    if opcode in (OPCODE_OP_IMM, OPCODE_OP_IMM_32):
+        return _decode_op_imm(word, opcode)
+    if opcode == OPCODE_LOAD or opcode == OPCODE_JALR:
+        funct3 = enc.bits(word, 14, 12)
+        name = _I_LOOKUP.get((opcode, funct3))
+        if name is None:
+            raise DecodingError(f"unknown load/jalr instruction: 0x{word:08x}")
+        return Decoded(
+            raw=word,
+            mnemonic=name,
+            fmt=InstrFormat.I,
+            rd=enc.bits(word, 11, 7),
+            rs1=enc.bits(word, 19, 15),
+            imm=enc.imm_i(word),
+            funct3=funct3,
+        )
+    if opcode == OPCODE_STORE:
+        funct3 = enc.bits(word, 14, 12)
+        name = _S_LOOKUP.get(funct3)
+        if name is None:
+            raise DecodingError(f"unknown store instruction: 0x{word:08x}")
+        return Decoded(
+            raw=word,
+            mnemonic=name,
+            fmt=InstrFormat.S,
+            rs1=enc.bits(word, 19, 15),
+            rs2=enc.bits(word, 24, 20),
+            imm=enc.imm_s(word),
+            funct3=funct3,
+        )
+    if opcode == OPCODE_BRANCH:
+        funct3 = enc.bits(word, 14, 12)
+        name = _B_LOOKUP.get(funct3)
+        if name is None:
+            raise DecodingError(f"unknown branch instruction: 0x{word:08x}")
+        return Decoded(
+            raw=word,
+            mnemonic=name,
+            fmt=InstrFormat.B,
+            rs1=enc.bits(word, 19, 15),
+            rs2=enc.bits(word, 24, 20),
+            imm=enc.imm_b(word),
+            funct3=funct3,
+        )
+    if opcode in (OPCODE_LUI, OPCODE_AUIPC):
+        return Decoded(
+            raw=word,
+            mnemonic=_U_LOOKUP[opcode],
+            fmt=InstrFormat.U,
+            rd=enc.bits(word, 11, 7),
+            imm=enc.imm_u(word),
+        )
+    if opcode == OPCODE_JAL:
+        return Decoded(
+            raw=word,
+            mnemonic="jal",
+            fmt=InstrFormat.J,
+            rd=enc.bits(word, 11, 7),
+            imm=enc.imm_j(word),
+        )
+    if opcode == OPCODE_SYSTEM:
+        return _decode_system(word)
+    if opcode == OPCODE_MISC_MEM:
+        funct3 = enc.bits(word, 14, 12)
+        name = "fence" if funct3 == 0 else "fence.i"
+        return Decoded(raw=word, mnemonic=name, fmt=InstrFormat.FENCE)
+    if opcode in OPCODE_TO_CUSTOM:
+        return Decoded(
+            raw=word,
+            mnemonic="rocc",
+            fmt=InstrFormat.ROCC,
+            rd=enc.bits(word, 11, 7),
+            rs1=enc.bits(word, 19, 15),
+            rs2=enc.bits(word, 24, 20),
+            funct7=enc.bits(word, 31, 25),
+            xd=enc.bits(word, 14, 14),
+            xs1=enc.bits(word, 13, 13),
+            xs2=enc.bits(word, 12, 12),
+            custom=OPCODE_TO_CUSTOM[opcode],
+        )
+    raise DecodingError(f"unknown opcode 0x{opcode:02x} in word 0x{word:08x}")

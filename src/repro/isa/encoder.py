@@ -1,0 +1,157 @@
+"""Mnemonic + operands -> 32-bit machine word.
+
+The encoder is intentionally strict: out-of-range immediates raise
+:class:`~repro.errors.EncodingError` instead of silently truncating, because
+silently corrupted kernels would invalidate the cycle measurements.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa import encoding as enc
+from repro.isa.instructions import (
+    B_TYPE,
+    CSR_OPS,
+    I_TYPE,
+    OPCODE_BRANCH,
+    OPCODE_JAL,
+    OPCODE_MISC_MEM,
+    OPCODE_STORE,
+    OPCODE_SYSTEM,
+    R_TYPE,
+    S_TYPE,
+    SHIFT_IMM,
+    U_TYPE,
+)
+
+
+def _check_reg(name: str, value: int) -> int:
+    if not 0 <= value <= 31:
+        raise EncodingError(f"{name} register out of range: {value}")
+    return value
+
+
+def encode_r(mnemonic: str, rd: int, rs1: int, rs2: int) -> int:
+    opcode, funct3, funct7 = R_TYPE[mnemonic]
+    return enc.pack_r(opcode, _check_reg("rd", rd), funct3,
+                      _check_reg("rs1", rs1), _check_reg("rs2", rs2), funct7)
+
+
+def encode_i(mnemonic: str, rd: int, rs1: int, imm: int) -> int:
+    opcode, funct3 = I_TYPE[mnemonic]
+    if not enc.fits_signed(imm, 12):
+        raise EncodingError(f"{mnemonic}: immediate {imm} does not fit in 12 bits")
+    return enc.pack_i(opcode, _check_reg("rd", rd), funct3, _check_reg("rs1", rs1), imm)
+
+
+def encode_shift_imm(mnemonic: str, rd: int, rs1: int, shamt: int) -> int:
+    opcode, funct3, funct_hi, shamt_bits = SHIFT_IMM[mnemonic]
+    if not enc.fits_unsigned(shamt, shamt_bits):
+        raise EncodingError(f"{mnemonic}: shift amount {shamt} out of range")
+    if shamt_bits == 6:
+        imm = (funct_hi << 6) | shamt
+    else:
+        imm = (funct_hi << 5) | shamt
+    return enc.pack_i(opcode, _check_reg("rd", rd), funct3, _check_reg("rs1", rs1), imm)
+
+
+def encode_s(mnemonic: str, rs2: int, rs1: int, imm: int) -> int:
+    funct3 = S_TYPE[mnemonic]
+    if not enc.fits_signed(imm, 12):
+        raise EncodingError(f"{mnemonic}: immediate {imm} does not fit in 12 bits")
+    return enc.pack_s(OPCODE_STORE, funct3, _check_reg("rs1", rs1),
+                      _check_reg("rs2", rs2), imm)
+
+
+def encode_b(mnemonic: str, rs1: int, rs2: int, offset: int) -> int:
+    funct3 = B_TYPE[mnemonic]
+    if offset % 2:
+        raise EncodingError(f"{mnemonic}: branch offset {offset} is not even")
+    if not enc.fits_signed(offset, 13):
+        raise EncodingError(f"{mnemonic}: branch offset {offset} out of range")
+    return enc.pack_b(OPCODE_BRANCH, funct3, _check_reg("rs1", rs1),
+                      _check_reg("rs2", rs2), offset)
+
+
+def encode_u(mnemonic: str, rd: int, imm20: int) -> int:
+    opcode = U_TYPE[mnemonic]
+    if not enc.fits_unsigned(imm20 & 0xFFFFF, 20):
+        raise EncodingError(f"{mnemonic}: upper immediate {imm20} out of range")
+    return enc.pack_u(opcode, _check_reg("rd", rd), (imm20 & 0xFFFFF) << 12)
+
+
+def encode_jal(rd: int, offset: int) -> int:
+    if offset % 2:
+        raise EncodingError(f"jal: offset {offset} is not even")
+    if not enc.fits_signed(offset, 21):
+        raise EncodingError(f"jal: offset {offset} out of range")
+    return enc.pack_j(OPCODE_JAL, _check_reg("rd", rd), offset)
+
+
+def encode_csr(mnemonic: str, rd: int, csr_addr: int, src: int) -> int:
+    funct3, uses_imm = CSR_OPS[mnemonic]
+    if not enc.fits_unsigned(csr_addr, 12):
+        raise EncodingError(f"{mnemonic}: CSR address {csr_addr} out of range")
+    if uses_imm:
+        if not enc.fits_unsigned(src, 5):
+            raise EncodingError(f"{mnemonic}: zimm {src} out of range")
+        rs1_field = src
+    else:
+        rs1_field = _check_reg("rs1", src)
+    word = enc.pack_i(OPCODE_SYSTEM, _check_reg("rd", rd), funct3, rs1_field, 0)
+    return word | (csr_addr << 20)
+
+
+def encode_system(mnemonic: str) -> int:
+    if mnemonic == "ecall":
+        return enc.pack_i(OPCODE_SYSTEM, 0, 0, 0, 0)
+    if mnemonic == "ebreak":
+        return enc.pack_i(OPCODE_SYSTEM, 0, 0, 0, 1)
+    raise EncodingError(f"unknown system instruction: {mnemonic}")
+
+
+def encode_fence(mnemonic: str) -> int:
+    if mnemonic == "fence":
+        # pred/succ = iorw/iorw
+        return enc.pack_i(OPCODE_MISC_MEM, 0, 0, 0, 0x0FF)
+    if mnemonic == "fence.i":
+        return enc.pack_i(OPCODE_MISC_MEM, 0, 1, 0, 0)
+    raise EncodingError(f"unknown fence instruction: {mnemonic}")
+
+
+def encode_instruction(mnemonic: str, *operands: int) -> int:
+    """Encode any supported instruction from numeric operands.
+
+    Operand order follows assembly syntax:
+
+    * R-type: ``rd, rs1, rs2``
+    * I-type arithmetic / loads / jalr / shifts: ``rd, rs1, imm``
+    * stores: ``rs2, rs1, imm``
+    * branches: ``rs1, rs2, offset``
+    * ``lui``/``auipc``: ``rd, imm20``
+    * ``jal``: ``rd, offset``
+    * CSR: ``rd, csr, rs1_or_zimm``
+    * ``ecall``/``ebreak``/``fence``/``fence.i``: no operands
+    """
+    name = mnemonic.lower()
+    if name in R_TYPE:
+        return encode_r(name, *operands)
+    if name in SHIFT_IMM:
+        return encode_shift_imm(name, *operands)
+    if name in I_TYPE:
+        return encode_i(name, *operands)
+    if name in S_TYPE:
+        return encode_s(name, *operands)
+    if name in B_TYPE:
+        return encode_b(name, *operands)
+    if name in U_TYPE:
+        return encode_u(name, *operands)
+    if name == "jal":
+        return encode_jal(*operands)
+    if name in CSR_OPS:
+        return encode_csr(name, *operands)
+    if name in ("ecall", "ebreak"):
+        return encode_system(name)
+    if name in ("fence", "fence.i"):
+        return encode_fence(name)
+    raise EncodingError(f"unknown mnemonic: {mnemonic!r}")

@@ -1,0 +1,175 @@
+"""Bit-level helpers shared by the encoder, decoder and simulators.
+
+All values are handled as Python ints; 64-bit wrap-around is made explicit
+with :data:`MASK64` so the simulator semantics match real RV64 hardware.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Extract bits ``hi..lo`` (inclusive, hi >= lo) of ``value``."""
+    width = hi - lo + 1
+    return (value >> lo) & ((1 << width) - 1)
+
+
+def bit(value: int, pos: int) -> int:
+    """Extract a single bit of ``value``."""
+    return (value >> pos) & 1
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend the ``width``-bit ``value`` to a Python int."""
+    value &= (1 << width) - 1
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_unsigned64(value: int) -> int:
+    """Reinterpret a (possibly negative) Python int as an unsigned 64-bit value."""
+    return value & MASK64
+
+
+def to_signed64(value: int) -> int:
+    """Reinterpret the low 64 bits of ``value`` as a signed integer."""
+    return sign_extend(value, 64)
+
+
+def to_unsigned32(value: int) -> int:
+    """Reinterpret a (possibly negative) Python int as an unsigned 32-bit value."""
+    return value & MASK32
+
+
+def to_signed32(value: int) -> int:
+    """Reinterpret the low 32 bits of ``value`` as a signed integer."""
+    return sign_extend(value, 32)
+
+
+def fits_signed(value: int, width: int) -> bool:
+    """Return True if ``value`` fits in a signed ``width``-bit immediate."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, width: int) -> bool:
+    """Return True if ``value`` fits in an unsigned ``width``-bit field."""
+    return 0 <= value <= (1 << width) - 1
+
+
+# ---------------------------------------------------------------------------
+# Instruction field packers (RISC-V base formats).
+# ---------------------------------------------------------------------------
+
+def pack_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct7: int) -> int:
+    """Pack an R-type instruction word."""
+    return (
+        (funct7 & 0x7F) << 25
+        | (rs2 & 0x1F) << 20
+        | (rs1 & 0x1F) << 15
+        | (funct3 & 0x7) << 12
+        | (rd & 0x1F) << 7
+        | (opcode & 0x7F)
+    )
+
+
+def pack_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    """Pack an I-type instruction word (12-bit signed immediate)."""
+    return (
+        (imm & 0xFFF) << 20
+        | (rs1 & 0x1F) << 15
+        | (funct3 & 0x7) << 12
+        | (rd & 0x1F) << 7
+        | (opcode & 0x7F)
+    )
+
+
+def pack_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """Pack an S-type (store) instruction word."""
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) & 0x7F) << 25
+        | (rs2 & 0x1F) << 20
+        | (rs1 & 0x1F) << 15
+        | (funct3 & 0x7) << 12
+        | (imm & 0x1F) << 7
+        | (opcode & 0x7F)
+    )
+
+
+def pack_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """Pack a B-type (branch) instruction word.  ``imm`` is the byte offset."""
+    imm &= 0x1FFF
+    return (
+        ((imm >> 12) & 0x1) << 31
+        | ((imm >> 5) & 0x3F) << 25
+        | (rs2 & 0x1F) << 20
+        | (rs1 & 0x1F) << 15
+        | (funct3 & 0x7) << 12
+        | ((imm >> 1) & 0xF) << 8
+        | ((imm >> 11) & 0x1) << 7
+        | (opcode & 0x7F)
+    )
+
+
+def pack_u(opcode: int, rd: int, imm: int) -> int:
+    """Pack a U-type instruction word.  ``imm`` is the full 32-bit value whose
+    low 12 bits are ignored (i.e. callers pass ``imm20 << 12``)."""
+    return (imm & 0xFFFFF000) | (rd & 0x1F) << 7 | (opcode & 0x7F)
+
+
+def pack_j(opcode: int, rd: int, imm: int) -> int:
+    """Pack a J-type (jal) instruction word.  ``imm`` is the byte offset."""
+    imm &= 0x1FFFFF
+    return (
+        ((imm >> 20) & 0x1) << 31
+        | ((imm >> 1) & 0x3FF) << 21
+        | ((imm >> 11) & 0x1) << 20
+        | ((imm >> 12) & 0xFF) << 12
+        | (rd & 0x1F) << 7
+        | (opcode & 0x7F)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Immediate extractors (decode direction).
+# ---------------------------------------------------------------------------
+
+def imm_i(word: int) -> int:
+    """Extract the sign-extended I-type immediate."""
+    return sign_extend(bits(word, 31, 20), 12)
+
+
+def imm_s(word: int) -> int:
+    """Extract the sign-extended S-type immediate."""
+    return sign_extend((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+
+
+def imm_b(word: int) -> int:
+    """Extract the sign-extended B-type immediate (byte offset)."""
+    value = (
+        (bit(word, 31) << 12)
+        | (bit(word, 7) << 11)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 11, 8) << 1)
+    )
+    return sign_extend(value, 13)
+
+
+def imm_u(word: int) -> int:
+    """Extract the U-type immediate (already shifted into bits 31..12)."""
+    return sign_extend(word & 0xFFFFF000, 32)
+
+
+def imm_j(word: int) -> int:
+    """Extract the sign-extended J-type immediate (byte offset)."""
+    value = (
+        (bit(word, 31) << 20)
+        | (bits(word, 19, 12) << 12)
+        | (bit(word, 20) << 11)
+        | (bits(word, 30, 21) << 1)
+    )
+    return sign_extend(value, 21)

@@ -1,0 +1,236 @@
+"""Instruction specification tables and the decoded-instruction container.
+
+The tables below cover RV64I, the M extension, Zicsr and the four custom
+opcodes reserved for RoCC accelerators.  They are the single source of truth
+used by both :mod:`repro.isa.encoder` and :mod:`repro.isa.decoder`, so an
+instruction added here is automatically round-trippable.
+"""
+
+from __future__ import annotations
+
+
+class InstrFormat:
+    """Symbolic names for RISC-V instruction formats."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - conventional RISC-V format name
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+    CSR = "CSR"
+    CSR_IMM = "CSR_IMM"
+    SYSTEM = "SYSTEM"
+    FENCE = "FENCE"
+    SHIFT64 = "SHIFT64"
+    SHIFT32 = "SHIFT32"
+    ROCC = "ROCC"
+
+
+# Major opcodes -------------------------------------------------------------
+OPCODE_LOAD = 0x03
+OPCODE_MISC_MEM = 0x0F
+OPCODE_OP_IMM = 0x13
+OPCODE_AUIPC = 0x17
+OPCODE_OP_IMM_32 = 0x1B
+OPCODE_STORE = 0x23
+OPCODE_OP = 0x33
+OPCODE_LUI = 0x37
+OPCODE_OP_32 = 0x3B
+OPCODE_BRANCH = 0x63
+OPCODE_JALR = 0x67
+OPCODE_JAL = 0x6F
+OPCODE_SYSTEM = 0x73
+OPCODE_CUSTOM0 = 0x0B
+OPCODE_CUSTOM1 = 0x2B
+OPCODE_CUSTOM2 = 0x5B
+OPCODE_CUSTOM3 = 0x7B
+
+
+# R-type: mnemonic -> (opcode, funct3, funct7)
+R_TYPE = {
+    "add": (OPCODE_OP, 0x0, 0x00),
+    "sub": (OPCODE_OP, 0x0, 0x20),
+    "sll": (OPCODE_OP, 0x1, 0x00),
+    "slt": (OPCODE_OP, 0x2, 0x00),
+    "sltu": (OPCODE_OP, 0x3, 0x00),
+    "xor": (OPCODE_OP, 0x4, 0x00),
+    "srl": (OPCODE_OP, 0x5, 0x00),
+    "sra": (OPCODE_OP, 0x5, 0x20),
+    "or": (OPCODE_OP, 0x6, 0x00),
+    "and": (OPCODE_OP, 0x7, 0x00),
+    # M extension
+    "mul": (OPCODE_OP, 0x0, 0x01),
+    "mulh": (OPCODE_OP, 0x1, 0x01),
+    "mulhsu": (OPCODE_OP, 0x2, 0x01),
+    "mulhu": (OPCODE_OP, 0x3, 0x01),
+    "div": (OPCODE_OP, 0x4, 0x01),
+    "divu": (OPCODE_OP, 0x5, 0x01),
+    "rem": (OPCODE_OP, 0x6, 0x01),
+    "remu": (OPCODE_OP, 0x7, 0x01),
+    # RV64 word variants
+    "addw": (OPCODE_OP_32, 0x0, 0x00),
+    "subw": (OPCODE_OP_32, 0x0, 0x20),
+    "sllw": (OPCODE_OP_32, 0x1, 0x00),
+    "srlw": (OPCODE_OP_32, 0x5, 0x00),
+    "sraw": (OPCODE_OP_32, 0x5, 0x20),
+    "mulw": (OPCODE_OP_32, 0x0, 0x01),
+    "divw": (OPCODE_OP_32, 0x4, 0x01),
+    "divuw": (OPCODE_OP_32, 0x5, 0x01),
+    "remw": (OPCODE_OP_32, 0x6, 0x01),
+    "remuw": (OPCODE_OP_32, 0x7, 0x01),
+}
+
+# I-type arithmetic / loads / jalr: mnemonic -> (opcode, funct3)
+I_TYPE = {
+    "addi": (OPCODE_OP_IMM, 0x0),
+    "slti": (OPCODE_OP_IMM, 0x2),
+    "sltiu": (OPCODE_OP_IMM, 0x3),
+    "xori": (OPCODE_OP_IMM, 0x4),
+    "ori": (OPCODE_OP_IMM, 0x6),
+    "andi": (OPCODE_OP_IMM, 0x7),
+    "addiw": (OPCODE_OP_IMM_32, 0x0),
+    "lb": (OPCODE_LOAD, 0x0),
+    "lh": (OPCODE_LOAD, 0x1),
+    "lw": (OPCODE_LOAD, 0x2),
+    "ld": (OPCODE_LOAD, 0x3),
+    "lbu": (OPCODE_LOAD, 0x4),
+    "lhu": (OPCODE_LOAD, 0x5),
+    "lwu": (OPCODE_LOAD, 0x6),
+    "jalr": (OPCODE_JALR, 0x0),
+}
+
+# Shift-by-immediate: mnemonic -> (opcode, funct3, funct6_or_funct7, shamt_bits)
+SHIFT_IMM = {
+    "slli": (OPCODE_OP_IMM, 0x1, 0x00, 6),
+    "srli": (OPCODE_OP_IMM, 0x5, 0x00, 6),
+    "srai": (OPCODE_OP_IMM, 0x5, 0x10, 6),
+    "slliw": (OPCODE_OP_IMM_32, 0x1, 0x00, 5),
+    "srliw": (OPCODE_OP_IMM_32, 0x5, 0x00, 5),
+    "sraiw": (OPCODE_OP_IMM_32, 0x5, 0x20, 5),
+}
+
+# S-type stores: mnemonic -> funct3
+S_TYPE = {
+    "sb": 0x0,
+    "sh": 0x1,
+    "sw": 0x2,
+    "sd": 0x3,
+}
+
+# B-type branches: mnemonic -> funct3
+B_TYPE = {
+    "beq": 0x0,
+    "bne": 0x1,
+    "blt": 0x4,
+    "bge": 0x5,
+    "bltu": 0x6,
+    "bgeu": 0x7,
+}
+
+# U-type: mnemonic -> opcode
+U_TYPE = {
+    "lui": OPCODE_LUI,
+    "auipc": OPCODE_AUIPC,
+}
+
+# CSR instructions: mnemonic -> (funct3, uses_immediate)
+CSR_OPS = {
+    "csrrw": (0x1, False),
+    "csrrs": (0x2, False),
+    "csrrc": (0x3, False),
+    "csrrwi": (0x5, True),
+    "csrrsi": (0x6, True),
+    "csrrci": (0x7, True),
+}
+
+#: The four RoCC custom opcodes, indexed by custom number.
+CUSTOM_OPCODE_LIST = (OPCODE_CUSTOM0, OPCODE_CUSTOM1, OPCODE_CUSTOM2, OPCODE_CUSTOM3)
+
+
+class Decoded:
+    """A decoded RISC-V instruction.
+
+    A plain attribute container (``__slots__`` for speed; the simulators
+    decode millions of these).  Not every field is meaningful for every
+    format; unused fields hold 0.
+    """
+
+    __slots__ = (
+        "raw",
+        "mnemonic",
+        "fmt",
+        "rd",
+        "rs1",
+        "rs2",
+        "imm",
+        "csr",
+        "funct3",
+        "funct7",
+        "xd",
+        "xs1",
+        "xs2",
+        "custom",
+    )
+
+    def __init__(
+        self,
+        raw: int,
+        mnemonic: str,
+        fmt: str,
+        rd: int = 0,
+        rs1: int = 0,
+        rs2: int = 0,
+        imm: int = 0,
+        csr: int = 0,
+        funct3: int = 0,
+        funct7: int = 0,
+        xd: int = 0,
+        xs1: int = 0,
+        xs2: int = 0,
+        custom: int = 0,
+    ) -> None:
+        self.raw = raw
+        self.mnemonic = mnemonic
+        self.fmt = fmt
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.csr = csr
+        self.funct3 = funct3
+        self.funct7 = funct7
+        self.xd = xd
+        self.xs1 = xs1
+        self.xs2 = xs2
+        self.custom = custom
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Decoded({self.mnemonic} rd=x{self.rd} rs1=x{self.rs1} "
+            f"rs2=x{self.rs2} imm={self.imm} raw=0x{self.raw:08x})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Decoded):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.raw, self.mnemonic))
+
+
+def all_mnemonics() -> list:
+    """Return every mnemonic known to the ISA tables (useful for tests)."""
+    names = []
+    names.extend(R_TYPE)
+    names.extend(I_TYPE)
+    names.extend(SHIFT_IMM)
+    names.extend(S_TYPE)
+    names.extend(B_TYPE)
+    names.extend(U_TYPE)
+    names.extend(CSR_OPS)
+    names.extend(["jal", "ecall", "ebreak", "fence", "fence.i"])
+    return names

@@ -1,0 +1,53 @@
+"""Integer register file names and helpers.
+
+RV64 has 32 integer registers ``x0`` .. ``x31``.  The standard ABI gives each
+a symbolic name (``zero``, ``ra``, ``sp``, ``a0`` ...).  The assembler accepts
+either spelling; the simulators only deal in numeric indices.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+REGISTER_COUNT = 32
+
+#: ABI register names indexed by register number.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_NUM = {name: idx for idx, name in enumerate(ABI_NAMES)}
+_NAME_TO_NUM["fp"] = 8  # frame pointer alias for s0
+for _i in range(REGISTER_COUNT):
+    _NAME_TO_NUM[f"x{_i}"] = _i
+
+
+def parse_register(name) -> int:
+    """Return the register number for ``name``.
+
+    ``name`` may be an integer (0-31), an ``x``-name (``x5``), an ABI name
+    (``t0``) or the ``fp`` alias.  Raises :class:`EncodingError` for anything
+    else.
+    """
+    if isinstance(name, int):
+        if 0 <= name < REGISTER_COUNT:
+            return name
+        raise EncodingError(f"register number out of range: {name}")
+    if not isinstance(name, str):
+        raise EncodingError(f"cannot interpret register operand: {name!r}")
+    key = name.strip().lower()
+    if key in _NAME_TO_NUM:
+        return _NAME_TO_NUM[key]
+    raise EncodingError(f"unknown register name: {name!r}")
+
+
+def register_abi_name(num: int) -> str:
+    """Return the ABI name for register ``num`` (e.g. ``10`` -> ``"a0"``)."""
+    if not 0 <= num < REGISTER_COUNT:
+        raise EncodingError(f"register number out of range: {num}")
+    return ABI_NAMES[num]

@@ -1,0 +1,31 @@
+"""RISC-V assembly kernels for the evaluated decimal-multiplication solutions.
+
+Three kernels implement the three rows of the paper's Table IV:
+
+* :mod:`repro.kernels.software_mul` — the pure-software baseline in the style
+  of the decNumber library: base-billion limb arithmetic on the binary ALU,
+  division-heavy rounding and DPD re-encoding, no accelerator.
+* :mod:`repro.kernels.method1` with ``use_accelerator=True`` — Method-1 of the
+  paper's reference [9]: the software part orchestrates DPD<->BCD conversion,
+  digit extraction and rounding while multiplicand multiples and partial
+  products are generated/accumulated by the RoCC decimal accelerator.
+* :mod:`repro.kernels.method1` with ``use_accelerator=False`` — the same
+  software flow but with every accelerator invocation replaced by a *dummy
+  function* with a fixed return value, reproducing the estimation methodology
+  the paper compares against.
+
+All kernels implement the full IEEE 754-2008 decimal64 multiplication flow of
+Fig. 1 (special values, zero handling, rounding, overflow/underflow/clamping)
+so their results can be checked against the golden library.
+"""
+
+from repro.kernels.tables import emit_tables, TABLE_SYMBOLS
+from repro.kernels.software_mul import emit_software_mul_kernel
+from repro.kernels.method1 import emit_method1_kernel
+
+__all__ = [
+    "emit_tables",
+    "TABLE_SYMBOLS",
+    "emit_software_mul_kernel",
+    "emit_method1_kernel",
+]

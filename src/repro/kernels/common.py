@@ -1,0 +1,178 @@
+"""Shared assembly fragments used by every decimal-multiplication kernel.
+
+These emitters generate the parts of the IEEE 754-2008 decimal64
+multiplication flow (Fig. 1) that are identical in the software baseline and
+in Method-1: the special-value path, field extraction from the interchange
+encoding, and re-assembly of the result word.
+
+Register discipline: every helper documents which registers it reads, writes
+and clobbers; callers pick non-conflicting registers.  Labels are prefixed
+with a caller-supplied string so several kernels can coexist in one program.
+"""
+
+from __future__ import annotations
+
+SIGN_SHIFT = 63
+COMBINATION_SHIFT = 58
+EXP_CONT_SHIFT = 50
+EXP_BIAS = 398
+ETINY = -398          # smallest usable decimal64 exponent
+ETOP = 369            # largest usable decimal64 exponent
+EMAX = 384            # largest adjusted exponent
+PRECISION = 16
+
+
+def emit_entry_special_check(b, prefix: str) -> None:
+    """Branch to ``{prefix}_special`` when either operand is Inf/NaN.
+
+    Expects X in ``a0`` and Y in ``a1``.  Leaves the combination fields in
+    ``t0`` (X) and ``t1`` (Y) for the special path.  Clobbers ``t0-t2``.
+    Must be emitted *before* the prologue so the special path can ``ret``
+    without an epilogue.
+    """
+    b.emit("srli", "t0", "a0", COMBINATION_SHIFT)
+    b.emit("andi", "t0", "t0", 0x1F)
+    b.emit("srli", "t1", "a1", COMBINATION_SHIFT)
+    b.emit("andi", "t1", "t1", 0x1F)
+    b.emit("addi", "t2", "zero", 0b11110)
+    b.branch("bgeu", "t0", "t2", f"{prefix}_special")
+    b.branch("bgeu", "t1", "t2", f"{prefix}_special")
+
+
+def emit_special_path(b, prefix: str) -> None:
+    """The special-value result path (NaN propagation, infinity rules).
+
+    Entered with X in ``a0``, Y in ``a1``, combination fields in ``t0``/``t1``.
+    Returns the result in ``a0`` and executes ``ret`` (no stack frame yet).
+    Clobbers ``t2-t6``.
+    """
+    b.label(f"{prefix}_special")
+    b.emit("addi", "t2", "zero", 0b11111)
+    b.branch("beq", "t0", "t2", f"{prefix}_x_nan")
+    b.branch("beq", "t1", "t2", f"{prefix}_y_nan")
+    # At least one infinity, no NaN.
+    b.emit("addi", "t3", "zero", 0b11110)
+    b.branch("bne", "t0", "t3", f"{prefix}_y_is_inf")
+    b.branch("bne", "t1", "t3", f"{prefix}_x_inf_y_finite")
+    b.j(f"{prefix}_make_inf")  # Inf * Inf
+
+    # X infinite, Y finite: Inf * 0 is invalid -> NaN, otherwise Inf.
+    b.label(f"{prefix}_x_inf_y_finite")
+    b.emit("addi", "t4", "zero", 24)
+    b.branch("bgeu", "t1", "t4", f"{prefix}_make_inf")  # MSD is 8/9 -> nonzero
+    b.emit("andi", "t4", "t1", 7)
+    b.bnez("t4", f"{prefix}_make_inf")
+    b.emit("slli", "t4", "a1", 14)
+    b.bnez("t4", f"{prefix}_make_inf")
+    b.j(f"{prefix}_make_nan")
+
+    # Y infinite, X finite (X cannot be special here).
+    b.label(f"{prefix}_y_is_inf")
+    b.emit("addi", "t4", "zero", 24)
+    b.branch("bgeu", "t0", "t4", f"{prefix}_make_inf")
+    b.emit("andi", "t4", "t0", 7)
+    b.bnez("t4", f"{prefix}_make_inf")
+    b.emit("slli", "t4", "a0", 14)
+    b.bnez("t4", f"{prefix}_make_inf")
+    b.j(f"{prefix}_make_nan")
+
+    b.label(f"{prefix}_make_inf")
+    b.emit("xor", "t5", "a0", "a1")
+    b.emit("srli", "t5", "t5", SIGN_SHIFT)
+    b.emit("slli", "t5", "t5", SIGN_SHIFT)
+    b.emit("addi", "t6", "zero", 0b11110)
+    b.emit("slli", "t6", "t6", COMBINATION_SHIFT)
+    b.emit("or", "a0", "t5", "t6")
+    b.ret()
+
+    b.label(f"{prefix}_make_nan")
+    b.emit("addi", "t6", "zero", 0b11111)
+    b.emit("slli", "t6", "t6", COMBINATION_SHIFT)
+    b.mv("a0", "t6")
+    b.ret()
+
+    # NaN operands propagate, quieted (clear the signalling bit, bit 57).
+    b.label(f"{prefix}_x_nan")
+    b.emit("addi", "t6", "zero", 1)
+    b.emit("slli", "t6", "t6", 57)
+    b.not_("t6", "t6")
+    b.emit("and", "a0", "a0", "t6")
+    b.ret()
+
+    b.label(f"{prefix}_y_nan")
+    b.emit("addi", "t6", "zero", 1)
+    b.emit("slli", "t6", "t6", 57)
+    b.not_("t6", "t6")
+    b.emit("and", "a0", "a1", "t6")
+    b.ret()
+
+
+def emit_unpack_fields(
+    b, prefix: str, src, out_sign, out_bexp, out_cont, out_msd, tmp1, tmp2
+) -> None:
+    """Extract sign / biased exponent / coefficient continuation / MSD.
+
+    ``src`` holds a *finite* decimal64 word and is preserved.  All output and
+    temporary registers must be distinct from each other and from ``src``.
+    """
+    b.emit("srli", out_sign, src, SIGN_SHIFT)
+    b.emit("srli", tmp1, src, COMBINATION_SHIFT)
+    b.emit("andi", tmp1, tmp1, 0x1F)
+    b.emit("addi", tmp2, "zero", 24)
+    b.branch("bltu", tmp1, tmp2, f"{prefix}_msd_small")
+    b.emit("andi", out_msd, tmp1, 1)
+    b.emit("ori", out_msd, out_msd, 8)
+    b.emit("srli", tmp1, tmp1, 1)
+    b.emit("andi", tmp1, tmp1, 3)
+    b.j(f"{prefix}_msd_done")
+    b.label(f"{prefix}_msd_small")
+    b.emit("andi", out_msd, tmp1, 7)
+    b.emit("srli", tmp1, tmp1, 3)
+    b.label(f"{prefix}_msd_done")
+    b.emit("slli", tmp1, tmp1, 8)
+    b.emit("srli", out_bexp, src, EXP_CONT_SHIFT)
+    b.emit("andi", out_bexp, out_bexp, 0xFF)
+    b.emit("or", out_bexp, out_bexp, tmp1)
+    b.emit("slli", out_cont, src, 14)
+    b.emit("srli", out_cont, out_cont, 14)
+
+
+def emit_encode_result(
+    b, prefix: str, sign, bexp, msd, cont, out, tmp1, tmp2
+) -> None:
+    """Assemble a decimal64 word from its fields into ``out``.
+
+    ``out`` must be distinct from every input and temporary register (it is
+    written before all inputs are consumed).
+    """
+    b.emit("srli", tmp1, bexp, 8)
+    b.emit("addi", tmp2, "zero", 8)
+    b.branch("bltu", msd, tmp2, f"{prefix}_enc_small")
+    b.emit("slli", tmp1, tmp1, 1)
+    b.emit("andi", tmp2, msd, 1)
+    b.emit("or", tmp1, tmp1, tmp2)
+    b.emit("ori", tmp1, tmp1, 24)
+    b.j(f"{prefix}_enc_done")
+    b.label(f"{prefix}_enc_small")
+    b.emit("slli", tmp1, tmp1, 3)
+    b.emit("or", tmp1, tmp1, msd)
+    b.label(f"{prefix}_enc_done")
+    b.emit("slli", tmp1, tmp1, COMBINATION_SHIFT)
+    b.emit("slli", out, sign, SIGN_SHIFT)
+    b.emit("or", out, out, tmp1)
+    b.emit("andi", tmp2, bexp, 0xFF)
+    b.emit("slli", tmp2, tmp2, EXP_CONT_SHIFT)
+    b.emit("or", out, out, tmp2)
+    b.emit("or", out, out, cont)
+
+
+def emit_clamp_exponent(b, prefix: str, exp_reg, tmp) -> None:
+    """Clamp a (true) exponent register into the usable range [ETINY, ETOP]."""
+    b.li(tmp, ETINY)
+    b.branch("bge", exp_reg, tmp, f"{prefix}_cl_lo_ok")
+    b.mv(exp_reg, tmp)
+    b.label(f"{prefix}_cl_lo_ok")
+    b.li(tmp, ETOP)
+    b.branch("bge", tmp, exp_reg, f"{prefix}_cl_hi_ok")
+    b.mv(exp_reg, tmp)
+    b.label(f"{prefix}_cl_hi_ok")

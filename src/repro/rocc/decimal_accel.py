@@ -1,0 +1,320 @@
+"""The decimal RoCC accelerator (paper Fig. 4, Table II instruction set).
+
+The accelerator contains (Fig. 4): a register set, a BCD carry-lookahead
+adder, control logic, and the decode/interface and execution FSMs.  On top of
+those, this model adds a wide BCD accumulator used by ``DEC_ACCUM`` so that a
+full 32-digit product can be accumulated inside the accelerator — this is how
+the Method-1 kernel keeps the paper's "accumulate partial products in
+hardware" step functionally exact for decimal64 operands (see DESIGN.md).
+
+Operand selection follows the RoCC flag semantics exactly as in the paper:
+when ``xs1``/``xs2`` is set the operand value travels with the command from a
+Rocket core register, otherwise the corresponding 5-bit field addresses the
+accelerator's own register set; when ``xd`` is set the core blocks until the
+accelerator responds with a value for core register ``rd``, otherwise the
+result stays inside the accelerator.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import AcceleratorError
+from repro.hw.bcd_adder import BcdCarryLookaheadAdder
+from repro.hw.bcd_multiplier import BcdMultiplier
+from repro.hw.binary_to_bcd import BinaryToBcdConverter
+from repro.hw.cost import AreaReport, GateCost, register_cost
+from repro.isa.rocc import DecimalFunct
+from repro.rocc.fsm import FsmState, InterfaceFsm
+from repro.rocc.interface import Accelerator, RoccCommand, RoccResult
+from repro.rocc.regfile import AcceleratorRegisterFile
+
+#: RD selector values above the register file: the two accumulator halves and
+#: the status register.
+ACC_LO_SELECTOR = 16
+ACC_HI_SELECTOR = 17
+STATUS_SELECTOR = 18
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass(frozen=True)
+class DecimalAcceleratorConfig:
+    """Datapath configuration (the co-design knobs a framework user can turn)."""
+
+    num_registers: int = 16
+    register_width_digits: int = 20
+    accumulator_digits: int = 32
+    adder_width_digits: int = 20
+    adder_latency_cycles: int = 1
+    include_multiplier: bool = False
+    include_converter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.register_width_digits < 17:
+            # Multiples of a 16-digit coefficient reach 17 digits.
+            raise AcceleratorError(
+                "register width must hold at least 17 digits for decimal64"
+            )
+        if self.accumulator_digits < 32:
+            raise AcceleratorError(
+                "the accumulator must hold a full 32-digit decimal64 product"
+            )
+
+
+class DecimalAccelerator(Accelerator):
+    """Executes the Table II decimal instructions behind the RoCC interface."""
+
+    name = "decimal-accelerator"
+
+    def __init__(self, config: DecimalAcceleratorConfig = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else DecimalAcceleratorConfig()
+        self.regfile = AcceleratorRegisterFile(
+            num_registers=self.config.num_registers,
+            width_bits=4 * self.config.register_width_digits,
+        )
+        # One functional adder wide enough for the accumulator; the *hardware*
+        # adder is adder_width_digits wide and wider additions take multiple
+        # passes (reflected in busy cycles, not in values).
+        self.adder = BcdCarryLookaheadAdder(
+            width_digits=self.config.accumulator_digits,
+            latency_cycles=self.config.adder_latency_cycles,
+        )
+        self.multiplier = (
+            BcdMultiplier(operand_digits=16) if self.config.include_multiplier else None
+        )
+        self.converter = (
+            BinaryToBcdConverter(input_bits=64, output_digits=self.config.register_width_digits)
+            if self.config.include_converter
+            else None
+        )
+        self.fsm = InterfaceFsm()
+        self.accumulator = 0
+        self.status = 0
+        self.function_counts = Counter()
+        self._acc_mask = (1 << (4 * self.config.accumulator_digits)) - 1
+        self._reg_mask = (1 << (4 * self.config.register_width_digits)) - 1
+
+    # ------------------------------------------------------------------ helpers
+    def _adder_passes(self, digits_needed: int) -> int:
+        """Datapath passes of the (narrower) hardware adder for a wide add."""
+        width = self.config.adder_width_digits
+        return max(1, -(-digits_needed // width))  # ceil division
+
+    def _operand(self, use_core_value: bool, value: int, field: int) -> int:
+        if use_core_value:
+            return value
+        return self.regfile.read(field)
+
+    @staticmethod
+    def _require_bcd(value: int, what: str) -> None:
+        probe = value
+        while probe:
+            if probe & 0xF > 9:
+                raise AcceleratorError(f"{what} is not valid packed BCD")
+            probe >>= 4
+
+    # ----------------------------------------------------------------- commands
+    def execute_command(self, command: RoccCommand, memory) -> RoccResult:
+        funct = command.funct7
+        self.function_counts[command.function_name] += 1
+        if funct == DecimalFunct.WR:
+            return self._cmd_write(command)
+        if funct == DecimalFunct.RD:
+            return self._cmd_read(command)
+        if funct == DecimalFunct.LD:
+            return self._cmd_load(command, memory)
+        if funct == DecimalFunct.ACCUM:
+            return self._cmd_accum_binary(command)
+        if funct == DecimalFunct.DEC_ADD:
+            return self._cmd_dec_add(command)
+        if funct == DecimalFunct.CLR_ALL:
+            return self._cmd_clear(command)
+        if funct == DecimalFunct.DEC_CNV:
+            return self._cmd_convert(command)
+        if funct == DecimalFunct.DEC_MUL:
+            return self._cmd_multiply(command)
+        if funct == DecimalFunct.DEC_ACCUM:
+            return self._cmd_dec_accum(command)
+        raise AcceleratorError(f"unknown accelerator function funct7={funct:#04x}")
+
+    # WR: move a core register value into the accelerator register set.
+    def _cmd_write(self, command: RoccCommand) -> RoccResult:
+        self.require(command.xs1, "WR needs the operand value from the core (xs1)")
+        destination = command.rs2_value if command.xs2 else command.rs2
+        self.regfile.write(int(destination) % self.config.num_registers, command.rs1_value)
+        busy = self.fsm.run_command(FsmState.WRITE, respond=False, busy_cycles=1)
+        return RoccResult(has_response=False, value=0, busy_cycles=busy)
+
+    # RD: respond to the core with a value from the accelerator.
+    def _cmd_read(self, command: RoccCommand) -> RoccResult:
+        self.require(command.xd, "RD must write a core register (xd)")
+        selector = command.rs2_value if command.xs2 else command.rs2
+        selector = int(selector)
+        if selector == ACC_LO_SELECTOR:
+            value = self.accumulator & _MASK64
+        elif selector == ACC_HI_SELECTOR:
+            value = (self.accumulator >> 64) & _MASK64
+        elif selector == STATUS_SELECTOR:
+            value = self.status
+        else:
+            value = self.regfile.read(selector % self.config.num_registers) & _MASK64
+        busy = self.fsm.run_command(FsmState.READ, respond=True, busy_cycles=1)
+        return RoccResult(has_response=True, value=value, busy_cycles=busy)
+
+    # LD: fetch a 64-bit value from memory through the RoCC memory interface.
+    def _cmd_load(self, command: RoccCommand, memory) -> RoccResult:
+        self.require(command.xs1, "LD needs the address from the core (xs1)")
+        self.require(memory is not None, "LD needs a memory port")
+        destination = (command.rs2_value if command.xs2 else command.rs2)
+        value = memory.read(command.rs1_value, 8)
+        self.regfile.write(int(destination) % self.config.num_registers, value)
+        busy = self.fsm.run_command(FsmState.LOAD, respond=False, busy_cycles=2)
+        return RoccResult(
+            has_response=False, value=0, busy_cycles=busy, memory_accesses=1
+        )
+
+    # ACCUM: binary accumulate into an accelerator register.
+    def _cmd_accum_binary(self, command: RoccCommand) -> RoccResult:
+        self.require(command.xs1, "ACCUM needs the operand value from the core (xs1)")
+        index = command.rd % self.config.num_registers
+        total = (self.regfile.read(index) + command.rs1_value) & self._reg_mask
+        self.regfile.write(index, total)
+        has_response = bool(command.xd)
+        busy = self.fsm.run_command(
+            FsmState.ACCUM, respond=has_response, busy_cycles=1
+        )
+        return RoccResult(
+            has_response=has_response, value=total & _MASK64, busy_cycles=busy
+        )
+
+    # DEC_ADD: BCD addition of two operands through the BCD-CLA.
+    def _cmd_dec_add(self, command: RoccCommand) -> RoccResult:
+        op1 = self._operand(command.xs1, command.rs1_value, command.rs1)
+        op2 = self._operand(command.xs2, command.rs2_value, command.rs2)
+        self._require_bcd(op1, "DEC_ADD operand 1")
+        self._require_bcd(op2, "DEC_ADD operand 2")
+        result = self.adder.add(op1, op2)
+        digits_needed = max(
+            self.config.register_width_digits,
+            16 if (command.xs1 or command.xs2) else self.config.register_width_digits,
+        )
+        passes = self._adder_passes(digits_needed)
+        self.status = (self.status & ~1) | result.carry_out
+        if command.xd:
+            value = result.value & _MASK64
+            busy = self.fsm.run_command(FsmState.DEC_ADD, respond=True, busy_cycles=passes)
+            return RoccResult(has_response=True, value=value, busy_cycles=busy)
+        self.regfile.write(command.rd % self.config.num_registers, result.value)
+        busy = self.fsm.run_command(FsmState.DEC_ADD, respond=False, busy_cycles=passes)
+        return RoccResult(has_response=False, value=0, busy_cycles=busy)
+
+    # CLR_ALL: clear the register set, accumulator and status.
+    def _cmd_clear(self, command: RoccCommand) -> RoccResult:
+        self.regfile.clear_all()
+        self.accumulator = 0
+        self.status = 0
+        busy = self.fsm.run_command(FsmState.CLR_ALL, respond=False, busy_cycles=1)
+        return RoccResult(has_response=False, value=0, busy_cycles=busy)
+
+    # DEC_CNV: binary-to-BCD conversion.
+    def _cmd_convert(self, command: RoccCommand) -> RoccResult:
+        self.require(self.converter is not None, "this configuration has no converter")
+        self.require(command.xs1, "DEC_CNV needs the binary value from the core (xs1)")
+        conversion = self.converter.convert(command.rs1_value)
+        if command.xd:
+            busy = self.fsm.run_command(
+                FsmState.DEC_CNV, respond=True, busy_cycles=conversion.cycles
+            )
+            return RoccResult(
+                has_response=True, value=conversion.value & _MASK64, busy_cycles=busy
+            )
+        self.regfile.write(command.rd % self.config.num_registers, conversion.value)
+        busy = self.fsm.run_command(
+            FsmState.DEC_CNV, respond=False, busy_cycles=conversion.cycles
+        )
+        return RoccResult(has_response=False, value=0, busy_cycles=busy)
+
+    # DEC_MUL: full BCD multiplication into the accumulator.
+    def _cmd_multiply(self, command: RoccCommand) -> RoccResult:
+        self.require(
+            self.multiplier is not None,
+            "this configuration has no hardware multiplier (include_multiplier=False)",
+        )
+        op1 = self._operand(command.xs1, command.rs1_value, command.rs1) & _MASK64
+        op2 = self._operand(command.xs2, command.rs2_value, command.rs2) & _MASK64
+        result = self.multiplier.multiply(op1, op2)
+        self.accumulator = result.value & self._acc_mask
+        has_response = bool(command.xd)
+        busy = self.fsm.run_command(
+            FsmState.DEC_MUL, respond=has_response, busy_cycles=result.cycles
+        )
+        return RoccResult(
+            has_response=has_response,
+            value=self.accumulator & _MASK64,
+            busy_cycles=busy,
+        )
+
+    # DEC_ACCUM: accumulator = (accumulator << shift digits) + regfile[k].
+    def _cmd_dec_accum(self, command: RoccCommand) -> RoccResult:
+        index = command.rs1_value if command.xs1 else command.rs1
+        index = int(index) % self.config.num_registers
+        shift_digits = int(command.rs2_value) if command.xs2 else 1
+        if not 0 <= shift_digits <= self.config.accumulator_digits:
+            raise AcceleratorError(f"DEC_ACCUM shift out of range: {shift_digits}")
+        shifted = (self.accumulator << (4 * shift_digits)) & self._acc_mask
+        if shifted >> (4 * shift_digits) != self.accumulator & (
+            self._acc_mask >> (4 * shift_digits)
+        ):
+            self.status |= 0b10  # accumulator overflow (should not happen for decimal64)
+        addend = self.regfile.read(index)
+        result = self.adder.add(shifted, addend & self._acc_mask)
+        self.accumulator = result.value
+        self.status = (self.status & ~1) | result.carry_out
+        passes = self._adder_passes(self.config.accumulator_digits)
+        has_response = bool(command.xd)
+        busy = self.fsm.run_command(
+            FsmState.DEC_ACCUM, respond=has_response, busy_cycles=passes
+        )
+        return RoccResult(
+            has_response=has_response,
+            value=self.accumulator & _MASK64,
+            busy_cycles=busy,
+        )
+
+    # ------------------------------------------------------------------- state
+    def reset(self) -> None:
+        super().reset()
+        self.regfile.clear_all()
+        self.accumulator = 0
+        self.status = 0
+        self.fsm.reset()
+        self.function_counts.clear()
+
+    # -------------------------------------------------------------------- cost
+    def area_report(self) -> AreaReport:
+        """Hardware overhead of this accelerator configuration."""
+        report = AreaReport()
+        report.add(self.regfile.cost())
+        report.add(
+            register_cost(
+                f"accumulator ({self.config.accumulator_digits} digits)",
+                4 * self.config.accumulator_digits,
+            )
+        )
+        hardware_adder = BcdCarryLookaheadAdder(
+            width_digits=self.config.adder_width_digits,
+            latency_cycles=self.config.adder_latency_cycles,
+        )
+        report.add(hardware_adder.cost())
+        report.add(GateCost("decode + interface FSM", 350.0, 4, flip_flops=18))
+        report.add(GateCost("operand multiplexers", 4.0 * 2 * self.config.accumulator_digits, 2))
+        if self.multiplier is not None:
+            for component in self.multiplier.cost().components:
+                report.add(component)
+        if self.converter is not None:
+            for component in self.converter.cost().components:
+                report.add(component)
+        return report

@@ -1,0 +1,119 @@
+"""Interface finite-state machine of the accelerator (paper Fig. 5).
+
+The decode-and-interface FSM sits between the RoCC command queue and the
+execution units: from ``Idle`` it moves to a per-function state
+(``RD``, ``WR``, ``CLR_ALL``, ``DEC_ADD``, ``ACCUM`` ...), then to a response
+state (``Read Resp`` / ``Write Resp``) when the core expects data back, and
+returns to ``Idle``.  The software model tracks the visited states and
+transition counts so tests can assert the Fig. 5 structure and the timing
+model can charge one cycle per transition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import AcceleratorError
+
+
+class FsmState:
+    """States of the interface FSM (Fig. 5)."""
+
+    IDLE = "Idle"
+    READ = "RD"
+    WRITE = "WR"
+    CLR_ALL = "CLR_ALL"
+    DEC_ADD = "DEC_ADD"
+    DEC_ACCUM = "DEC_ACCUM"
+    DEC_CNV = "DEC_CNV"
+    DEC_MUL = "DEC_MUL"
+    ACCUM = "ACCUM"
+    LOAD = "LD"
+    READ_RESP = "Read Resp"
+    WRITE_RESP = "Write Resp"
+
+    ALL = (
+        IDLE,
+        READ,
+        WRITE,
+        CLR_ALL,
+        DEC_ADD,
+        DEC_ACCUM,
+        DEC_CNV,
+        DEC_MUL,
+        ACCUM,
+        LOAD,
+        READ_RESP,
+        WRITE_RESP,
+    )
+
+
+#: Function states reachable directly from Idle when a command fires.
+_EXECUTE_STATES = {
+    FsmState.READ,
+    FsmState.WRITE,
+    FsmState.CLR_ALL,
+    FsmState.DEC_ADD,
+    FsmState.DEC_ACCUM,
+    FsmState.DEC_CNV,
+    FsmState.DEC_MUL,
+    FsmState.ACCUM,
+    FsmState.LOAD,
+}
+
+#: Legal transitions; anything else is a modelling bug.
+_LEGAL = set()
+for _state in _EXECUTE_STATES:
+    _LEGAL.add((FsmState.IDLE, _state))
+    _LEGAL.add((_state, FsmState.IDLE))
+    _LEGAL.add((_state, FsmState.READ_RESP))
+    _LEGAL.add((_state, FsmState.WRITE_RESP))
+_LEGAL.add((FsmState.READ_RESP, FsmState.IDLE))
+_LEGAL.add((FsmState.WRITE_RESP, FsmState.IDLE))
+
+
+class InterfaceFsm:
+    """Tracks the interface FSM state, transitions and cycle counts."""
+
+    def __init__(self) -> None:
+        self.state = FsmState.IDLE
+        self.transition_counts = Counter()
+        self.visited_states = {FsmState.IDLE}
+        self.cycles = 0
+
+    def _go(self, next_state: str) -> None:
+        if (self.state, next_state) not in _LEGAL:
+            raise AcceleratorError(
+                f"illegal FSM transition {self.state!r} -> {next_state!r}"
+            )
+        self.transition_counts[(self.state, next_state)] += 1
+        self.state = next_state
+        self.visited_states.add(next_state)
+        self.cycles += 1
+
+    def run_command(self, execute_state: str, respond: bool, busy_cycles: int = 1) -> int:
+        """Walk the FSM for one command; return the cycles it spent.
+
+        ``execute_state`` is the per-function state; ``respond`` selects the
+        Read Resp / Write Resp hop before returning to Idle (used when the
+        command carries ``xd`` and the core waits for data).
+        """
+        if self.state != FsmState.IDLE:
+            raise AcceleratorError("command fired while the FSM was busy")
+        start_cycles = self.cycles
+        self._go(execute_state)
+        # Execution occupies the function state for busy_cycles - 1 extra ticks.
+        self.cycles += max(busy_cycles - 1, 0)
+        if respond:
+            resp_state = (
+                FsmState.READ_RESP if execute_state == FsmState.READ else FsmState.WRITE_RESP
+            )
+            self._go(resp_state)
+        self._go(FsmState.IDLE)
+        return self.cycles - start_cycles
+
+    def reset(self) -> None:
+        self.state = FsmState.IDLE
+        self.transition_counts.clear()
+        self.visited_states = {FsmState.IDLE}
+        self.cycles = 0

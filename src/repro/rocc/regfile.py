@@ -1,0 +1,48 @@
+"""Accelerator-internal register set (the "Register Set" block of Fig. 4)."""
+
+from __future__ import annotations
+
+from repro.errors import AcceleratorError
+from repro.hw.cost import register_cost
+
+
+class AcceleratorRegisterFile:
+    """A small register file addressed by the rs/rd fields of RoCC commands."""
+
+    def __init__(self, num_registers: int = 16, width_bits: int = 80) -> None:
+        if num_registers < 1 or num_registers > 32:
+            raise AcceleratorError("register file must have 1..32 entries")
+        self.num_registers = num_registers
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self._values = [0] * num_registers
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < self.num_registers:
+            raise AcceleratorError(f"register index out of range: {index}")
+        self.reads += 1
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < self.num_registers:
+            raise AcceleratorError(f"register index out of range: {index}")
+        self.writes += 1
+        self._values[index] = value & self._mask
+
+    def clear_all(self) -> None:
+        """The CLR_ALL instruction: zero every register."""
+        self._values = [0] * self.num_registers
+        self.writes += self.num_registers
+
+    def snapshot(self) -> tuple:
+        """Current contents (for tests and debugging)."""
+        return tuple(self._values)
+
+    def cost(self):
+        """Hardware overhead of the register file."""
+        return register_cost(
+            f"register set ({self.num_registers} x {self.width_bits} bits)",
+            self.num_registers * self.width_bits,
+        )

@@ -1,0 +1,30 @@
+"""Rocket-chip-like cycle-accurate emulation layer.
+
+This is the performance-measurement half of the framework (the "Emulate and
+Evaluate" box of Fig. 2): an in-order, single-issue RV64 core model in the
+style of Rocket, with
+
+* L1 instruction and data caches using a *random replacement policy* (the
+  source of run-to-run cycle variation the paper discusses in Section V),
+* static-not-taken branch handling with a taken-branch penalty,
+* a pipelined multiplier and a blocking iterative divider,
+* a RoCC port with configurable command/response latencies through which an
+  attached accelerator (e.g. :class:`repro.rocc.DecimalAccelerator`) executes
+  custom instructions,
+* the ``RDCYCLE`` CSR wired to the model's cycle counter, and
+* separate attribution of cycles to the software part and the hardware
+  (accelerator) part, which is exactly the split Table IV reports.
+"""
+
+from repro.rocket.config import CacheConfig, RocketConfig
+from repro.rocket.cache import Cache, CacheStats
+from repro.rocket.core import RocketEmulator, RocketResult
+
+__all__ = [
+    "CacheConfig",
+    "RocketConfig",
+    "Cache",
+    "CacheStats",
+    "RocketEmulator",
+    "RocketResult",
+]

@@ -1,0 +1,79 @@
+"""Set-associative L1 cache model with random (or LRU) replacement.
+
+The paper points out that Rocket's cache *random replacement policy* makes
+cycle counts nondeterministic from the program's point of view, which is why
+the evaluation averages over many samples.  The model reproduces that
+behaviour with a seeded PRNG: one run is reproducible, but cycle counts vary
+across samples as lines are evicted unpredictably.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.rocket.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A blocking, write-allocate, set-associative cache."""
+
+    def __init__(self, config: CacheConfig, rng: random.Random = None) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else random.Random(0)
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._index_mask = config.sets - 1
+        # sets -> list of tags (ways); None means invalid.
+        self._tags = [[None] * config.ways for _ in range(config.sets)]
+        # LRU bookkeeping (only used when replacement == "lru").
+        self._lru = [[0] * config.ways for _ in range(config.sets)]
+        self._tick = 0
+        self.stats = CacheStats()
+
+    def access(self, address: int, is_write: bool = False) -> int:
+        """Access one address; return the extra stall cycles (0 on a hit)."""
+        self.stats.accesses += 1
+        self._tick += 1
+        line = address >> self._offset_bits
+        index = line & self._index_mask
+        tag = line >> (self._index_mask.bit_length())
+        ways = self._tags[index]
+        for way, existing in enumerate(ways):
+            if existing == tag:
+                self.stats.hits += 1
+                self._lru[index][way] = self._tick
+                return 0
+        # Miss: allocate into an invalid way if any, otherwise evict.
+        self.stats.misses += 1
+        victim = None
+        for way, existing in enumerate(ways):
+            if existing is None:
+                victim = way
+                break
+        if victim is None:
+            if self.config.replacement == "random":
+                victim = self.rng.randrange(self.config.ways)
+            else:
+                victim = min(
+                    range(self.config.ways), key=lambda way: self._lru[index][way]
+                )
+        ways[victim] = tag
+        self._lru[index][victim] = self._tick
+        return self.config.miss_penalty_cycles
+
+    def flush(self) -> None:
+        """Invalidate every line (keeps statistics)."""
+        self._tags = [[None] * self.config.ways for _ in range(self.config.sets)]

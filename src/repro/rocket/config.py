@@ -1,0 +1,83 @@
+"""Timing-model configuration for the Rocket-like core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one L1 cache."""
+
+    sets: int = 64
+    ways: int = 4
+    line_bytes: int = 64
+    miss_penalty_cycles: int = 24
+    replacement: str = "random"  # "random" (Rocket's policy) or "lru"
+
+    def __post_init__(self) -> None:
+        for name in ("sets", "ways", "line_bytes"):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise ConfigurationError(f"cache {name} must be a power of two, got {value}")
+        if self.replacement not in ("random", "lru"):
+            raise ConfigurationError(f"unknown replacement policy: {self.replacement!r}")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.sets * self.ways * self.line_bytes
+
+
+@dataclass(frozen=True)
+class RocketConfig:
+    """Parameters of the in-order pipeline, caches and RoCC interface."""
+
+    frequency_hz: int = 1_000_000_000
+    # Control flow.
+    branch_penalty_cycles: int = 3
+    jump_penalty_cycles: int = 2
+    # Arithmetic latencies.  Rocket's multiplier is pipelined (latency visible
+    # only to dependent instructions); its divider is an unpipelined iterative
+    # unit whose latency depends on the dividend magnitude (up to ~64 cycles
+    # for full 64-bit operands, much less after early-out).  The model charges
+    # a representative flat latency; the ablation bench sweeps it.
+    mul_latency_cycles: int = 4
+    div_latency_cycles: int = 40
+    # Loads.
+    load_use_latency_cycles: int = 2
+    # Caches.
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    # RoCC interface (the paper's "latency overhead during data exchange
+    # with CPU because of the position of the interface into the pipeline").
+    rocc_cmd_latency_cycles: int = 2
+    rocc_resp_latency_cycles: int = 3
+    # Randomness for the cache replacement policy.
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        for name in (
+            "branch_penalty_cycles",
+            "jump_penalty_cycles",
+            "mul_latency_cycles",
+            "div_latency_cycles",
+            "load_use_latency_cycles",
+            "rocc_cmd_latency_cycles",
+            "rocc_resp_latency_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def with_overrides(self, **overrides) -> "RocketConfig":
+        """Copy of the configuration with some fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+#: Configuration used by the Table IV reproduction.
+DEFAULT_ROCKET_CONFIG = RocketConfig()

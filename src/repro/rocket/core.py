@@ -1,0 +1,201 @@
+"""The Rocket-like cycle-accurate core emulator.
+
+The emulator reuses the functional :class:`~repro.sim.executor.Executor` for
+architectural state changes and layers a timing model over each retired
+instruction:
+
+* instruction fetch goes through the L1 I-cache,
+* loads/stores go through the L1 D-cache (both with random replacement),
+* taken branches and jumps pay a redirect penalty (static not-taken fetch),
+* the multiplier is pipelined (latency visible only to dependent
+  instructions), the divider blocks the pipeline,
+* a load's value is available ``load_use_latency`` cycles later, so an
+  immediately dependent instruction stalls,
+* RoCC custom instructions pay the command latency, the accelerator's busy
+  cycles and — when ``xd`` is set — the response latency while the core waits.
+
+Cycles are attributed to the *software part* or the *hardware part* exactly as
+Table IV of the paper splits them: every cycle spent issuing to, executing in,
+or waiting on the accelerator is a hardware-part cycle; everything else is a
+software-part cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa import csr as csrdefs
+from repro.rocket.cache import Cache
+from repro.rocket.config import RocketConfig
+from repro.sim.executor import Executor
+from repro.sim.hart import DEFAULT_STACK_TOP, Hart
+from repro.sim.htif import Htif
+from repro.sim.memory import SparseMemory
+from repro.sim.spike import DEFAULT_MAX_INSTRUCTIONS, SimulationResult
+
+_DIV_MNEMONICS = {"div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw"}
+_MUL_MNEMONICS = {"mul", "mulh", "mulhu", "mulhsu", "mulw"}
+
+
+@dataclass
+class RocketResult(SimulationResult):
+    """Functional result plus the timing measurements of the run."""
+
+    cycles: int = 0
+    sw_cycles: int = 0
+    hw_cycles: int = 0
+    icache_stats: object = None
+    dcache_stats: object = None
+    rocc_commands: int = 0
+    accelerator: object = None
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        if not self.instructions_retired:
+            return 0.0
+        return self.cycles / self.instructions_retired
+
+    def seconds(self, frequency_hz: int) -> float:
+        """Wall-clock time of the run at a given core frequency."""
+        return self.cycles / frequency_hz
+
+
+class RocketEmulator:
+    """Cycle-accurate-style emulation of one program on Rocket + accelerator."""
+
+    def __init__(
+        self,
+        image,
+        accelerator=None,
+        config: RocketConfig = None,
+        stack_top: int = DEFAULT_STACK_TOP,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ) -> None:
+        self.image = image
+        self.config = config if config is not None else RocketConfig()
+        self.accelerator = accelerator
+        self.max_instructions = max_instructions
+
+        self.memory = SparseMemory()
+        self.memory.load_image(image)
+        self.htif = Htif()
+        self.htif.attach(self.memory)
+        self.hart = Hart(pc=image.entry, stack_pointer=stack_top)
+
+        rng = random.Random(self.config.seed)
+        self.icache = Cache(self.config.icache, rng=random.Random(rng.random()))
+        self.dcache = Cache(self.config.dcache, rng=random.Random(rng.random()))
+
+        rocc_adapter = accelerator.rocc_adapter() if accelerator is not None else None
+        self.executor = Executor(
+            self.hart,
+            self.memory,
+            csr_provider=self._read_counter,
+            rocc=rocc_adapter,
+        )
+
+        self.cycle = 0
+        self.sw_cycles = 0
+        self.hw_cycles = 0
+        self.instructions_retired = 0
+        self.rocc_commands = 0
+        # Cycle numbers at which each integer register's value becomes
+        # available to dependent instructions (load / mul shadow latencies).
+        self._reg_ready = [0] * 32
+
+    # ------------------------------------------------------------------- CSRs
+    def _read_counter(self, address: int) -> int:
+        if address in (csrdefs.CYCLE, csrdefs.MCYCLE, csrdefs.TIME):
+            return self.cycle
+        if address in (csrdefs.INSTRET, csrdefs.MINSTRET):
+            return self.instructions_retired
+        return 0
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> RocketResult:
+        """Run the program to completion and return timing + functional results."""
+        executor = self.executor
+        htif = self.htif
+        limit = self.max_instructions
+        while not htif.exited and not executor.exit_requested:
+            if self.instructions_retired >= limit:
+                raise SimulationError(
+                    f"instruction limit exceeded ({limit}); pc={self.hart.pc:#x}"
+                )
+            self._step_timed()
+        exit_code = htif.exit_code if htif.exited else executor.exit_code
+        return RocketResult(
+            exit_code=exit_code,
+            instructions_retired=self.instructions_retired,
+            console_output=htif.console_output,
+            symbols=dict(self.image.symbols),
+            memory=self.memory,
+            hart=self.hart,
+            cycles=self.cycle,
+            sw_cycles=self.sw_cycles,
+            hw_cycles=self.hw_cycles,
+            icache_stats=self.icache.stats,
+            dcache_stats=self.dcache.stats,
+            rocc_commands=self.rocc_commands,
+            accelerator=self.accelerator,
+        )
+
+    # ------------------------------------------------------------------- step
+    def _step_timed(self) -> None:
+        config = self.config
+        pc = self.hart.pc
+        start_cycle = self.cycle
+
+        # Instruction fetch through the I-cache.
+        fetch_stall = self.icache.access(pc)
+        decoded = self.executor.fetch_decode(pc)
+
+        # Source-operand stalls (load-use, multiplier shadow).
+        ready = self._reg_ready
+        operand_ready = max(ready[decoded.rs1], ready[decoded.rs2])
+        issue_cycle = max(self.cycle + fetch_stall, operand_ready)
+        stall = issue_cycle - self.cycle
+        cost = stall + 1  # one cycle to issue/retire the instruction itself
+
+        # Architectural execution (also tells us what the instruction did).
+        info = self.executor.step()
+        mnemonic = decoded.mnemonic
+        hw_cost = 0
+
+        if info.mem_addr is not None:
+            cost += self.dcache.access(info.mem_addr, is_write=info.mem_is_store)
+            if not info.mem_is_store:
+                ready[decoded.rd] = (
+                    start_cycle + cost + config.load_use_latency_cycles - 1
+                )
+        elif mnemonic in _MUL_MNEMONICS:
+            ready[decoded.rd] = start_cycle + cost + config.mul_latency_cycles - 1
+        elif mnemonic in _DIV_MNEMONICS:
+            # The divider is iterative and blocks the pipeline.
+            cost += config.div_latency_cycles - 1
+        elif info.is_rocc:
+            hw_cost = cost  # issue cycles count against the hardware part
+            hw_cost += config.rocc_cmd_latency_cycles
+            hw_cost += info.rocc_busy_cycles
+            if info.rocc_has_response:
+                hw_cost += config.rocc_resp_latency_cycles
+                ready[decoded.rd] = start_cycle + hw_cost
+            cost = 0
+            self.rocc_commands += 1
+        elif info.branch_taken:
+            if mnemonic in ("jal", "jalr"):
+                cost += config.jump_penalty_cycles
+            else:
+                cost += config.branch_penalty_cycles
+
+        self.cycle += cost + hw_cost
+        self.sw_cycles += cost
+        self.hw_cycles += hw_cost
+        self.instructions_retired += 1
+
+
+def run_image_timed(image, accelerator=None, config=None, **kwargs) -> RocketResult:
+    """Convenience one-shot cycle-accurate run of a linked image."""
+    return RocketEmulator(image, accelerator=accelerator, config=config, **kwargs).run()

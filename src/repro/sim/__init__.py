@@ -1,0 +1,23 @@
+"""Functional simulation layer (the SPIKE ISA simulator's role in Fig. 2).
+
+Contains the sparse memory model, the architectural hart state, the
+instruction executor shared with the timing models, the HTIF-style host
+interface and the :class:`~repro.sim.spike.SpikeSimulator` front end used for
+functional verification of RISC-V binaries before cycle-accurate emulation.
+"""
+
+from repro.sim.memory import SparseMemory
+from repro.sim.hart import Hart
+from repro.sim.htif import Htif
+from repro.sim.executor import ExecInfo, Executor
+from repro.sim.spike import SimulationResult, SpikeSimulator
+
+__all__ = [
+    "SparseMemory",
+    "Hart",
+    "Htif",
+    "ExecInfo",
+    "Executor",
+    "SimulationResult",
+    "SpikeSimulator",
+]

@@ -1,0 +1,366 @@
+"""Functional execution of decoded RV64 instructions.
+
+One :class:`Executor` instance drives one hart against one memory.  The same
+executor is reused by every simulator in the repository:
+
+* :class:`repro.sim.spike.SpikeSimulator` — functional, one instruction per
+  step, no timing;
+* :class:`repro.rocket.core.RocketEmulator` — wraps each step with the
+  pipeline/cache timing model;
+* :class:`repro.gem5.atomic_cpu.AtomicSimpleCPU` — wraps each step with the
+  1-CPI atomic timing model.
+
+The executor reports what happened in each step through :class:`ExecInfo`
+(memory address touched, branch outcome, RoCC activity) so the timing layers
+never need to re-decode or re-execute anything.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError, TrapError
+from repro.isa import csr as csrdefs
+from repro.isa.decoder import decode_instruction
+from repro.isa.encoding import to_signed64, to_unsigned64
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+_SIGN64 = 1 << 63
+
+
+def _signed(value: int) -> int:
+    return (value ^ _SIGN64) - _SIGN64
+
+
+def _signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return (value ^ 0x80000000) - 0x80000000
+
+
+class ExecInfo:
+    """What a single instruction did (consumed by the timing models)."""
+
+    __slots__ = (
+        "decoded",
+        "pc",
+        "next_pc",
+        "branch_taken",
+        "mem_addr",
+        "mem_size",
+        "mem_is_store",
+        "is_rocc",
+        "rocc_busy_cycles",
+        "rocc_has_response",
+        "rocc_funct7",
+    )
+
+    def __init__(self, decoded, pc, next_pc):
+        self.decoded = decoded
+        self.pc = pc
+        self.next_pc = next_pc
+        self.branch_taken = False
+        self.mem_addr = None
+        self.mem_size = 0
+        self.mem_is_store = False
+        self.is_rocc = False
+        self.rocc_busy_cycles = 0
+        self.rocc_has_response = False
+        self.rocc_funct7 = 0
+
+
+class Executor:
+    """Fetch/decode/execute loop body with a per-word decode cache."""
+
+    def __init__(self, hart, memory, csr_provider=None, rocc=None):
+        self.hart = hart
+        self.memory = memory
+        self.csr_provider = csr_provider if csr_provider is not None else (lambda addr: 0)
+        self.rocc = rocc
+        self.exit_requested = False
+        self.exit_code = 0
+        self._decode_cache = {}
+
+    # ------------------------------------------------------------------ fetch
+    def fetch_decode(self, pc: int):
+        word = self.memory.read(pc, 4)
+        decoded = self._decode_cache.get(word)
+        if decoded is None:
+            decoded = decode_instruction(word)
+            self._decode_cache[word] = decoded
+        return decoded
+
+    # ------------------------------------------------------------------- step
+    def step(self) -> ExecInfo:
+        """Execute one instruction and return what it did."""
+        hart = self.hart
+        memory = self.memory
+        regs = hart.regs
+        pc = hart.pc
+        decoded = self.fetch_decode(pc)
+        mnemonic = decoded.mnemonic
+        rd = decoded.rd
+        rs1_value = regs[decoded.rs1]
+        rs2_value = regs[decoded.rs2]
+        imm = decoded.imm
+        next_pc = pc + 4
+        info = ExecInfo(decoded, pc, next_pc)
+
+        # --- integer register-register -------------------------------------
+        if mnemonic == "add":
+            result = (rs1_value + rs2_value) & MASK64
+        elif mnemonic == "addi":
+            result = (rs1_value + imm) & MASK64
+        elif mnemonic == "sub":
+            result = (rs1_value - rs2_value) & MASK64
+        elif mnemonic == "and":
+            result = rs1_value & rs2_value
+        elif mnemonic == "andi":
+            result = rs1_value & (imm & MASK64)
+        elif mnemonic == "or":
+            result = rs1_value | rs2_value
+        elif mnemonic == "ori":
+            result = rs1_value | (imm & MASK64)
+        elif mnemonic == "xor":
+            result = rs1_value ^ rs2_value
+        elif mnemonic == "xori":
+            result = rs1_value ^ (imm & MASK64)
+        elif mnemonic == "sll":
+            result = (rs1_value << (rs2_value & 0x3F)) & MASK64
+        elif mnemonic == "slli":
+            result = (rs1_value << imm) & MASK64
+        elif mnemonic == "srl":
+            result = rs1_value >> (rs2_value & 0x3F)
+        elif mnemonic == "srli":
+            result = rs1_value >> imm
+        elif mnemonic == "sra":
+            result = (_signed(rs1_value) >> (rs2_value & 0x3F)) & MASK64
+        elif mnemonic == "srai":
+            result = (_signed(rs1_value) >> imm) & MASK64
+        elif mnemonic == "slt":
+            result = 1 if _signed(rs1_value) < _signed(rs2_value) else 0
+        elif mnemonic == "slti":
+            result = 1 if _signed(rs1_value) < imm else 0
+        elif mnemonic == "sltu":
+            result = 1 if rs1_value < rs2_value else 0
+        elif mnemonic == "sltiu":
+            result = 1 if rs1_value < (imm & MASK64) else 0
+        # --- RV64 word ops ----------------------------------------------------
+        elif mnemonic == "addw":
+            result = _signed32(rs1_value + rs2_value) & MASK64
+        elif mnemonic == "addiw":
+            result = _signed32(rs1_value + imm) & MASK64
+        elif mnemonic == "subw":
+            result = _signed32(rs1_value - rs2_value) & MASK64
+        elif mnemonic == "sllw":
+            result = _signed32(rs1_value << (rs2_value & 0x1F)) & MASK64
+        elif mnemonic == "slliw":
+            result = _signed32(rs1_value << imm) & MASK64
+        elif mnemonic == "srlw":
+            result = _signed32((rs1_value & 0xFFFFFFFF) >> (rs2_value & 0x1F)) & MASK64
+        elif mnemonic == "srliw":
+            result = _signed32((rs1_value & 0xFFFFFFFF) >> imm) & MASK64
+        elif mnemonic == "sraw":
+            result = (_signed32(rs1_value) >> (rs2_value & 0x1F)) & MASK64
+        elif mnemonic == "sraiw":
+            result = (_signed32(rs1_value) >> imm) & MASK64
+        # --- M extension ------------------------------------------------------
+        elif mnemonic == "mul":
+            result = (rs1_value * rs2_value) & MASK64
+        elif mnemonic == "mulh":
+            result = ((_signed(rs1_value) * _signed(rs2_value)) >> 64) & MASK64
+        elif mnemonic == "mulhu":
+            result = (rs1_value * rs2_value) >> 64
+        elif mnemonic == "mulhsu":
+            result = ((_signed(rs1_value) * rs2_value) >> 64) & MASK64
+        elif mnemonic == "mulw":
+            result = _signed32(rs1_value * rs2_value) & MASK64
+        elif mnemonic == "div":
+            result = self._div_signed(rs1_value, rs2_value, 64)
+        elif mnemonic == "divu":
+            result = MASK64 if rs2_value == 0 else (rs1_value // rs2_value) & MASK64
+        elif mnemonic == "rem":
+            result = self._rem_signed(rs1_value, rs2_value, 64)
+        elif mnemonic == "remu":
+            result = rs1_value if rs2_value == 0 else (rs1_value % rs2_value) & MASK64
+        elif mnemonic == "divw":
+            result = self._div_signed(rs1_value & 0xFFFFFFFF, rs2_value & 0xFFFFFFFF, 32)
+        elif mnemonic == "divuw":
+            a32 = rs1_value & 0xFFFFFFFF
+            b32 = rs2_value & 0xFFFFFFFF
+            result = MASK64 if b32 == 0 else _signed32(a32 // b32) & MASK64
+        elif mnemonic == "remw":
+            result = self._rem_signed(rs1_value & 0xFFFFFFFF, rs2_value & 0xFFFFFFFF, 32)
+        elif mnemonic == "remuw":
+            a32 = rs1_value & 0xFFFFFFFF
+            b32 = rs2_value & 0xFFFFFFFF
+            result = _signed32(a32) & MASK64 if b32 == 0 else _signed32(a32 % b32) & MASK64
+        # --- upper immediates -------------------------------------------------
+        elif mnemonic == "lui":
+            result = imm & MASK64
+        elif mnemonic == "auipc":
+            result = (pc + imm) & MASK64
+        # --- loads ------------------------------------------------------------
+        elif mnemonic in ("ld", "lw", "lwu", "lh", "lhu", "lb", "lbu"):
+            address = (rs1_value + imm) & MASK64
+            size = {"ld": 8, "lw": 4, "lwu": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}[mnemonic]
+            raw = memory.read(address, size)
+            if mnemonic == "lw":
+                raw = _signed32(raw) & MASK64
+            elif mnemonic == "lh":
+                raw = ((raw ^ 0x8000) - 0x8000) & MASK64
+            elif mnemonic == "lb":
+                raw = ((raw ^ 0x80) - 0x80) & MASK64
+            info.mem_addr = address
+            info.mem_size = size
+            if rd:
+                regs[rd] = raw
+            hart.pc = next_pc
+            return info
+        # --- stores -----------------------------------------------------------
+        elif mnemonic in ("sd", "sw", "sh", "sb"):
+            address = (rs1_value + imm) & MASK64
+            size = {"sd": 8, "sw": 4, "sh": 2, "sb": 1}[mnemonic]
+            memory.write(address, size, rs2_value)
+            info.mem_addr = address
+            info.mem_size = size
+            info.mem_is_store = True
+            hart.pc = next_pc
+            return info
+        # --- control transfer -------------------------------------------------
+        elif mnemonic == "jal":
+            if rd:
+                regs[rd] = next_pc
+            info.next_pc = (pc + imm) & MASK64
+            info.branch_taken = True
+            hart.pc = info.next_pc
+            return info
+        elif mnemonic == "jalr":
+            target = (rs1_value + imm) & MASK64 & ~1
+            if rd:
+                regs[rd] = next_pc
+            info.next_pc = target
+            info.branch_taken = True
+            hart.pc = target
+            return info
+        elif mnemonic in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = self._branch_taken(mnemonic, rs1_value, rs2_value)
+            info.branch_taken = taken
+            if taken:
+                info.next_pc = (pc + imm) & MASK64
+            hart.pc = info.next_pc
+            return info
+        # --- system -----------------------------------------------------------
+        elif mnemonic in ("csrrs", "csrrw", "csrrc", "csrrsi", "csrrwi", "csrrci"):
+            value = self._read_csr(decoded.csr)
+            if rd:
+                regs[rd] = value & MASK64
+            hart.pc = next_pc
+            return info
+        elif mnemonic == "ecall":
+            # Bare-metal convention: a7 holds the syscall number; 93 is exit
+            # with the code in a0.  Anything else terminates as "unhandled".
+            if regs[17] == 93:
+                self.exit_requested = True
+                self.exit_code = regs[10] & 0xFF
+            else:
+                raise TrapError(f"unhandled ecall (a7={regs[17]}) at pc={pc:#x}")
+            hart.pc = next_pc
+            return info
+        elif mnemonic == "ebreak":
+            raise TrapError(f"ebreak at pc={pc:#x}")
+        elif mnemonic in ("fence", "fence.i"):
+            hart.pc = next_pc
+            return info
+        # --- RoCC custom instructions ------------------------------------------
+        elif mnemonic == "rocc":
+            return self._execute_rocc(decoded, info, rs1_value, rs2_value)
+        else:  # pragma: no cover - decoder and executor tables are in sync
+            raise SimulationError(f"unimplemented instruction {mnemonic!r} at {pc:#x}")
+
+        # Common tail for plain register-writing instructions.
+        if rd:
+            regs[rd] = result
+        hart.pc = next_pc
+        return info
+
+    # ------------------------------------------------------------------- RoCC
+    def _execute_rocc(self, decoded, info, rs1_value, rs2_value) -> ExecInfo:
+        if self.rocc is None:
+            raise SimulationError(
+                f"RoCC instruction at pc={info.pc:#x} but no accelerator attached"
+            )
+        response = self.rocc.execute(
+            funct7=decoded.funct7,
+            rd=decoded.rd,
+            rs1=decoded.rs1,
+            rs2=decoded.rs2,
+            rs1_value=rs1_value,
+            rs2_value=rs2_value,
+            xd=bool(decoded.xd),
+            xs1=bool(decoded.xs1),
+            xs2=bool(decoded.xs2),
+            memory=self.memory,
+        )
+        info.is_rocc = True
+        info.rocc_busy_cycles = response.busy_cycles
+        info.rocc_has_response = response.has_response
+        info.rocc_funct7 = decoded.funct7
+        if response.has_response and decoded.rd:
+            self.hart.regs[decoded.rd] = response.value & MASK64
+        self.hart.pc = info.next_pc
+        return info
+
+    # ------------------------------------------------------------------- CSRs
+    def _read_csr(self, address: int) -> int:
+        if address in csrdefs.IMPLEMENTED:
+            return self.csr_provider(address)
+        raise TrapError(f"access to unimplemented CSR {address:#x}")
+
+    # ---------------------------------------------------------------- helpers
+    @staticmethod
+    def _branch_taken(mnemonic: str, a: int, b: int) -> bool:
+        if mnemonic == "beq":
+            return a == b
+        if mnemonic == "bne":
+            return a != b
+        if mnemonic == "blt":
+            return _signed(a) < _signed(b)
+        if mnemonic == "bge":
+            return _signed(a) >= _signed(b)
+        if mnemonic == "bltu":
+            return a < b
+        return a >= b  # bgeu
+
+    @staticmethod
+    def _div_signed(a: int, b: int, width: int) -> int:
+        if width == 32:
+            a_signed, b_signed = _signed32(a), _signed32(b)
+            min_value = -(1 << 31)
+        else:
+            a_signed, b_signed = _signed(a), _signed(b)
+            min_value = -(1 << 63)
+        if b_signed == 0:
+            return MASK64
+        if a_signed == min_value and b_signed == -1:
+            return to_unsigned64(to_signed64(a_signed & MASK64)) if width == 64 else (
+                _signed32(min_value) & MASK64
+            )
+        quotient = int(a_signed / b_signed)  # C-style truncation toward zero
+        if width == 32:
+            return _signed32(quotient) & MASK64
+        return quotient & MASK64
+
+    @staticmethod
+    def _rem_signed(a: int, b: int, width: int) -> int:
+        if width == 32:
+            a_signed, b_signed = _signed32(a), _signed32(b)
+            min_value = -(1 << 31)
+        else:
+            a_signed, b_signed = _signed(a), _signed(b)
+            min_value = -(1 << 63)
+        if b_signed == 0:
+            return (a_signed & MASK64) if width == 64 else _signed32(a_signed) & MASK64
+        if a_signed == min_value and b_signed == -1:
+            return 0
+        remainder = a_signed - b_signed * int(a_signed / b_signed)
+        if width == 32:
+            return _signed32(remainder) & MASK64
+        return remainder & MASK64

@@ -1,0 +1,49 @@
+"""Architectural state of a single RV64 hart (hardware thread)."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+#: Default stack top.  The linker places code and data far below this.
+DEFAULT_STACK_TOP = 0x3000_0000
+
+
+class Hart:
+    """Integer register file + program counter.
+
+    Counters (cycle/instret) live in the simulator driving the hart, because
+    their values differ between the functional and timing models.
+    """
+
+    __slots__ = ("regs", "pc")
+
+    def __init__(self, pc: int = 0, stack_pointer: int = DEFAULT_STACK_TOP) -> None:
+        self.regs = [0] * 32
+        self.pc = pc
+        self.regs[2] = stack_pointer  # sp
+
+    def read_reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        """Write a register; x0 stays hard-wired to zero."""
+        if index:
+            self.regs[index] = value & 0xFFFFFFFFFFFFFFFF
+
+    def dump(self) -> str:
+        """Readable register dump for debugging failed kernels."""
+        from repro.isa.registers import register_abi_name
+
+        lines = [f"pc = {self.pc:#018x}"]
+        for index in range(32):
+            lines.append(
+                f"x{index:<2d} ({register_abi_name(index):>4s}) = {self.regs[index]:#018x}"
+            )
+        return "\n".join(lines)
+
+    def require_alignment(self, address: int, size: int) -> None:
+        """Raise when a naturally aligned access is required but violated."""
+        if address % size:
+            raise SimulationError(
+                f"misaligned {size}-byte access at {address:#x} (pc={self.pc:#x})"
+            )

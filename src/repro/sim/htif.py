@@ -1,0 +1,39 @@
+"""Host-target interface (HTIF) in the style of Spike / the Rocket emulator.
+
+The bare-metal test programs terminate and print by storing to a magic
+``tohost`` address:
+
+* an odd value terminates the simulation with exit code ``value >> 1``
+  (so ``1`` means "exit 0", mirroring the real HTIF convention);
+* an even value prints character ``value >> 8`` when the low byte is 0x02
+  (a tiny console protocol sufficient for the test programs).
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import TOHOST_ADDRESS
+
+
+class Htif:
+    """Collects exit status and console output from the simulated program."""
+
+    def __init__(self, tohost_address: int = TOHOST_ADDRESS) -> None:
+        self.tohost_address = tohost_address
+        self.exited = False
+        self.exit_code = 0
+        self.console = []
+
+    def attach(self, memory) -> None:
+        """Register the ``tohost`` write hook on a :class:`SparseMemory`."""
+        memory.add_write_hook(self.tohost_address, self._on_tohost_write)
+
+    def _on_tohost_write(self, value: int, size: int) -> None:
+        if value & 1:
+            self.exited = True
+            self.exit_code = value >> 1
+        elif value & 0xFF == 0x02:
+            self.console.append(chr((value >> 8) & 0xFF))
+
+    @property
+    def console_output(self) -> str:
+        return "".join(self.console)

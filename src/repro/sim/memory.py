@@ -1,0 +1,124 @@
+"""Sparse little-endian memory with MMIO hooks.
+
+The simulated machine has a flat physical address space.  Pages are allocated
+lazily so that placing the text segment at 256 MiB and the stack at 768 MiB
+costs nothing.  A small MMIO mechanism lets the HTIF host interface intercept
+writes to its ``tohost`` register.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class SparseMemory:
+    """Byte-addressable sparse memory."""
+
+    def __init__(self) -> None:
+        self._pages = {}
+        self._write_hooks = {}
+        self._read_hooks = {}
+
+    # ------------------------------------------------------------------- MMIO
+    def add_write_hook(self, address: int, callback) -> None:
+        """Call ``callback(value, size)`` instead of storing at ``address``."""
+        self._write_hooks[address] = callback
+
+    def add_read_hook(self, address: int, callback) -> None:
+        """Call ``callback(size) -> int`` instead of loading from ``address``."""
+        self._read_hooks[address] = callback
+
+    # ------------------------------------------------------------------ pages
+    def _page(self, page_number: int) -> bytearray:
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    # ------------------------------------------------------------------ bytes
+    def write_bytes(self, address: int, data: bytes) -> None:
+        if address < 0:
+            raise MemoryError_(f"negative address: {address:#x}")
+        offset = 0
+        remaining = len(data)
+        while remaining:
+            page_number = (address + offset) >> PAGE_SHIFT
+            page_offset = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - page_offset, remaining)
+            self._page(page_number)[page_offset:page_offset + chunk] = data[
+                offset:offset + chunk
+            ]
+            offset += chunk
+            remaining -= chunk
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        if address < 0:
+            raise MemoryError_(f"negative address: {address:#x}")
+        result = bytearray()
+        offset = 0
+        while offset < length:
+            page_number = (address + offset) >> PAGE_SHIFT
+            page_offset = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - page_offset, length - offset)
+            page = self._pages.get(page_number)
+            if page is None:
+                result.extend(b"\x00" * chunk)
+            else:
+                result.extend(page[page_offset:page_offset + chunk])
+            offset += chunk
+        return bytes(result)
+
+    # ----------------------------------------------------------------- scalar
+    def read(self, address: int, size: int) -> int:
+        """Load ``size`` bytes (1/2/4/8) little-endian, returning an unsigned int."""
+        hook = self._read_hooks.get(address)
+        if hook is not None:
+            return hook(size)
+        page_offset = address & PAGE_MASK
+        if page_offset + size <= PAGE_SIZE:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(page[page_offset:page_offset + size], "little")
+        return int.from_bytes(self.read_bytes(address, size), "little")
+
+    def write(self, address: int, size: int, value: int) -> None:
+        """Store ``size`` bytes (1/2/4/8) little-endian."""
+        hook = self._write_hooks.get(address)
+        if hook is not None:
+            hook(value & ((1 << (8 * size)) - 1), size)
+            return
+        page_offset = address & PAGE_MASK
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if page_offset + size <= PAGE_SIZE:
+            page = self._page(address >> PAGE_SHIFT)
+            page[page_offset:page_offset + size] = data
+        else:
+            self.write_bytes(address, data)
+
+    # ------------------------------------------------------------ convenience
+    def read_dword(self, address: int) -> int:
+        return self.read(address, 8)
+
+    def write_dword(self, address: int, value: int) -> None:
+        self.write(address, 8, value)
+
+    def read_word(self, address: int) -> int:
+        return self.read(address, 4)
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write(address, 4, value)
+
+    def load_image(self, image) -> None:
+        """Copy every segment of a linked :class:`~repro.asm.program.Image`."""
+        for base, data in image.iter_bytes():
+            self.write_bytes(base, data)
+
+    def allocated_bytes(self) -> int:
+        """Number of bytes currently backed by real pages (for tests)."""
+        return len(self._pages) * PAGE_SIZE

@@ -1,0 +1,119 @@
+"""SPIKE-like functional ISA simulator.
+
+Used exactly as in the paper's flow (Fig. 2): the RISC-V binary is first run
+here for *functional verification* — the results written to memory are checked
+against the golden decimal library — before the cycle-accurate Rocket model is
+used for performance numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa import csr as csrdefs
+from repro.sim.executor import Executor
+from repro.sim.hart import DEFAULT_STACK_TOP, Hart
+from repro.sim.htif import Htif
+from repro.sim.memory import SparseMemory
+
+#: Safety net against runaway programs (misassembled loops and the like).
+DEFAULT_MAX_INSTRUCTIONS = 50_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one functional simulation run."""
+
+    exit_code: int
+    instructions_retired: int
+    console_output: str
+    symbols: dict = field(default_factory=dict)
+    #: the live memory, so callers can read back result buffers
+    memory: SparseMemory = None
+    hart: Hart = None
+
+    def read_dword(self, symbol_or_address, index: int = 0) -> int:
+        """Read a 64-bit result; ``symbol_or_address`` may be a symbol name."""
+        address = self._resolve(symbol_or_address)
+        return self.memory.read_dword(address + 8 * index)
+
+    def read_dwords(self, symbol_or_address, count: int) -> list:
+        address = self._resolve(symbol_or_address)
+        return [self.memory.read_dword(address + 8 * i) for i in range(count)]
+
+    def _resolve(self, symbol_or_address) -> int:
+        if isinstance(symbol_or_address, str):
+            try:
+                return self.symbols[symbol_or_address]
+            except KeyError:
+                raise SimulationError(
+                    f"unknown symbol {symbol_or_address!r}"
+                ) from None
+        return symbol_or_address
+
+
+class SpikeSimulator:
+    """Functional RV64 simulator with HTIF exit/console support."""
+
+    def __init__(
+        self,
+        image,
+        accelerator=None,
+        stack_top: int = DEFAULT_STACK_TOP,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ) -> None:
+        self.image = image
+        self.memory = SparseMemory()
+        self.memory.load_image(image)
+        self.htif = Htif()
+        self.htif.attach(self.memory)
+        self.hart = Hart(pc=image.entry, stack_pointer=stack_top)
+        self.max_instructions = max_instructions
+        self.instructions_retired = 0
+        self.accelerator = accelerator
+        rocc_adapter = accelerator.rocc_adapter() if accelerator is not None else None
+        self.executor = Executor(
+            self.hart,
+            self.memory,
+            csr_provider=self._read_counter,
+            rocc=rocc_adapter,
+        )
+
+    # ---------------------------------------------------------------- counters
+    def _read_counter(self, address: int) -> int:
+        if address in (csrdefs.CYCLE, csrdefs.MCYCLE, csrdefs.TIME):
+            # The functional model has no timing: one cycle per instruction.
+            return self.instructions_retired
+        if address in (csrdefs.INSTRET, csrdefs.MINSTRET):
+            return self.instructions_retired
+        return 0
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> SimulationResult:
+        """Run until the program exits (HTIF or exit ecall)."""
+        executor = self.executor
+        htif = self.htif
+        limit = self.max_instructions
+        while not htif.exited and not executor.exit_requested:
+            if self.instructions_retired >= limit:
+                raise SimulationError(
+                    f"instruction limit exceeded ({limit}); "
+                    f"pc={self.hart.pc:#x} — runaway program?"
+                )
+            executor.step()
+            self.instructions_retired += 1
+        exit_code = htif.exit_code if htif.exited else executor.exit_code
+        return SimulationResult(
+            exit_code=exit_code,
+            instructions_retired=self.instructions_retired,
+            console_output=htif.console_output,
+            symbols=dict(self.image.symbols),
+            memory=self.memory,
+            hart=self.hart,
+        )
+
+
+def run_image(image, accelerator=None, **kwargs) -> SimulationResult:
+    """Convenience one-shot functional run of a linked image."""
+    return SpikeSimulator(image, accelerator=accelerator, **kwargs).run()

@@ -1,0 +1,67 @@
+"""Configuration of one generated test program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.verification.database import OperandClass
+
+
+class SolutionKind:
+    """Which decimal-multiplication solution the generated program runs."""
+
+    SOFTWARE = "software"            # decNumber-style pure-software baseline
+    METHOD1 = "method1"              # Method-1 with the RoCC accelerator
+    METHOD1_DUMMY = "method1_dummy"  # Method-1 with dummy functions
+
+    ALL = (SOFTWARE, METHOD1, METHOD1_DUMMY)
+
+
+@dataclass(frozen=True)
+class TestProgramConfig:
+    """The generator parameters listed in Section III of the paper."""
+
+    solution: str = SolutionKind.METHOD1
+    precision: str = "double"               # "double" (decimal64) or "quad"
+    operation: str = "multiply"
+    operand_classes: tuple = OperandClass.TABLE_IV_MIX
+    num_samples: int = 100
+    repetitions: int = 1                    # repetitions per calculation
+    output_mode: str = "cycles"             # "cycles" or "time"
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        if self.solution not in SolutionKind.ALL:
+            raise ConfigurationError(f"unknown solution: {self.solution!r}")
+        if self.precision not in ("double", "quad"):
+            raise ConfigurationError(f"unknown precision: {self.precision!r}")
+        if self.precision == "quad":
+            raise ConfigurationError(
+                "quad (decimal128) kernels are not generated; the software "
+                "library supports decimal128 but the evaluated kernels are "
+                "decimal64, as in the paper's experiments"
+            )
+        if self.operation != "multiply":
+            raise ConfigurationError(
+                f"unsupported operation {self.operation!r}: the evaluated "
+                "co-design solution is decimal multiplication"
+            )
+        if self.num_samples < 1:
+            raise ConfigurationError("num_samples must be at least 1")
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be at least 1")
+        if self.output_mode not in ("cycles", "time"):
+            raise ConfigurationError(f"unknown output mode: {self.output_mode!r}")
+        for name in self.operand_classes:
+            if name not in OperandClass.ALL:
+                raise ConfigurationError(f"unknown operand class: {name!r}")
+
+    @property
+    def uses_accelerator(self) -> bool:
+        return self.solution == SolutionKind.METHOD1
+
+    def with_overrides(self, **overrides) -> "TestProgramConfig":
+        from dataclasses import replace
+
+        return replace(self, **overrides)

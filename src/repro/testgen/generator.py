@@ -1,0 +1,174 @@
+"""Build a runnable RISC-V test program from a configuration + operand vectors.
+
+The generated program contains (Fig. 2's "Test Program" box):
+
+* the DPD/BCD/power-of-ten lookup tables,
+* the encoded operand pairs and buffers for results and per-sample cycles,
+* a measurement harness that brackets every multiplication with ``RDCYCLE``
+  (the paper's measurement primitive) and accumulates a total,
+* the selected kernel (software baseline, Method-1, or Method-1 with dummy
+  functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.builder import AsmBuilder
+from repro.asm.program import TOHOST_ADDRESS
+from repro.errors import ConfigurationError
+from repro.kernels.method1 import emit_method1_kernel
+from repro.kernels.software_mul import emit_software_mul_kernel
+from repro.kernels.tables import emit_tables
+from repro.testgen.config import SolutionKind, TestProgramConfig
+from repro.verification.database import VerificationDatabase
+from repro.verification.reference import GoldenReference
+
+#: Data-section symbols of the generated harness.
+HARNESS_SYMBOLS = {
+    "operands": "operands",
+    "results": "results",
+    "cycle_samples": "cycle_samples",
+    "total_cycles": "total_cycles",
+    "num_samples": "num_samples",
+}
+
+_KERNEL_LABELS = {
+    SolutionKind.SOFTWARE: "dec64_mul_sw",
+    SolutionKind.METHOD1: "dec64_mul_m1",
+    SolutionKind.METHOD1_DUMMY: "dec64_mul_m1d",
+}
+
+
+@dataclass
+class GeneratedProgram:
+    """A linked test program plus everything needed to interpret its output."""
+
+    image: object
+    config: TestProgramConfig
+    vectors: list
+    kernel_label: str
+    operand_words: list = field(default_factory=list)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.vectors)
+
+    def read_results(self, result) -> list:
+        """Per-sample result words from a finished simulation."""
+        return result.read_dwords(HARNESS_SYMBOLS["results"], self.num_samples)
+
+    def read_cycle_samples(self, result) -> list:
+        """Per-sample cycle counts (RDCYCLE deltas) from a finished simulation."""
+        return result.read_dwords(HARNESS_SYMBOLS["cycle_samples"], self.num_samples)
+
+    def read_total_cycles(self, result) -> int:
+        return result.read_dword(HARNESS_SYMBOLS["total_cycles"])
+
+
+def _emit_kernel(builder: AsmBuilder, config: TestProgramConfig) -> str:
+    label = _KERNEL_LABELS[config.solution]
+    if config.solution == SolutionKind.SOFTWARE:
+        return emit_software_mul_kernel(builder, label=label)
+    use_accelerator = config.solution == SolutionKind.METHOD1
+    return emit_method1_kernel(builder, label=label, use_accelerator=use_accelerator)
+
+
+def _emit_harness(builder: AsmBuilder, kernel_label: str, num_samples: int,
+                  repetitions: int) -> None:
+    b = builder
+    b.text()
+    b.label("_start")
+    b.la("s0", HARNESS_SYMBOLS["operands"])
+    b.la("s1", HARNESS_SYMBOLS["results"])
+    b.la("s2", HARNESS_SYMBOLS["cycle_samples"])
+    b.li("s3", num_samples)
+    b.li("s4", 0)          # sample index
+    b.li("s5", 0)          # total cycles
+    b.beqz("s3", "harness_done")
+    b.label("harness_loop")
+    b.emit("ld", "s8", "s0", 0)   # X
+    b.emit("ld", "s9", "s0", 8)   # Y
+    b.li("s10", repetitions)
+    b.rdcycle("s6")
+    b.label("harness_repeat")
+    b.mv("a0", "s8")
+    b.mv("a1", "s9")
+    b.call(kernel_label)
+    b.emit("addi", "s10", "s10", -1)
+    b.bnez("s10", "harness_repeat")
+    b.rdcycle("s7")
+    b.emit("sub", "s7", "s7", "s6")
+    b.emit("sd", "a0", "s1", 0)
+    b.emit("sd", "s7", "s2", 0)
+    b.emit("add", "s5", "s5", "s7")
+    b.emit("addi", "s0", "s0", 16)
+    b.emit("addi", "s1", "s1", 8)
+    b.emit("addi", "s2", "s2", 8)
+    b.emit("addi", "s4", "s4", 1)
+    b.branch("bne", "s4", "s3", "harness_loop")
+    b.label("harness_done")
+    b.la("t0", HARNESS_SYMBOLS["total_cycles"])
+    b.emit("sd", "s5", "t0", 0)
+    b.li("t1", TOHOST_ADDRESS)
+    b.li("t2", 1)
+    b.emit("sd", "t2", "t1", 0)
+    b.label("harness_spin")
+    b.j("harness_spin")
+
+
+def build_test_program(
+    config: TestProgramConfig,
+    vectors=None,
+    database: VerificationDatabase = None,
+) -> GeneratedProgram:
+    """Generate, assemble and link one test program.
+
+    ``vectors`` may be provided explicitly (e.g. to run the same operands
+    through several solutions); otherwise they are drawn from ``database``
+    (or a fresh one seeded from the configuration).
+    """
+    if vectors is None:
+        database = database if database is not None else VerificationDatabase(config.seed)
+        vectors = database.generate_mix(config.num_samples, config.operand_classes)
+    if len(vectors) != config.num_samples:
+        raise ConfigurationError(
+            f"vector count {len(vectors)} != configured num_samples {config.num_samples}"
+        )
+
+    reference = GoldenReference(operation=config.operation, precision=config.precision)
+    builder = AsmBuilder()
+
+    # Data: lookup tables, operands, result/cycle buffers.
+    emit_tables(builder)
+    builder.data()
+    builder.align(8)
+    builder.label(HARNESS_SYMBOLS["operands"])
+    operand_words = []
+    for vector in vectors:
+        x_word = reference.encode_operand(vector.x)
+        y_word = reference.encode_operand(vector.y)
+        operand_words.append((x_word, y_word))
+        builder.dword(x_word, y_word)
+    builder.label(HARNESS_SYMBOLS["results"])
+    builder.space(8 * len(vectors))
+    builder.label(HARNESS_SYMBOLS["cycle_samples"])
+    builder.space(8 * len(vectors))
+    builder.label(HARNESS_SYMBOLS["total_cycles"])
+    builder.dword(0)
+    builder.label(HARNESS_SYMBOLS["num_samples"])
+    builder.dword(len(vectors))
+
+    # Text: harness first (entry point), then the kernel.
+    _emit_harness(builder, _KERNEL_LABELS[config.solution], len(vectors),
+                  config.repetitions)
+    kernel_label = _emit_kernel(builder, config)
+
+    image = builder.link(entry_symbol="_start")
+    return GeneratedProgram(
+        image=image,
+        config=config,
+        vectors=list(vectors),
+        kernel_label=kernel_label,
+        operand_words=operand_words,
+    )

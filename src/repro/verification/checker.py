@@ -1,0 +1,108 @@
+"""Compare kernel results read back from simulated memory with the golden reference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.decnumber.number import DecNumber
+from repro.errors import VerificationError
+from repro.verification.reference import GoldenReference
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One mismatching sample."""
+
+    index: int
+    operand_class: str
+    x: DecNumber
+    y: DecNumber
+    expected: DecNumber
+    actual: DecNumber
+    expected_bits: int
+    actual_bits: int
+
+    def describe(self) -> str:
+        return (
+            f"sample {self.index} [{self.operand_class}]: "
+            f"{self.x} * {self.y} -> expected {self.expected} "
+            f"(0x{self.expected_bits:016x}), got {self.actual} "
+            f"(0x{self.actual_bits:016x})"
+        )
+
+
+@dataclass
+class CheckReport:
+    """Outcome of checking a whole run."""
+
+    total: int = 0
+    passed: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.failed == 0 and self.total > 0
+
+    def raise_on_failure(self, max_reported: int = 5) -> None:
+        if self.failed:
+            detail = "\n".join(
+                failure.describe() for failure in self.failures[:max_reported]
+            )
+            raise VerificationError(
+                f"{self.failed}/{self.total} samples mismatched:\n{detail}"
+            )
+
+
+class ResultChecker:
+    """Checks per-sample results of a simulated kernel run."""
+
+    def __init__(self, reference: GoldenReference = None) -> None:
+        self.reference = reference if reference is not None else GoldenReference()
+
+    @staticmethod
+    def results_match(expected: DecNumber, actual: DecNumber) -> bool:
+        """IEEE-level equality: NaNs match NaNs (payload ignored), everything
+        else must match in kind, sign, coefficient and exponent."""
+        if expected.is_nan:
+            return actual.is_nan
+        if expected.is_infinite:
+            return actual.is_infinite and actual.sign == expected.sign
+        return (
+            actual.is_finite
+            and actual.sign == expected.sign
+            and actual.coefficient == expected.coefficient
+            and actual.exponent == expected.exponent
+        )
+
+    def check_run(self, vectors, result_words) -> CheckReport:
+        """Check one simulated run.
+
+        ``vectors`` is the list of :class:`VerificationVector` the program was
+        built from; ``result_words`` the interchange words the kernel stored,
+        in the same order.
+        """
+        report = CheckReport()
+        for vector, word in zip(vectors, result_words):
+            report.total += 1
+            golden = self.reference.compute(vector.x, vector.y)
+            actual = self.reference.decode(word)
+            if self.results_match(golden.value, actual):
+                report.passed += 1
+            else:
+                report.failures.append(
+                    CheckFailure(
+                        index=vector.index,
+                        operand_class=vector.operand_class,
+                        x=vector.x,
+                        y=vector.y,
+                        expected=golden.value,
+                        actual=actual,
+                        expected_bits=golden.encoded,
+                        actual_bits=word,
+                    )
+                )
+        return report

@@ -1,0 +1,76 @@
+"""Coverage bookkeeping over operand classes and result conditions.
+
+The verification database draws vectors by class, but what actually matters
+is which *result conditions* (inexact, overflow, underflow, subnormal,
+clamped, special) the simulated kernels were exercised with.  The tracker
+records both, so the test suite can assert that an evaluation really covered
+the cases the paper lists.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.verification.reference import GoldenReference
+
+
+class CoverageTracker:
+    """Counts operand classes and golden-result conditions seen so far."""
+
+    CONDITIONS = (
+        "exact",
+        "inexact",
+        "rounded",
+        "overflow",
+        "underflow",
+        "subnormal",
+        "clamped",
+        "invalid",
+        "result_nan",
+        "result_infinity",
+        "result_zero",
+    )
+
+    def __init__(self, reference: GoldenReference = None) -> None:
+        self.reference = reference if reference is not None else GoldenReference()
+        self.class_counts = Counter()
+        self.condition_counts = Counter()
+        self.total = 0
+
+    def record(self, vector) -> frozenset:
+        """Record one vector; returns the set of conditions it produced."""
+        golden = self.reference.compute(vector.x, vector.y)
+        conditions = set(golden.flags)
+        if not golden.flags & {"inexact"}:
+            conditions.add("exact")
+        if golden.value.is_nan:
+            conditions.add("result_nan")
+        if golden.value.is_infinite:
+            conditions.add("result_infinity")
+        if golden.value.is_zero:
+            conditions.add("result_zero")
+        self.class_counts[vector.operand_class] += 1
+        for condition in conditions:
+            self.condition_counts[condition] += 1
+        self.total += 1
+        return frozenset(conditions)
+
+    def record_all(self, vectors) -> None:
+        for vector in vectors:
+            self.record(vector)
+
+    def covered_conditions(self) -> frozenset:
+        return frozenset(name for name, count in self.condition_counts.items() if count)
+
+    def missing_conditions(self, required) -> frozenset:
+        return frozenset(required) - self.covered_conditions()
+
+    def summary(self) -> str:
+        lines = [f"vectors: {self.total}"]
+        lines.append("classes:")
+        for name, count in sorted(self.class_counts.items()):
+            lines.append(f"  {name:<12s} {count}")
+        lines.append("conditions:")
+        for name in self.CONDITIONS:
+            lines.append(f"  {name:<16s} {self.condition_counts.get(name, 0)}")
+        return "\n".join(lines)

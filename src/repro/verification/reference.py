@@ -1,0 +1,62 @@
+"""Golden reference results, computed with the decNumber stand-in library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decnumber import decimal64, decimal128
+from repro.decnumber.arith import add, multiply, subtract
+from repro.decnumber.context import Context
+from repro.decnumber.number import DecNumber
+from repro.errors import ConfigurationError
+
+_OPERATIONS = {
+    "multiply": multiply,
+    "add": add,
+    "subtract": subtract,
+}
+
+_FORMATS = {
+    "double": decimal64,
+    "quad": decimal128,
+}
+
+
+@dataclass(frozen=True)
+class GoldenResult:
+    """Expected result of one operation: value, encoding, and raised flags."""
+
+    value: DecNumber
+    encoded: int
+    flags: frozenset
+
+
+class GoldenReference:
+    """Computes expected results/encodings for the verification checker."""
+
+    def __init__(self, operation: str = "multiply", precision: str = "double") -> None:
+        if operation not in _OPERATIONS:
+            raise ConfigurationError(f"unsupported operation: {operation!r}")
+        if precision not in _FORMATS:
+            raise ConfigurationError(f"unsupported precision: {precision!r}")
+        self.operation = operation
+        self.precision = precision
+        self._format_module = _FORMATS[precision]
+
+    def context(self) -> Context:
+        return self._format_module.context()
+
+    def compute(self, x: DecNumber, y: DecNumber) -> GoldenResult:
+        """Expected rounded result and interchange encoding for (x op y)."""
+        ctx = self.context()
+        value = _OPERATIONS[self.operation](x, y, ctx)
+        encoded = self._format_module.encode(value, ctx.copy())
+        return GoldenResult(value=value, encoded=encoded, flags=ctx.flags.raised())
+
+    def encode_operand(self, value: DecNumber) -> int:
+        """Interchange encoding of an operand."""
+        return self._format_module.encode(value)
+
+    def decode(self, word: int) -> DecNumber:
+        """Decode an interchange word produced by a kernel."""
+        return self._format_module.decode(word)

@@ -1,0 +1,62 @@
+"""Smoke tests keeping the example applications runnable.
+
+Each example is executed in-process with a small workload; the assertions
+check the observable outcomes (correct arithmetic, sensible capacity numbers,
+a non-empty Pareto frontier) rather than exact text.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def argv(monkeypatch):
+    def set_args(*args):
+        monkeypatch.setattr(sys, "argv", ["example", *map(str, args)])
+
+    return set_args
+
+
+def _run(path):
+    return runpy.run_path(path, run_name="__main__")
+
+
+def test_quickstart_example(argv, capsys):
+    argv(12)
+    _run("examples/quickstart.py")
+    output = capsys.readouterr().out
+    assert "Table IV" in output
+    assert "faster than the software baseline" in output
+    assert "TOTAL" in output  # hardware overhead table
+
+
+def test_financial_billing_example(argv, capsys):
+    argv(20)
+    _run("examples/financial_billing.py")
+    output = capsys.readouterr().out
+    assert "Rated 20 call records" in output
+    assert "records/s" in output
+    # The accelerated solution must rate more records per second.
+    lines = [line for line in output.splitlines() if "records/s" in line]
+    software_rate = float(lines[0].split("->")[1].split("M")[0])
+    method1_rate = float(lines[1].split("->")[1].split("M")[0])
+    assert method1_rate > software_rate
+
+
+def test_pareto_sweep_example(argv, capsys):
+    argv(8)
+    _run("examples/pareto_sweep.py")
+    output = capsys.readouterr().out
+    assert "Pareto frontier" in output
+    assert "Software [2]" in output
+    assert "yes" in output
+
+
+def test_custom_instruction_example(capsys):
+    _run("examples/custom_instruction.py")
+    output = capsys.readouterr().out
+    assert "expected 1111111110" in output and "= 1111111110" in output
+    assert "DEC_CNVx2" in output
+    assert "RoCC commands" in output

@@ -1,0 +1,162 @@
+"""Unit tests for the ISA layer: field packing, encoding and decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import encoding as enc
+from repro.isa.decoder import decode_instruction
+from repro.isa.encoder import encode_instruction
+from repro.isa.instructions import (
+    B_TYPE,
+    I_TYPE,
+    InstrFormat,
+    R_TYPE,
+    S_TYPE,
+    SHIFT_IMM,
+    U_TYPE,
+    all_mnemonics,
+)
+from repro.isa.registers import parse_register, register_abi_name
+
+
+class TestBitHelpers:
+    def test_bits_extracts_inclusive_range(self):
+        assert enc.bits(0b1101_0110, 6, 3) == 0b1010
+
+    def test_sign_extend_negative(self):
+        assert enc.sign_extend(0xFFF, 12) == -1
+        assert enc.sign_extend(0x800, 12) == -2048
+
+    def test_sign_extend_positive(self):
+        assert enc.sign_extend(0x7FF, 12) == 2047
+
+    def test_signed_unsigned_roundtrip(self):
+        assert enc.to_signed64(enc.to_unsigned64(-5)) == -5
+        assert enc.to_unsigned64(-1) == enc.MASK64
+
+    def test_fits_signed(self):
+        assert enc.fits_signed(2047, 12)
+        assert enc.fits_signed(-2048, 12)
+        assert not enc.fits_signed(2048, 12)
+
+    @given(st.integers(min_value=0, max_value=enc.MASK64), st.integers(1, 64))
+    def test_sign_extend_idempotent(self, value, width):
+        once = enc.sign_extend(value, width)
+        assert enc.sign_extend(once, width) == once
+
+
+class TestRegisters:
+    @pytest.mark.parametrize("name,number", [
+        ("zero", 0), ("ra", 1), ("sp", 2), ("fp", 8), ("s0", 8),
+        ("a0", 10), ("a7", 17), ("t6", 31), ("x13", 13), (5, 5),
+    ])
+    def test_parse_register(self, name, number):
+        assert parse_register(name) == number
+
+    def test_parse_register_rejects_unknown(self):
+        with pytest.raises(EncodingError):
+            parse_register("q7")
+        with pytest.raises(EncodingError):
+            parse_register(32)
+
+    def test_abi_names_roundtrip(self):
+        for number in range(32):
+            assert parse_register(register_abi_name(number)) == number
+
+
+def _sample_operands(mnemonic):
+    """Representative operands for a round-trip test of each mnemonic."""
+    if mnemonic in R_TYPE:
+        return (5, 6, 7)
+    if mnemonic in SHIFT_IMM:
+        return (5, 6, 13)
+    if mnemonic in I_TYPE:
+        return (5, 6, -37)
+    if mnemonic in S_TYPE:
+        return (7, 6, 40)
+    if mnemonic in B_TYPE:
+        return (5, 6, -64)
+    if mnemonic in U_TYPE:
+        return (5, 0x12345)
+    if mnemonic == "jal":
+        return (1, 2048)
+    if mnemonic in ("csrrw", "csrrs", "csrrc"):
+        return (5, 0xC00, 6)
+    if mnemonic in ("csrrwi", "csrrsi", "csrrci"):
+        return (5, 0xC00, 9)
+    return ()
+
+
+class TestEncodeDecodeRoundtrip:
+    @pytest.mark.parametrize("mnemonic", all_mnemonics())
+    def test_roundtrip_every_mnemonic(self, mnemonic):
+        operands = _sample_operands(mnemonic)
+        word = encode_instruction(mnemonic, *operands)
+        decoded = decode_instruction(word)
+        assert decoded.mnemonic == mnemonic
+        if mnemonic in R_TYPE:
+            assert (decoded.rd, decoded.rs1, decoded.rs2) == operands
+        elif mnemonic in SHIFT_IMM or mnemonic in I_TYPE:
+            assert (decoded.rd, decoded.rs1, decoded.imm) == operands
+        elif mnemonic in S_TYPE:
+            assert (decoded.rs2, decoded.rs1, decoded.imm) == operands
+        elif mnemonic in B_TYPE:
+            assert (decoded.rs1, decoded.rs2, decoded.imm) == operands
+        elif mnemonic in U_TYPE:
+            assert decoded.rd == operands[0]
+            assert decoded.imm == operands[1] << 12
+        elif mnemonic == "jal":
+            assert (decoded.rd, decoded.imm) == operands
+        elif mnemonic.startswith("csr"):
+            assert (decoded.rd, decoded.csr, decoded.rs1) == operands
+
+    def test_known_encodings(self):
+        # addi x0, x0, 0 is the canonical NOP 0x00000013.
+        assert encode_instruction("addi", 0, 0, 0) == 0x00000013
+        # add x1, x2, x3 == 0x003100b3 (checked against the RISC-V spec).
+        assert encode_instruction("add", 1, 2, 3) == 0x003100B3
+        assert encode_instruction("ecall") == 0x00000073
+        assert encode_instruction("ebreak") == 0x00100073
+
+    def test_branch_offset_range_checked(self):
+        with pytest.raises(EncodingError):
+            encode_instruction("beq", 1, 2, 4096)
+        with pytest.raises(EncodingError):
+            encode_instruction("beq", 1, 2, 3)  # odd offset
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(EncodingError):
+            encode_instruction("addi", 1, 2, 5000)
+        with pytest.raises(EncodingError):
+            encode_instruction("slli", 1, 2, 64)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_instruction("frobnicate", 1, 2, 3)
+
+    def test_decoder_rejects_garbage(self):
+        with pytest.raises(DecodingError):
+            decode_instruction(0xFFFFFFFF)
+        with pytest.raises(DecodingError):
+            decode_instruction(0x0000007F)
+
+    @given(
+        st.sampled_from(sorted(B_TYPE)),
+        st.integers(0, 31),
+        st.integers(0, 31),
+        st.integers(-2048, 2047),
+    )
+    def test_branch_offset_roundtrip(self, mnemonic, rs1, rs2, half_offset):
+        offset = half_offset * 2
+        word = encode_instruction(mnemonic, rs1, rs2, offset)
+        decoded = decode_instruction(word)
+        assert decoded.imm == offset
+        assert decoded.fmt == InstrFormat.B
+
+    @given(st.integers(0, 31), st.integers(-(1 << 19), (1 << 19) - 1))
+    def test_jal_offset_roundtrip(self, rd, half_offset):
+        offset = half_offset * 2
+        word = encode_instruction("jal", rd, offset)
+        decoded = decode_instruction(word)
+        assert decoded.imm == offset and decoded.rd == rd

@@ -1,0 +1,98 @@
+"""Unit tests for RoCC custom instruction encoding (paper Fig. 3 / Tables II-III)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.decoder import decode_instruction
+from repro.isa.instructions import InstrFormat
+from repro.isa.rocc import (
+    CUSTOM_OPCODES,
+    DecimalFunct,
+    RoccInstruction,
+    decimal_instruction,
+)
+
+
+class TestDecimalFunctTable:
+    def test_table_ii_funct7_values(self):
+        """The funct7 assignments printed in Table II of the paper."""
+        assert DecimalFunct.WR == 0b0000000
+        assert DecimalFunct.RD == 0b0000001
+        assert DecimalFunct.LD == 0b0000010
+        assert DecimalFunct.ACCUM == 0b0000011
+        assert DecimalFunct.DEC_ADD == 0b0000100
+        assert DecimalFunct.CLR_ALL == 0b0000101
+        assert DecimalFunct.DEC_CNV == 0b0000110
+        assert DecimalFunct.DEC_MUL == 0b0000111
+        assert DecimalFunct.DEC_ACCUM == 0b0001000
+
+    def test_every_instruction_documented(self):
+        for name in DecimalFunct.BY_NAME:
+            assert name in DecimalFunct.DESCRIPTIONS
+
+    def test_by_value_is_inverse(self):
+        for name, value in DecimalFunct.BY_NAME.items():
+            assert DecimalFunct.BY_VALUE[value] == name
+
+
+class TestRoccEncoding:
+    def test_custom_opcodes(self):
+        assert CUSTOM_OPCODES == {0: 0x0B, 1: 0x2B, 2: 0x5B, 3: 0x7B}
+
+    @given(
+        funct7=st.integers(0, 127),
+        rd=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        rs2=st.integers(0, 31),
+        xd=st.booleans(),
+        xs1=st.booleans(),
+        xs2=st.booleans(),
+        custom=st.integers(0, 3),
+    )
+    def test_encode_decode_roundtrip(self, funct7, rd, rs1, rs2, xd, xs1, xs2, custom):
+        instruction = RoccInstruction(
+            funct7=funct7, rd=rd, rs1=rs1, rs2=rs2, xd=xd, xs1=xs1, xs2=xs2,
+            custom=custom,
+        )
+        assert RoccInstruction.decode(instruction.encode()) == instruction
+
+    def test_main_decoder_sees_rocc(self):
+        word = decimal_instruction("DEC_ADD", rd=12, rs1=11, rs2=10,
+                                   xd=True, xs1=True, xs2=True).encode()
+        decoded = decode_instruction(word)
+        assert decoded.fmt == InstrFormat.ROCC
+        assert decoded.funct7 == DecimalFunct.DEC_ADD
+        assert (decoded.rd, decoded.rs1, decoded.rs2) == (12, 11, 10)
+        assert (decoded.xd, decoded.xs1, decoded.xs2) == (1, 1, 1)
+
+    def test_flag_bits_positions(self):
+        """xd/xs1/xs2 occupy bits 14/13/12 as in Fig. 3."""
+        base = decimal_instruction("WR").encode()
+        with_xd = decimal_instruction("WR", xd=True).encode()
+        with_xs1 = decimal_instruction("WR", xs1=True).encode()
+        with_xs2 = decimal_instruction("WR", xs2=True).encode()
+        assert with_xd ^ base == 1 << 14
+        assert with_xs1 ^ base == 1 << 13
+        assert with_xs2 ^ base == 1 << 12
+
+    def test_field_validation(self):
+        with pytest.raises(EncodingError):
+            RoccInstruction(funct7=200)
+        with pytest.raises(EncodingError):
+            RoccInstruction(funct7=1, rd=40)
+        with pytest.raises(EncodingError):
+            RoccInstruction(funct7=1, custom=7)
+        with pytest.raises(EncodingError):
+            decimal_instruction("NOT_A_FUNCTION")
+
+    def test_hex_word_format(self):
+        instruction = decimal_instruction("DEC_ADD", rd=12, rs1=11, rs2=10,
+                                          xd=True, xs1=True, xs2=True)
+        text = instruction.hex_word()
+        assert text.startswith("0x") and len(text) == 10
+        assert int(text, 16) == instruction.encode()
+
+    def test_function_name(self):
+        assert decimal_instruction("DEC_MUL").function_name == "DEC_MUL"
+        assert RoccInstruction(funct7=0x55).function_name == "FUNCT_85"

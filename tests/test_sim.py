@@ -1,0 +1,212 @@
+"""Tests for the functional simulation layer (memory, executor, SPIKE front end)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm.builder import AsmBuilder
+from repro.asm.program import TOHOST_ADDRESS
+from repro.errors import SimulationError, TrapError
+from repro.sim.memory import SparseMemory
+from repro.sim.spike import SpikeSimulator
+from tests.conftest import run_fragment
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class TestSparseMemory:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_read_write_roundtrip(self, size):
+        memory = SparseMemory()
+        value = 0xA5A5_5A5A_1234_CDEF & ((1 << (8 * size)) - 1)
+        memory.write(0x1000, size, value)
+        assert memory.read(0x1000, size) == value
+
+    def test_unwritten_memory_reads_zero(self):
+        assert SparseMemory().read(0x9999_0000, 8) == 0
+
+    def test_cross_page_access(self):
+        memory = SparseMemory()
+        address = 0x1FFC  # straddles a 4 KiB page boundary for an 8-byte access
+        memory.write(address, 8, 0x1122334455667788)
+        assert memory.read(address, 8) == 0x1122334455667788
+
+    def test_write_hook_intercepts(self):
+        memory = SparseMemory()
+        seen = []
+        memory.add_write_hook(0x4000_0000, lambda value, size: seen.append(value))
+        memory.write(0x4000_0000, 8, 77)
+        assert seen == [77]
+        assert memory.read(0x4000_0000, 8) == 0  # not actually stored
+
+    def test_read_hook(self):
+        memory = SparseMemory()
+        memory.add_read_hook(0x5000, lambda size: 0xAB)
+        assert memory.read(0x5000, 8) == 0xAB
+
+    def test_bytes_roundtrip(self):
+        memory = SparseMemory()
+        blob = bytes(range(256)) * 20
+        memory.write_bytes(0x3000, blob)
+        assert memory.read_bytes(0x3000, len(blob)) == blob
+
+
+def _exec_binop(mnemonic, a, b_value):
+    """Run a single register-register instruction and return rd."""
+
+    def body(b):
+        b.li("t0", a & MASK64)
+        b.li("t1", b_value & MASK64)
+        b.emit(mnemonic, "t2", "t0", "t1")
+        b.emit("sd", "t2", "a5", 0)
+
+    return run_fragment(body).read_dword("out")
+
+
+class TestExecutorSemantics:
+    @pytest.mark.parametrize("mnemonic,a,b,expected", [
+        ("add", 5, 7, 12),
+        ("add", MASK64, 1, 0),
+        ("sub", 3, 5, (3 - 5) & MASK64),
+        ("and", 0xFF00, 0x0FF0, 0x0F00),
+        ("or", 0xFF00, 0x0FF0, 0xFFF0),
+        ("xor", 0xFF00, 0x0FF0, 0xF0F0),
+        ("sll", 1, 63, 1 << 63),
+        ("srl", 1 << 63, 63, 1),
+        ("sra", 1 << 63, 63, MASK64),
+        ("slt", (-5) & MASK64, 3, 1),
+        ("sltu", (-5) & MASK64, 3, 0),
+        ("mul", 10**10, 10**6, (10**16) & MASK64),
+        ("mulhu", 10**18, 10**18, (10**36) >> 64),
+        ("divu", 10**16, 10**9, 10**7),
+        ("remu", 10**16 + 123, 10**9, (10**16 + 123) % 10**9),
+        ("divu", 5, 0, MASK64),                  # division by zero
+        ("remu", 5, 0, 5),
+        ("div", (-7) & MASK64, 2, (-3) & MASK64),  # trunc toward zero
+        ("rem", (-7) & MASK64, 2, (-1) & MASK64),
+        ("div", 1 << 63, MASK64, 1 << 63),        # overflow case
+        ("rem", 1 << 63, MASK64, 0),
+        ("addw", 0x7FFFFFFF, 1, 0xFFFFFFFF80000000),
+        ("subw", 0, 1, MASK64),
+        ("sraw", 0x80000000, 4, 0xFFFFFFFFF8000000),
+    ])
+    def test_alu_and_muldiv(self, mnemonic, a, b, expected):
+        assert _exec_binop(mnemonic, a, b) == expected
+
+    @pytest.mark.parametrize("store,load,value,expected", [
+        ("sd", "ld", 0x8000000000000001, 0x8000000000000001),
+        ("sw", "lw", 0x80000001, 0xFFFFFFFF80000001),
+        ("sw", "lwu", 0x80000001, 0x80000001),
+        ("sh", "lh", 0x8001, 0xFFFFFFFFFFFF8001),
+        ("sh", "lhu", 0x8001, 0x8001),
+        ("sb", "lb", 0x80, 0xFFFFFFFFFFFFFF80),
+        ("sb", "lbu", 0x80, 0x80),
+    ])
+    def test_load_store_extension(self, store, load, value, expected):
+        def body(b):
+            b.li("t0", value)
+            b.emit(store, "t0", "a5", 8)
+            b.emit(load, "t1", "a5", 8)
+            b.emit("sd", "t1", "a5", 0)
+
+        assert run_fragment(body).read_dword("out") == expected
+
+    def test_branches_and_jumps(self):
+        def body(b):
+            b.li("t0", 0)
+            b.li("t1", 3)
+            b.label("loop")
+            b.emit("addi", "t0", "t0", 1)
+            b.branch("bne", "t0", "t1", "loop")
+            b.jal("ra", "leaf")
+            b.emit("sd", "a0", "a5", 0)
+            b.emit("sd", "t0", "a5", 8)
+            b.j("end")
+            b.label("leaf")
+            b.li("a0", 99)
+            b.ret()
+            b.label("end")
+
+        result = run_fragment(body)
+        assert result.read_dword("out", 0) == 99
+        assert result.read_dword("out", 1) == 3
+
+    def test_x0_is_hardwired(self):
+        def body(b):
+            b.li("t0", 55)
+            b.emit("addi", "zero", "t0", 0)
+            b.emit("sd", "zero", "a5", 0)
+
+        assert run_fragment(body).read_dword("out") == 0
+
+    def test_ebreak_traps(self):
+        def body(b):
+            b.emit("ebreak")
+
+        with pytest.raises(TrapError):
+            run_fragment(body)
+
+    def test_rocc_without_accelerator_fails(self):
+        def body(b):
+            b.rocc("DEC_ADD", rd="a2", rs1="a1", rs2="a0", xd=True, xs1=True, xs2=True)
+
+        with pytest.raises(SimulationError):
+            run_fragment(body)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, MASK64), st.integers(0, MASK64))
+    def test_mulhu_property(self, a, b):
+        assert _exec_binop("mulhu", a, b) == (a * b) >> 64
+
+
+class TestSpikeSimulator:
+    def test_exit_code_via_ecall(self):
+        builder = AsmBuilder()
+        builder.label("_start")
+        builder.li("a0", 3)
+        builder.li("a7", 93)
+        builder.emit("ecall")
+        result = SpikeSimulator(builder.link()).run()
+        assert result.exit_code == 3
+
+    def test_exit_via_tohost(self):
+        builder = AsmBuilder()
+        builder.label("_start")
+        builder.li("t0", TOHOST_ADDRESS)
+        builder.li("t1", (7 << 1) | 1)
+        builder.emit("sd", "t1", "t0", 0)
+        builder.label("spin")
+        builder.j("spin")
+        result = SpikeSimulator(builder.link()).run()
+        assert result.exit_code == 7
+
+    def test_instruction_limit_guard(self):
+        builder = AsmBuilder()
+        builder.label("_start")
+        builder.label("spin")
+        builder.j("spin")
+        simulator = SpikeSimulator(builder.link(), max_instructions=1000)
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_rdcycle_and_rdinstret_monotonic(self):
+        def body(b):
+            b.rdinstret("t0")
+            b.nop()
+            b.nop()
+            b.rdinstret("t1")
+            b.emit("sub", "t2", "t1", "t0")
+            b.emit("sd", "t2", "a5", 0)
+
+        assert run_fragment(body).read_dword("out") == 3
+
+    def test_read_dwords_and_symbols(self):
+        def body(b):
+            b.li("t0", 11)
+            b.li("t1", 22)
+            b.emit("sd", "t0", "a5", 0)
+            b.emit("sd", "t1", "a5", 8)
+
+        result = run_fragment(body)
+        assert result.read_dwords("out", 2) == [11, 22]
+        with pytest.raises(SimulationError):
+            result.read_dword("missing_symbol")
