@@ -1,0 +1,147 @@
+"""Simulator-throughput benchmark for the threaded-code execution engine.
+
+Measures retired instructions per host second on the paper's software-multiply
+kernel (the Table IV "Software" row) across all three simulator front ends:
+
+* functional (``SpikeSimulator``, batched threaded-code dispatch),
+* cycle-accurate (``RocketEmulator``, per-step timing model),
+* gem5-style atomic (``AtomicSimpleCPU``, batched 1-CPI model),
+
+and appends the run to ``BENCH_sim.json`` at the repository root so future
+PRs can track the throughput trajectory.  The recorded speedups are relative
+to the seed string-dispatch interpreter's reference throughput (measured on
+the reference machine before the threaded-code engine landed).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py [--samples N]
+        [--repeats N] [--out PATH]
+
+This is a standalone script (not collected by pytest); CI runs it with a tiny
+sample count as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.gem5.se_mode import SyscallEmulationRunner  # noqa: E402
+from repro.rocket.core import RocketEmulator  # noqa: E402
+from repro.sim.spike import SpikeSimulator  # noqa: E402
+from repro.testgen.config import SolutionKind, TestProgramConfig  # noqa: E402
+from repro.testgen.generator import build_test_program  # noqa: E402
+
+#: Seed interpreter throughput on the reference machine (instr/s), measured
+#: on the software-multiply kernel before the threaded-code engine replaced
+#: the per-instruction string dispatch.
+SEED_BASELINE = {"functional": 365_000, "rocket": 152_000}
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sim.json")
+
+
+def _best_of(repeats, make_and_run):
+    """Return (instructions, best_instr_per_s) over ``repeats`` fresh runs."""
+    best = 0.0
+    instructions = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = make_and_run()
+        elapsed = time.perf_counter() - start
+        instructions = result.instructions_retired
+        best = max(best, instructions / elapsed)
+    return instructions, best
+
+
+def run_benchmark(samples: int, repeats: int) -> dict:
+    config = TestProgramConfig(
+        solution=SolutionKind.SOFTWARE, num_samples=samples, seed=2018
+    )
+    program = build_test_program(config)
+    image = program.image
+
+    instructions, functional = _best_of(
+        repeats, lambda: SpikeSimulator(image).run()
+    )
+    _, rocket = _best_of(repeats, lambda: RocketEmulator(image).run())
+    _, gem5 = _best_of(
+        repeats, lambda: SyscallEmulationRunner().run_binary(image)
+    )
+
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "kernel": "software_mul",
+        "samples": samples,
+        "repeats": repeats,
+        "instructions": instructions,
+        "instr_per_s": {
+            "functional": round(functional),
+            "rocket": round(rocket),
+            "gem5_atomic": round(gem5),
+        },
+        "seed_baseline_instr_per_s": dict(SEED_BASELINE),
+        "speedup_vs_seed": {
+            "functional": round(functional / SEED_BASELINE["functional"], 2),
+            "rocket": round(rocket / SEED_BASELINE["rocket"], 2),
+        },
+    }
+
+
+def persist(record: dict, path: str) -> dict:
+    """Append ``record`` to the benchmark history file and return the doc."""
+    document = {"benchmark": "sim_throughput", "history": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+            if isinstance(existing.get("history"), list):
+                document = existing
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt or unreadable history: start fresh
+    document["history"].append(record)
+    document["latest"] = record
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--samples", type=int,
+        default=int(os.environ.get("REPRO_BENCH_SAMPLES", 40)),
+        help="operand samples in the kernel run (default 40; paper scale 8000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions; best run is recorded (default 3)",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT, help="benchmark history JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(args.samples, args.repeats)
+    persist(record, args.out)
+
+    rates = record["instr_per_s"]
+    speedups = record["speedup_vs_seed"]
+    print(f"software-multiply kernel, {args.samples} samples "
+          f"({record['instructions']} instructions/run)")
+    print(f"  functional (spike):   {rates['functional']:>12,} instr/s  "
+          f"({speedups['functional']:.2f}x vs seed interpreter)")
+    print(f"  cycle-accurate:       {rates['rocket']:>12,} instr/s  "
+          f"({speedups['rocket']:.2f}x vs seed interpreter)")
+    print(f"  gem5 atomic:          {rates['gem5_atomic']:>12,} instr/s")
+    print(f"history -> {os.path.abspath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ with the decimal accelerator attached.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.host_eval import HostEvaluator
@@ -47,6 +48,22 @@ class EvaluationRun:
     timed_result: object = None
     check_report: object = None
     cycle_report: SolutionCycleReport = None
+    #: Host wall-clock seconds spent inside simulator runs for this
+    #: evaluation, and the resulting simulation rate — tracked so the
+    #: framework's own overhead stays visible at paper scale
+    #: (REPRO_BENCH_SAMPLES=8000).
+    sim_wall_seconds: float = 0.0
+
+    @property
+    def sim_instructions_per_second(self) -> float:
+        retired = 0
+        if self.functional_result is not None:
+            retired += self.functional_result.instructions_retired
+        if self.timed_result is not None:
+            retired += self.timed_result.instructions_retired
+        if not self.sim_wall_seconds:
+            return 0.0
+        return retired / self.sim_wall_seconds
 
 
 @dataclass
@@ -89,9 +106,12 @@ class EvaluationFramework:
         simulator = SpikeSimulator(
             program.image, accelerator=solution.make_accelerator()
         )
+        started = time.perf_counter()
         result = simulator.run()
+        elapsed = time.perf_counter() - started
         run = EvaluationRun(
-            solution=solution, program=program, functional_result=result
+            solution=solution, program=program, functional_result=result,
+            sim_wall_seconds=elapsed,
         )
         if solution.verifiable:
             run.check_report = self.checker.check_run(
@@ -106,9 +126,12 @@ class EvaluationFramework:
         run = EvaluationRun(solution=solution, program=program)
 
         if self.verify_functionally and solution.verifiable:
-            functional = SpikeSimulator(
+            simulator = SpikeSimulator(
                 program.image, accelerator=solution.make_accelerator()
-            ).run()
+            )
+            started = time.perf_counter()
+            functional = simulator.run()
+            run.sim_wall_seconds += time.perf_counter() - started
             run.functional_result = functional
             run.check_report = self.checker.check_run(
                 self.vectors, program.read_results(functional)
@@ -124,7 +147,9 @@ class EvaluationFramework:
             accelerator=solution.make_accelerator(),
             config=self.rocket_config,
         )
+        started = time.perf_counter()
         timed = emulator.run()
+        run.sim_wall_seconds += time.perf_counter() - started
         run.timed_result = timed
 
         per_sample = program.read_cycle_samples(timed)

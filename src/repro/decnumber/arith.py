@@ -227,18 +227,18 @@ def compare(x: DecNumber, y: DecNumber, ctx: Context):
         if x.kind == KIND_SNAN or y.kind == KIND_SNAN:
             ctx.flags.invalid = True
         return None
-    xd = x.to_decimal() if not x.is_infinite else None
-    yd = y.to_decimal() if not y.is_infinite else None
     if x.is_infinite or y.is_infinite:
-        xk = (2 if x.is_infinite else 1) * (-1 if x.sign else 1) if x.is_infinite else 0
-        yk = (2 if y.is_infinite else 1) * (-1 if y.sign else 1) if y.is_infinite else 0
         if x.is_infinite and y.is_infinite:
-            if xk == yk:
+            if x.sign == y.sign:
                 return 0
-            return -1 if xk < yk else 1
-        if x.is_infinite:
             return -1 if x.sign else 1
+        if x.is_infinite:
+            # ±Inf vs finite: the infinity dominates.
+            return -1 if x.sign else 1
+        # finite vs ±Inf.
         return 1 if y.sign else -1
+    xd = x.to_decimal()
+    yd = y.to_decimal()
     if xd == yd:
         return 0
     return -1 if xd < yd else 1

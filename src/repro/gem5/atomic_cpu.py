@@ -59,14 +59,20 @@ class AtomicSimpleCPU:
             csr_provider=self._read_counter,
             rocc=rocc_adapter,
         )
+        # Stop a batched Executor.run on the instruction that writes tohost.
+        self.htif.on_exit = self.executor.request_halt
         self.cycles = 0
         self.instructions_retired = 0
 
     def _read_counter(self, address: int) -> int:
         if address in (csrdefs.CYCLE, csrdefs.MCYCLE, csrdefs.TIME):
-            return self.cycles
+            # Without a memory penalty the model is exactly 1 CPI, so the
+            # live executor count is the cycle count even mid-batch.
+            if self.memory_access_extra_cycles:
+                return self.cycles
+            return self.executor.retired
         if address in (csrdefs.INSTRET, csrdefs.MINSTRET):
-            return self.instructions_retired
+            return self.executor.retired
         return 0
 
     def run(self) -> AtomicResult:
@@ -75,16 +81,29 @@ class AtomicSimpleCPU:
         htif = self.htif
         limit = self.max_instructions
         extra = self.memory_access_extra_cycles
-        while not htif.exited and not executor.exit_requested:
-            if self.instructions_retired >= limit:
-                raise SimulationError(
-                    f"instruction limit exceeded ({limit}); pc={self.hart.pc:#x}"
-                )
-            info = executor.step()
-            self.cycles += 1
-            if extra and info.mem_addr is not None:
-                self.cycles += extra
-            self.instructions_retired += 1
+        if extra:
+            # Memory accesses cost extra cycles: consume per-step ExecInfo.
+            while not htif.exited and not executor.exit_requested:
+                if self.instructions_retired >= limit:
+                    raise SimulationError(
+                        f"instruction limit exceeded ({limit}); pc={self.hart.pc:#x}"
+                    )
+                info = executor.step()
+                self.cycles += 1
+                if info.mem_addr is not None:
+                    self.cycles += extra
+                self.instructions_retired += 1
+        else:
+            # Pure 1-CPI: no per-step info needed, run the threaded-code loop.
+            while not htif.exited and not executor.exit_requested:
+                remaining = limit - executor.retired
+                if remaining <= 0:
+                    raise SimulationError(
+                        f"instruction limit exceeded ({limit}); pc={self.hart.pc:#x}"
+                    )
+                executor.run(remaining)
+            self.instructions_retired = executor.retired
+            self.cycles = executor.retired
         exit_code = htif.exit_code if htif.exited else executor.exit_code
         return AtomicResult(
             exit_code=exit_code,

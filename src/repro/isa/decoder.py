@@ -2,8 +2,11 @@
 
 The decoder is used on the hot path of every simulator, so lookup tables are
 built once at import time and the returned objects are plain ``__slots__``
-containers.  Simulators additionally memoise decode results per word value
-(see :class:`repro.sim.executor.DecodeCache`).
+containers.  :func:`decode_cached` additionally memoises decode results per
+word value in a process-wide table — ``Decoded`` objects are immutable by
+convention, and the evaluation framework runs the same images through several
+simulators, so sharing the cache across executors pays the decode cost once
+per distinct instruction word for the whole process.
 """
 
 from __future__ import annotations
@@ -224,3 +227,22 @@ def decode_instruction(word: int) -> Decoded:
             custom=OPCODE_TO_CUSTOM[opcode],
         )
     raise DecodingError(f"unknown opcode 0x{opcode:02x} in word 0x{word:08x}")
+
+
+#: Process-wide word -> Decoded memo (32-bit keys; bounded by the number of
+#: distinct instruction words ever executed).
+_DECODE_CACHE: dict = {}
+
+
+def decode_cached(word: int):
+    """Memoised :func:`decode_instruction`.
+
+    The returned :class:`~repro.isa.instructions.Decoded` is shared — callers
+    must treat it as immutable.  Undecodable words are not cached (they raise
+    every time, matching the uncached behaviour).
+    """
+    decoded = _DECODE_CACHE.get(word)
+    if decoded is None:
+        decoded = decode_instruction(word)
+        _DECODE_CACHE[word] = decoded
+    return decoded

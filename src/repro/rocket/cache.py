@@ -36,34 +36,36 @@ class Cache:
         self.rng = rng if rng is not None else random.Random(0)
         self._offset_bits = config.line_bytes.bit_length() - 1
         self._index_mask = config.sets - 1
+        self._index_bits = self._index_mask.bit_length()
         # sets -> list of tags (ways); None means invalid.
         self._tags = [[None] * config.ways for _ in range(config.sets)]
-        # LRU bookkeeping (only used when replacement == "lru").
+        # LRU bookkeeping (only maintained when replacement == "lru"; the
+        # random policy never reads it, so skipping the updates changes no
+        # observable behaviour and keeps the hit path tight).
+        self._lru_mode = config.replacement == "lru"
         self._lru = [[0] * config.ways for _ in range(config.sets)]
         self._tick = 0
         self.stats = CacheStats()
 
     def access(self, address: int, is_write: bool = False) -> int:
         """Access one address; return the extra stall cycles (0 on a hit)."""
-        self.stats.accesses += 1
-        self._tick += 1
+        stats = self.stats
+        stats.accesses += 1
         line = address >> self._offset_bits
         index = line & self._index_mask
-        tag = line >> (self._index_mask.bit_length())
+        tag = line >> self._index_bits
         ways = self._tags[index]
-        for way, existing in enumerate(ways):
-            if existing == tag:
-                self.stats.hits += 1
-                self._lru[index][way] = self._tick
-                return 0
+        if tag in ways:
+            stats.hits += 1
+            if self._lru_mode:
+                self._tick += 1
+                self._lru[index][ways.index(tag)] = self._tick
+            return 0
         # Miss: allocate into an invalid way if any, otherwise evict.
-        self.stats.misses += 1
-        victim = None
-        for way, existing in enumerate(ways):
-            if existing is None:
-                victim = way
-                break
-        if victim is None:
+        stats.misses += 1
+        try:
+            victim = ways.index(None)
+        except ValueError:
             if self.config.replacement == "random":
                 victim = self.rng.randrange(self.config.ways)
             else:
@@ -71,7 +73,9 @@ class Cache:
                     range(self.config.ways), key=lambda way: self._lru[index][way]
                 )
         ways[victim] = tag
-        self._lru[index][victim] = self._tick
+        if self._lru_mode:
+            self._tick += 1
+            self._lru[index][victim] = self._tick
         return self.config.miss_penalty_cycles
 
     def flush(self) -> None:

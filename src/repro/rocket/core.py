@@ -29,14 +29,18 @@ from repro.errors import SimulationError
 from repro.isa import csr as csrdefs
 from repro.rocket.cache import Cache
 from repro.rocket.config import RocketConfig
-from repro.sim.executor import Executor
+from repro.sim.executor import (
+    Executor,
+    TC_DIV,
+    TC_JUMP,
+    TC_MEM,
+    TC_MUL,
+    TC_ROCC,
+)
 from repro.sim.hart import DEFAULT_STACK_TOP, Hart
 from repro.sim.htif import Htif
 from repro.sim.memory import SparseMemory
 from repro.sim.spike import DEFAULT_MAX_INSTRUCTIONS, SimulationResult
-
-_DIV_MNEMONICS = {"div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw"}
-_MUL_MNEMONICS = {"mul", "mulh", "mulhu", "mulhsu", "mulw"}
 
 
 @dataclass
@@ -110,21 +114,192 @@ class RocketEmulator:
         if address in (csrdefs.CYCLE, csrdefs.MCYCLE, csrdefs.TIME):
             return self.cycle
         if address in (csrdefs.INSTRET, csrdefs.MINSTRET):
-            return self.instructions_retired
+            return self.executor.retired
         return 0
 
     # -------------------------------------------------------------------- run
     def run(self) -> RocketResult:
-        """Run the program to completion and return timing + functional results."""
+        """Run the program to completion and return timing + functional results.
+
+        The per-instruction timing model is inlined here with every loop
+        invariant hoisted into locals: at cycle-accurate speeds the attribute
+        traffic of a method-per-step structure dominates the runtime.  The
+        externally visible counters are kept exact where the simulated
+        program can observe them (``self.cycle`` for ``rdcycle``,
+        ``executor.retired`` for ``rdinstret``); the rest are accumulated
+        locally and written back when the loop leaves.
+        """
         executor = self.executor
         htif = self.htif
+        hart = self.hart
+        config = self.config
         limit = self.max_instructions
-        while not htif.exited and not executor.exit_requested:
-            if self.instructions_retired >= limit:
-                raise SimulationError(
-                    f"instruction limit exceeded ({limit}); pc={self.hart.pc:#x}"
-                )
-            self._step_timed()
+        icache = self.icache
+        dcache = self.dcache
+        icache_access = icache.access
+        dcache_access = dcache.access
+        timed_get = executor._timed.get
+        compile_ = executor._compile
+        ready = self._reg_ready
+        load_use_latency = config.load_use_latency_cycles
+        mul_latency = config.mul_latency_cycles
+        div_latency = config.div_latency_cycles
+        rocc_cmd_latency = config.rocc_cmd_latency_cycles
+        rocc_resp_latency = config.rocc_resp_latency_cycles
+        jump_penalty = config.jump_penalty_cycles
+        branch_penalty = config.branch_penalty_cycles
+
+        # Random-replacement caches (Rocket's policy) are inlined below with
+        # locally accumulated statistics; the LRU variant falls back to the
+        # Cache.access method.  The inline path reproduces Cache.access
+        # exactly, including the PRNG call sequence.
+        ic_inline = icache.config.replacement == "random"
+        ic_tags = icache._tags
+        ic_offset_bits = icache._offset_bits
+        ic_index_mask = icache._index_mask
+        ic_index_bits = icache._index_bits
+        ic_randrange = icache.rng.randrange
+        ic_ways = icache.config.ways
+        ic_miss_penalty = icache.config.miss_penalty_cycles
+        ic_accesses = ic_hits = ic_misses = 0
+        dc_inline = dcache.config.replacement == "random"
+        dc_tags = dcache._tags
+        dc_offset_bits = dcache._offset_bits
+        dc_index_mask = dcache._index_mask
+        dc_index_bits = dcache._index_bits
+        dc_randrange = dcache.rng.randrange
+        dc_ways = dcache.config.ways
+        dc_miss_penalty = dcache.config.miss_penalty_cycles
+        dc_accesses = dc_hits = dc_misses = 0
+
+        retired_base = executor.retired
+        cycle = self.cycle
+        sw_cycles = 0
+        hw_cycles = 0
+        rocc_commands = 0
+        instructions = 0
+        try:
+            while not htif.exited and not executor.exit_requested:
+                if instructions >= limit:
+                    raise SimulationError(
+                        f"instruction limit exceeded ({limit}); pc={hart.pc:#x}"
+                    )
+                pc = hart.pc
+
+                entry = timed_get(pc)
+                if entry is None:
+                    compile_(pc)
+                    entry = timed_get(pc)
+                op, info, direct = entry
+                decoded = info.decoded
+
+                # Instruction fetch through the I-cache.
+                if ic_inline:
+                    ic_accesses += 1
+                    line = pc >> ic_offset_bits
+                    ways = ic_tags[line & ic_index_mask]
+                    tag = line >> ic_index_bits
+                    if tag in ways:
+                        ic_hits += 1
+                        fetch_stall = 0
+                    else:
+                        ic_misses += 1
+                        try:
+                            victim = ways.index(None)
+                        except ValueError:
+                            victim = ic_randrange(ic_ways)
+                        ways[victim] = tag
+                        fetch_stall = ic_miss_penalty
+                else:
+                    fetch_stall = icache_access(pc)
+
+                # Source-operand stalls (load-use, multiplier shadow).
+                operand_ready = ready[decoded.rs1]
+                other_ready = ready[decoded.rs2]
+                if other_ready > operand_ready:
+                    operand_ready = other_ready
+                issue_cycle = cycle + fetch_stall
+                if operand_ready > issue_cycle:
+                    issue_cycle = operand_ready
+                cost = issue_cycle - cycle + 1  # one cycle to issue/retire
+
+                # Architectural execution.  Direct ops need no dynamic
+                # ExecInfo fields, so the fast closure (which returns the
+                # next pc) is enough; the rest mutate `info` in place.
+                if direct:
+                    hart.pc = op()
+                    timing_class = info.timing_class
+                    hw_cost = 0
+                    if timing_class == TC_MUL:
+                        ready[decoded.rd] = cycle + cost + mul_latency - 1
+                    elif timing_class == TC_DIV:
+                        # The divider is iterative and blocks the pipeline.
+                        cost += div_latency - 1
+                    elif info.branch_taken:  # jal/jalr: always taken
+                        cost += jump_penalty
+                else:
+                    # Counter CSRs read executor.retired mid-instruction.
+                    executor.retired = retired_base + instructions
+                    op()
+                    timing_class = info.timing_class
+                    hw_cost = 0
+                    if timing_class == TC_MEM:
+                        address = info.mem_addr
+                        if dc_inline:
+                            dc_accesses += 1
+                            line = address >> dc_offset_bits
+                            ways = dc_tags[line & dc_index_mask]
+                            tag = line >> dc_index_bits
+                            if tag in ways:
+                                dc_hits += 1
+                            else:
+                                dc_misses += 1
+                                try:
+                                    victim = ways.index(None)
+                                except ValueError:
+                                    victim = dc_randrange(dc_ways)
+                                ways[victim] = tag
+                                cost += dc_miss_penalty
+                        else:
+                            cost += dcache_access(
+                                address, is_write=info.mem_is_store
+                            )
+                        if not info.mem_is_store:
+                            ready[decoded.rd] = (
+                                cycle + cost + load_use_latency - 1
+                            )
+                    elif timing_class == TC_ROCC:
+                        hw_cost = cost  # issue counts against the hardware part
+                        hw_cost += rocc_cmd_latency
+                        hw_cost += info.rocc_busy_cycles
+                        if info.rocc_has_response:
+                            hw_cost += rocc_resp_latency
+                            ready[decoded.rd] = cycle + hw_cost
+                        cost = 0
+                        rocc_commands += 1
+                    elif info.branch_taken:
+                        cost += branch_penalty
+
+                cycle += cost + hw_cost
+                self.cycle = cycle  # rdcycle must observe the live count
+                sw_cycles += cost
+                hw_cycles += hw_cost
+                instructions += 1
+        finally:
+            self.cycle = cycle
+            self.sw_cycles += sw_cycles
+            self.hw_cycles += hw_cycles
+            self.rocc_commands += rocc_commands
+            self.instructions_retired += instructions
+            executor.retired = retired_base + instructions
+            ic_stats = icache.stats
+            ic_stats.accesses += ic_accesses
+            ic_stats.hits += ic_hits
+            ic_stats.misses += ic_misses
+            dc_stats = dcache.stats
+            dc_stats.accesses += dc_accesses
+            dc_stats.hits += dc_hits
+            dc_stats.misses += dc_misses
         exit_code = htif.exit_code if htif.exited else executor.exit_code
         return RocketResult(
             exit_code=exit_code,
@@ -141,59 +316,6 @@ class RocketEmulator:
             rocc_commands=self.rocc_commands,
             accelerator=self.accelerator,
         )
-
-    # ------------------------------------------------------------------- step
-    def _step_timed(self) -> None:
-        config = self.config
-        pc = self.hart.pc
-        start_cycle = self.cycle
-
-        # Instruction fetch through the I-cache.
-        fetch_stall = self.icache.access(pc)
-        decoded = self.executor.fetch_decode(pc)
-
-        # Source-operand stalls (load-use, multiplier shadow).
-        ready = self._reg_ready
-        operand_ready = max(ready[decoded.rs1], ready[decoded.rs2])
-        issue_cycle = max(self.cycle + fetch_stall, operand_ready)
-        stall = issue_cycle - self.cycle
-        cost = stall + 1  # one cycle to issue/retire the instruction itself
-
-        # Architectural execution (also tells us what the instruction did).
-        info = self.executor.step()
-        mnemonic = decoded.mnemonic
-        hw_cost = 0
-
-        if info.mem_addr is not None:
-            cost += self.dcache.access(info.mem_addr, is_write=info.mem_is_store)
-            if not info.mem_is_store:
-                ready[decoded.rd] = (
-                    start_cycle + cost + config.load_use_latency_cycles - 1
-                )
-        elif mnemonic in _MUL_MNEMONICS:
-            ready[decoded.rd] = start_cycle + cost + config.mul_latency_cycles - 1
-        elif mnemonic in _DIV_MNEMONICS:
-            # The divider is iterative and blocks the pipeline.
-            cost += config.div_latency_cycles - 1
-        elif info.is_rocc:
-            hw_cost = cost  # issue cycles count against the hardware part
-            hw_cost += config.rocc_cmd_latency_cycles
-            hw_cost += info.rocc_busy_cycles
-            if info.rocc_has_response:
-                hw_cost += config.rocc_resp_latency_cycles
-                ready[decoded.rd] = start_cycle + hw_cost
-            cost = 0
-            self.rocc_commands += 1
-        elif info.branch_taken:
-            if mnemonic in ("jal", "jalr"):
-                cost += config.jump_penalty_cycles
-            else:
-                cost += config.branch_penalty_cycles
-
-        self.cycle += cost + hw_cost
-        self.sw_cycles += cost
-        self.hw_cycles += hw_cost
-        self.instructions_retired += 1
 
 
 def run_image_timed(image, accelerator=None, config=None, **kwargs) -> RocketResult:

@@ -1,15 +1,27 @@
 """Functional simulation layer (the SPIKE ISA simulator's role in Fig. 2).
 
 Contains the sparse memory model, the architectural hart state, the
-instruction executor shared with the timing models, the HTIF-style host
-interface and the :class:`~repro.sim.spike.SpikeSimulator` front end used for
-functional verification of RISC-V binaries before cycle-accurate emulation.
+threaded-code instruction executor shared with the timing models, the
+HTIF-style host interface and the :class:`~repro.sim.spike.SpikeSimulator`
+front end used for functional verification of RISC-V binaries before
+cycle-accurate emulation.  See ``docs/simulator.md`` for the execution-engine
+architecture (decode-once closures, opt-in ExecInfo, superblock dispatch).
 """
 
 from repro.sim.memory import SparseMemory
 from repro.sim.hart import Hart
 from repro.sim.htif import Htif
-from repro.sim.executor import ExecInfo, Executor
+from repro.sim.executor import (
+    ExecInfo,
+    Executor,
+    TC_BRANCH,
+    TC_DIV,
+    TC_JUMP,
+    TC_MEM,
+    TC_MUL,
+    TC_OTHER,
+    TC_ROCC,
+)
 from repro.sim.spike import SimulationResult, SpikeSimulator
 
 __all__ = [
@@ -20,4 +32,11 @@ __all__ = [
     "Executor",
     "SimulationResult",
     "SpikeSimulator",
+    "TC_OTHER",
+    "TC_MEM",
+    "TC_MUL",
+    "TC_DIV",
+    "TC_ROCC",
+    "TC_JUMP",
+    "TC_BRANCH",
 ]

@@ -1,33 +1,77 @@
-"""Functional execution of decoded RV64 instructions.
+"""Threaded-code execution engine for decoded RV64 instructions.
 
 One :class:`Executor` instance drives one hart against one memory.  The same
 executor is reused by every simulator in the repository:
 
-* :class:`repro.sim.spike.SpikeSimulator` — functional, one instruction per
-  step, no timing;
-* :class:`repro.rocket.core.RocketEmulator` — wraps each step with the
-  pipeline/cache timing model;
-* :class:`repro.gem5.atomic_cpu.AtomicSimpleCPU` — wraps each step with the
-  1-CPI atomic timing model.
+* :class:`repro.sim.spike.SpikeSimulator` — functional, batched execution via
+  :meth:`Executor.run`, no timing;
+* :class:`repro.rocket.core.RocketEmulator` — wraps each :meth:`Executor.step`
+  with the pipeline/cache timing model;
+* :class:`repro.gem5.atomic_cpu.AtomicSimpleCPU` — batched when no memory
+  penalty is configured, per-step otherwise.
 
-The executor reports what happened in each step through :class:`ExecInfo`
-(memory address touched, branch outcome, RoCC activity) so the timing layers
-never need to re-decode or re-execute anything.
+Architecture (decode-once threaded code)
+----------------------------------------
+
+Instead of re-decoding and re-dispatching on a mnemonic string for every
+retired instruction, the engine *compiles* each static instruction the first
+time it is executed:
+
+* :meth:`Executor._compile` decodes the word at ``pc`` once and builds a
+  **specialized closure** with every operand pre-bound — register indices,
+  sign-extended and pre-masked immediates, branch targets, ``pc + 4`` — so
+  executing the instruction is a single closure call with no decode, no
+  dispatch and no dead work.
+* Closures are stored in a **PC-indexed dispatch table** (``_ops``), so the
+  hot loop never even re-fetches the instruction word from memory.
+* Every instruction gets *two* closures: a **fast op** used by
+  :meth:`run` that returns only the next PC, and an **info op** used by
+  :meth:`step` that additionally maintains an :class:`ExecInfo` record for
+  the timing models.  ``ExecInfo`` materialization is therefore *opt-in*:
+  the functional path never allocates or fills one.
+* The per-PC ``ExecInfo`` object is created at compile time and **reused**
+  across executions of that instruction; only the dynamic fields (memory
+  address, branch outcome, RoCC response) are rewritten per step.  Timing
+  models must consume the record before their next ``step()`` call (all
+  in-tree models do).
+
+Correctness safeguards:
+
+* Stores into the compiled-code address range invalidate the affected table
+  entries, so self-modifying code behaves exactly as under the old
+  fetch-every-step interpreter; ``fence.i`` flushes the whole table.
+* Rare instructions that need up-to-date counter state (CSR reads, ``ecall``,
+  ``ebreak``) compile to a closure that raises the :data:`_SLOW` sentinel;
+  :meth:`run` catches it, synchronizes ``retired``/``hart.pc`` and executes
+  the instruction through the exact info-op path.
+* The HTIF host interface requests a halt through :meth:`request_halt`
+  (wired by the simulators); store closures observe the flag immediately so
+  a batched run stops on the exact instruction that wrote ``tohost``.
+
+See ``docs/simulator.md`` for an extension guide (superblock caching,
+multi-hart) and the protocol the timing models rely on.
 """
 
 from __future__ import annotations
 
-from repro.errors import SimulationError, TrapError
+from repro.errors import DecodingError, SimulationError, TrapError
 from repro.isa import csr as csrdefs
-from repro.isa.decoder import decode_instruction
-from repro.isa.encoding import to_signed64, to_unsigned64
+from repro.isa.decoder import decode_cached
 
 MASK64 = 0xFFFFFFFFFFFFFFFF
 _SIGN64 = 1 << 63
+_INT64_MIN = -(1 << 63)
+_INT32_MIN = -(1 << 31)
 
-
-def _signed(value: int) -> int:
-    return (value ^ _SIGN64) - _SIGN64
+#: Static timing classes, assigned to :attr:`ExecInfo.timing_class` at compile
+#: time so the cycle-accurate models never need to classify mnemonics per step.
+TC_OTHER = 0
+TC_MEM = 1
+TC_MUL = 2
+TC_DIV = 3
+TC_ROCC = 4
+TC_JUMP = 5
+TC_BRANCH = 6
 
 
 def _signed32(value: int) -> int:
@@ -35,8 +79,45 @@ def _signed32(value: int) -> int:
     return (value ^ 0x80000000) - 0x80000000
 
 
+class _SlowPath(Exception):
+    """Internal: the fast table defers this PC to the info-op path."""
+
+
+#: Preallocated sentinel raised by slow fast-ops (CSR/ecall/ebreak).
+_SLOW = _SlowPath()
+
+
+def _raise_slow():
+    raise _SLOW
+
+
+class _Stopped(Exception):
+    """Internal: a store triggered an HTIF exit mid-batch."""
+
+    def __init__(self, next_pc: int) -> None:
+        self.next_pc = next_pc
+
+
+class _BlockExit(Exception):
+    """Internal: a store invalidated compiled code; abandon the running block."""
+
+    def __init__(self, next_pc: int) -> None:
+        self.next_pc = next_pc
+
+
+#: Superblock op-kind classification (how :meth:`Executor._compile_block`
+#: threads closures together).
+_KIND_SEQ = 0    # falls through to pc + 4: may appear mid-block
+_KIND_TERM = 1   # control transfer (or table flush): always ends a block
+_KIND_SLOW = 2   # needs synchronized counters: always a single-op block
+
+
 class ExecInfo:
-    """What a single instruction did (consumed by the timing models)."""
+    """What a single instruction did (consumed by the timing models).
+
+    Instances are created once per static instruction and *reused*: a timing
+    model must read the record before its next ``step()`` call.
+    """
 
     __slots__ = (
         "decoded",
@@ -50,6 +131,7 @@ class ExecInfo:
         "rocc_busy_cycles",
         "rocc_has_response",
         "rocc_funct7",
+        "timing_class",
     )
 
     def __init__(self, decoded, pc, next_pc):
@@ -64,10 +146,71 @@ class ExecInfo:
         self.rocc_busy_cycles = 0
         self.rocc_has_response = False
         self.rocc_funct7 = 0
+        self.timing_class = TC_OTHER
+
+
+# --------------------------------------------------------------------- helpers
+def _div64(a: int, b: int) -> int:
+    """RV64 ``div``: C-style truncation, -1 on /0, INT_MIN on overflow."""
+    sa = (a ^ _SIGN64) - _SIGN64
+    sb = (b ^ _SIGN64) - _SIGN64
+    if sb == 0:
+        return MASK64
+    if sa == _INT64_MIN and sb == -1:
+        return a
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return quotient & MASK64
+
+
+def _rem64(a: int, b: int) -> int:
+    sa = (a ^ _SIGN64) - _SIGN64
+    sb = (b ^ _SIGN64) - _SIGN64
+    if sb == 0:
+        return sa & MASK64
+    if sa == _INT64_MIN and sb == -1:
+        return 0
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return (sa - sb * quotient) & MASK64
+
+
+def _div32(a: int, b: int) -> int:
+    sa = _signed32(a)
+    sb = _signed32(b)
+    if sb == 0:
+        return MASK64
+    if sa == _INT32_MIN and sb == -1:
+        return _INT32_MIN & MASK64
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return _signed32(quotient) & MASK64
+
+
+def _rem32(a: int, b: int) -> int:
+    sa = _signed32(a)
+    sb = _signed32(b)
+    if sb == 0:
+        return _signed32(sa) & MASK64
+    if sa == _INT32_MIN and sb == -1:
+        return 0
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return _signed32(sa - sb * quotient) & MASK64
+
+
+_LOAD_SIZES = {"ld": 8, "lw": 4, "lwu": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}
+_STORE_SIZES = {"sd": 8, "sw": 4, "sh": 2, "sb": 1}
+_MUL_MNEMONICS = frozenset({"mul", "mulh", "mulhu", "mulhsu", "mulw"})
+_DIV_MNEMONICS = frozenset({"div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw"})
 
 
 class Executor:
-    """Fetch/decode/execute loop body with a per-word decode cache."""
+    """Threaded-code fetch/decode/execute engine with PC-indexed dispatch."""
 
     def __init__(self, hart, memory, csr_provider=None, rocc=None):
         self.hart = hart
@@ -76,236 +219,134 @@ class Executor:
         self.rocc = rocc
         self.exit_requested = False
         self.exit_code = 0
-        self._decode_cache = {}
+        #: Set when any exit condition fires (HTIF halt or exit ecall).
+        self.stop = False
+        #: Total instructions retired by this executor (run() and step()).
+        self.retired = 0
+        # PC-indexed dispatch tables.
+        self._ops = {}
+        self._info_ops = {}
+        self._decoded_at = {}
+        self._kinds = {}
+        # PC-indexed (info_op, info) pairs: lets a timing model fetch the
+        # static ExecInfo (for pre-issue hazard checks) and execute with a
+        # single table lookup.
+        self._timed = {}
+        # PC-indexed superblocks: straight-line runs of fast ops threaded into
+        # a list so the dispatch loop pays one table lookup per block.
+        self._blocks = {}
+        # [lo, hi) byte range covered by compiled instructions; shared with
+        # store closures so writes into code invalidate stale table entries.
+        self._code_bounds = [1 << 62, 0]
+
+    # ------------------------------------------------------------------ control
+    def request_halt(self) -> None:
+        """Stop a batched :meth:`run` after the current instruction (HTIF)."""
+        self.stop = True
+
+    def flush(self) -> None:
+        """Drop every compiled instruction (``fence.i``, external cache control)."""
+        self._ops.clear()
+        self._info_ops.clear()
+        self._decoded_at.clear()
+        self._kinds.clear()
+        self._timed.clear()
+        self._blocks.clear()
+
+    def _invalidate(self, address: int, size: int) -> None:
+        """A store hit the compiled range: drop any overlapping instructions."""
+        ops = self._ops
+        info_ops = self._info_ops
+        decoded_at = self._decoded_at
+        kinds = self._kinds
+        timed = self._timed
+        for pc in range(address - 3, address + size):
+            ops.pop(pc, None)
+            info_ops.pop(pc, None)
+            decoded_at.pop(pc, None)
+            kinds.pop(pc, None)
+            timed.pop(pc, None)
+        # Superblocks embed closure references, so any code write drops them
+        # all (rare: only stores into the compiled range get here).
+        self._blocks.clear()
 
     # ------------------------------------------------------------------ fetch
     def fetch_decode(self, pc: int):
-        word = self.memory.read(pc, 4)
-        decoded = self._decode_cache.get(word)
+        """Return the decoded instruction at ``pc`` (PC-indexed, decode-once)."""
+        decoded = self._decoded_at.get(pc)
         if decoded is None:
-            decoded = decode_instruction(word)
-            self._decode_cache[word] = decoded
+            decoded = decode_cached(self.memory.read(pc, 4))
+            self._decoded_at[pc] = decoded
         return decoded
+
+    # -------------------------------------------------------------------- run
+    def run(self, max_instructions: int) -> int:
+        """Execute up to the ``max_instructions`` budget in a tight loop.
+
+        Stops early when the program exits (HTIF halt or exit ``ecall``);
+        may overshoot the budget by up to one superblock (callers use the
+        budget as a runaway guard, not an exact stopping point).  Returns the
+        number of instructions retired by this call; the running total is
+        kept in :attr:`retired`.
+        """
+        if self.stop:
+            return 0
+        hart = self.hart
+        blocks_get = self._blocks.get
+        compile_block = self._compile_block
+        pc = hart.pc
+        retired = self.retired
+        start = retired
+        end = retired + max_instructions
+        try:
+            while retired < end:
+                ops = blocks_get(pc)
+                if ops is None:
+                    ops = compile_block(pc)
+                block_pc = pc
+                try:
+                    for op in ops:
+                        pc = op()
+                except _SlowPath:
+                    # CSR / ecall / ebreak: needs exact architectural state.
+                    # Sequential blocks make the partial count recoverable
+                    # from how far pc advanced.
+                    retired += (pc - block_pc) >> 2
+                    self.retired = retired
+                    hart.pc = pc
+                    self.step()
+                    retired = self.retired
+                    pc = hart.pc
+                    if self.stop:
+                        break
+                    continue
+                except _BlockExit as exited:
+                    pc = exited.next_pc
+                    retired += (pc - block_pc) >> 2
+                    continue
+                except _Stopped as stopped:
+                    pc = stopped.next_pc
+                    retired += (pc - block_pc) >> 2
+                    break
+                except BaseException:
+                    retired += (pc - block_pc) >> 2
+                    raise
+                retired += len(ops)
+        finally:
+            self.retired = retired
+            hart.pc = pc
+        return retired - start
 
     # ------------------------------------------------------------------- step
     def step(self) -> ExecInfo:
-        """Execute one instruction and return what it did."""
-        hart = self.hart
-        memory = self.memory
-        regs = hart.regs
-        pc = hart.pc
-        decoded = self.fetch_decode(pc)
-        mnemonic = decoded.mnemonic
-        rd = decoded.rd
-        rs1_value = regs[decoded.rs1]
-        rs2_value = regs[decoded.rs2]
-        imm = decoded.imm
-        next_pc = pc + 4
-        info = ExecInfo(decoded, pc, next_pc)
-
-        # --- integer register-register -------------------------------------
-        if mnemonic == "add":
-            result = (rs1_value + rs2_value) & MASK64
-        elif mnemonic == "addi":
-            result = (rs1_value + imm) & MASK64
-        elif mnemonic == "sub":
-            result = (rs1_value - rs2_value) & MASK64
-        elif mnemonic == "and":
-            result = rs1_value & rs2_value
-        elif mnemonic == "andi":
-            result = rs1_value & (imm & MASK64)
-        elif mnemonic == "or":
-            result = rs1_value | rs2_value
-        elif mnemonic == "ori":
-            result = rs1_value | (imm & MASK64)
-        elif mnemonic == "xor":
-            result = rs1_value ^ rs2_value
-        elif mnemonic == "xori":
-            result = rs1_value ^ (imm & MASK64)
-        elif mnemonic == "sll":
-            result = (rs1_value << (rs2_value & 0x3F)) & MASK64
-        elif mnemonic == "slli":
-            result = (rs1_value << imm) & MASK64
-        elif mnemonic == "srl":
-            result = rs1_value >> (rs2_value & 0x3F)
-        elif mnemonic == "srli":
-            result = rs1_value >> imm
-        elif mnemonic == "sra":
-            result = (_signed(rs1_value) >> (rs2_value & 0x3F)) & MASK64
-        elif mnemonic == "srai":
-            result = (_signed(rs1_value) >> imm) & MASK64
-        elif mnemonic == "slt":
-            result = 1 if _signed(rs1_value) < _signed(rs2_value) else 0
-        elif mnemonic == "slti":
-            result = 1 if _signed(rs1_value) < imm else 0
-        elif mnemonic == "sltu":
-            result = 1 if rs1_value < rs2_value else 0
-        elif mnemonic == "sltiu":
-            result = 1 if rs1_value < (imm & MASK64) else 0
-        # --- RV64 word ops ----------------------------------------------------
-        elif mnemonic == "addw":
-            result = _signed32(rs1_value + rs2_value) & MASK64
-        elif mnemonic == "addiw":
-            result = _signed32(rs1_value + imm) & MASK64
-        elif mnemonic == "subw":
-            result = _signed32(rs1_value - rs2_value) & MASK64
-        elif mnemonic == "sllw":
-            result = _signed32(rs1_value << (rs2_value & 0x1F)) & MASK64
-        elif mnemonic == "slliw":
-            result = _signed32(rs1_value << imm) & MASK64
-        elif mnemonic == "srlw":
-            result = _signed32((rs1_value & 0xFFFFFFFF) >> (rs2_value & 0x1F)) & MASK64
-        elif mnemonic == "srliw":
-            result = _signed32((rs1_value & 0xFFFFFFFF) >> imm) & MASK64
-        elif mnemonic == "sraw":
-            result = (_signed32(rs1_value) >> (rs2_value & 0x1F)) & MASK64
-        elif mnemonic == "sraiw":
-            result = (_signed32(rs1_value) >> imm) & MASK64
-        # --- M extension ------------------------------------------------------
-        elif mnemonic == "mul":
-            result = (rs1_value * rs2_value) & MASK64
-        elif mnemonic == "mulh":
-            result = ((_signed(rs1_value) * _signed(rs2_value)) >> 64) & MASK64
-        elif mnemonic == "mulhu":
-            result = (rs1_value * rs2_value) >> 64
-        elif mnemonic == "mulhsu":
-            result = ((_signed(rs1_value) * rs2_value) >> 64) & MASK64
-        elif mnemonic == "mulw":
-            result = _signed32(rs1_value * rs2_value) & MASK64
-        elif mnemonic == "div":
-            result = self._div_signed(rs1_value, rs2_value, 64)
-        elif mnemonic == "divu":
-            result = MASK64 if rs2_value == 0 else (rs1_value // rs2_value) & MASK64
-        elif mnemonic == "rem":
-            result = self._rem_signed(rs1_value, rs2_value, 64)
-        elif mnemonic == "remu":
-            result = rs1_value if rs2_value == 0 else (rs1_value % rs2_value) & MASK64
-        elif mnemonic == "divw":
-            result = self._div_signed(rs1_value & 0xFFFFFFFF, rs2_value & 0xFFFFFFFF, 32)
-        elif mnemonic == "divuw":
-            a32 = rs1_value & 0xFFFFFFFF
-            b32 = rs2_value & 0xFFFFFFFF
-            result = MASK64 if b32 == 0 else _signed32(a32 // b32) & MASK64
-        elif mnemonic == "remw":
-            result = self._rem_signed(rs1_value & 0xFFFFFFFF, rs2_value & 0xFFFFFFFF, 32)
-        elif mnemonic == "remuw":
-            a32 = rs1_value & 0xFFFFFFFF
-            b32 = rs2_value & 0xFFFFFFFF
-            result = _signed32(a32) & MASK64 if b32 == 0 else _signed32(a32 % b32) & MASK64
-        # --- upper immediates -------------------------------------------------
-        elif mnemonic == "lui":
-            result = imm & MASK64
-        elif mnemonic == "auipc":
-            result = (pc + imm) & MASK64
-        # --- loads ------------------------------------------------------------
-        elif mnemonic in ("ld", "lw", "lwu", "lh", "lhu", "lb", "lbu"):
-            address = (rs1_value + imm) & MASK64
-            size = {"ld": 8, "lw": 4, "lwu": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}[mnemonic]
-            raw = memory.read(address, size)
-            if mnemonic == "lw":
-                raw = _signed32(raw) & MASK64
-            elif mnemonic == "lh":
-                raw = ((raw ^ 0x8000) - 0x8000) & MASK64
-            elif mnemonic == "lb":
-                raw = ((raw ^ 0x80) - 0x80) & MASK64
-            info.mem_addr = address
-            info.mem_size = size
-            if rd:
-                regs[rd] = raw
-            hart.pc = next_pc
-            return info
-        # --- stores -----------------------------------------------------------
-        elif mnemonic in ("sd", "sw", "sh", "sb"):
-            address = (rs1_value + imm) & MASK64
-            size = {"sd": 8, "sw": 4, "sh": 2, "sb": 1}[mnemonic]
-            memory.write(address, size, rs2_value)
-            info.mem_addr = address
-            info.mem_size = size
-            info.mem_is_store = True
-            hart.pc = next_pc
-            return info
-        # --- control transfer -------------------------------------------------
-        elif mnemonic == "jal":
-            if rd:
-                regs[rd] = next_pc
-            info.next_pc = (pc + imm) & MASK64
-            info.branch_taken = True
-            hart.pc = info.next_pc
-            return info
-        elif mnemonic == "jalr":
-            target = (rs1_value + imm) & MASK64 & ~1
-            if rd:
-                regs[rd] = next_pc
-            info.next_pc = target
-            info.branch_taken = True
-            hart.pc = target
-            return info
-        elif mnemonic in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
-            taken = self._branch_taken(mnemonic, rs1_value, rs2_value)
-            info.branch_taken = taken
-            if taken:
-                info.next_pc = (pc + imm) & MASK64
-            hart.pc = info.next_pc
-            return info
-        # --- system -----------------------------------------------------------
-        elif mnemonic in ("csrrs", "csrrw", "csrrc", "csrrsi", "csrrwi", "csrrci"):
-            value = self._read_csr(decoded.csr)
-            if rd:
-                regs[rd] = value & MASK64
-            hart.pc = next_pc
-            return info
-        elif mnemonic == "ecall":
-            # Bare-metal convention: a7 holds the syscall number; 93 is exit
-            # with the code in a0.  Anything else terminates as "unhandled".
-            if regs[17] == 93:
-                self.exit_requested = True
-                self.exit_code = regs[10] & 0xFF
-            else:
-                raise TrapError(f"unhandled ecall (a7={regs[17]}) at pc={pc:#x}")
-            hart.pc = next_pc
-            return info
-        elif mnemonic == "ebreak":
-            raise TrapError(f"ebreak at pc={pc:#x}")
-        elif mnemonic in ("fence", "fence.i"):
-            hart.pc = next_pc
-            return info
-        # --- RoCC custom instructions ------------------------------------------
-        elif mnemonic == "rocc":
-            return self._execute_rocc(decoded, info, rs1_value, rs2_value)
-        else:  # pragma: no cover - decoder and executor tables are in sync
-            raise SimulationError(f"unimplemented instruction {mnemonic!r} at {pc:#x}")
-
-        # Common tail for plain register-writing instructions.
-        if rd:
-            regs[rd] = result
-        hart.pc = next_pc
-        return info
-
-    # ------------------------------------------------------------------- RoCC
-    def _execute_rocc(self, decoded, info, rs1_value, rs2_value) -> ExecInfo:
-        if self.rocc is None:
-            raise SimulationError(
-                f"RoCC instruction at pc={info.pc:#x} but no accelerator attached"
-            )
-        response = self.rocc.execute(
-            funct7=decoded.funct7,
-            rd=decoded.rd,
-            rs1=decoded.rs1,
-            rs2=decoded.rs2,
-            rs1_value=rs1_value,
-            rs2_value=rs2_value,
-            xd=bool(decoded.xd),
-            xs1=bool(decoded.xs1),
-            xs2=bool(decoded.xs2),
-            memory=self.memory,
-        )
-        info.is_rocc = True
-        info.rocc_busy_cycles = response.busy_cycles
-        info.rocc_has_response = response.has_response
-        info.rocc_funct7 = decoded.funct7
-        if response.has_response and decoded.rd:
-            self.hart.regs[decoded.rd] = response.value & MASK64
-        self.hart.pc = info.next_pc
+        """Execute one instruction and return what it did (timing-model path)."""
+        pc = self.hart.pc
+        op = self._info_ops.get(pc)
+        if op is None:
+            self._compile(pc)
+            op = self._info_ops[pc]
+        info = op()
+        self.retired += 1
         return info
 
     # ------------------------------------------------------------------- CSRs
@@ -314,53 +355,578 @@ class Executor:
             return self.csr_provider(address)
         raise TrapError(f"access to unimplemented CSR {address:#x}")
 
-    # ---------------------------------------------------------------- helpers
-    @staticmethod
-    def _branch_taken(mnemonic: str, a: int, b: int) -> bool:
-        if mnemonic == "beq":
-            return a == b
-        if mnemonic == "bne":
-            return a != b
-        if mnemonic == "blt":
-            return _signed(a) < _signed(b)
-        if mnemonic == "bge":
-            return _signed(a) >= _signed(b)
-        if mnemonic == "bltu":
-            return a < b
-        return a >= b  # bgeu
+    # --------------------------------------------------------------- compiler
+    def _compile(self, pc: int):
+        """Decode the instruction at ``pc`` into its two specialized closures."""
+        decoded = self.fetch_decode(pc)
+        info = ExecInfo(decoded, pc, pc + 4)
+        fast, info_op, kind = self._build(pc, decoded, info)
+        self._ops[pc] = fast
+        self._info_ops[pc] = info_op
+        self._kinds[pc] = kind
+        # An op is "direct" when its fast closure already provides everything
+        # a timing model needs (no dynamic ExecInfo fields): plain ALU /
+        # mul / div ops, fences and unconditional jumps.  Loads/stores
+        # (dynamic mem_addr), conditional branches (dynamic branch_taken),
+        # RoCC (dynamic busy cycles) and the slow class must go through the
+        # info op.
+        timing_class = info.timing_class
+        direct = (
+            kind == _KIND_SEQ and timing_class in (TC_OTHER, TC_MUL, TC_DIV)
+        ) or (kind == _KIND_TERM and timing_class in (TC_JUMP, TC_OTHER))
+        self._timed[pc] = (fast if direct else info_op, info, direct)
+        bounds = self._code_bounds
+        if pc < bounds[0]:
+            bounds[0] = pc
+        if pc + 4 > bounds[1]:
+            bounds[1] = pc + 4
+        return fast
 
-    @staticmethod
-    def _div_signed(a: int, b: int, width: int) -> int:
-        if width == 32:
-            a_signed, b_signed = _signed32(a), _signed32(b)
-            min_value = -(1 << 31)
-        else:
-            a_signed, b_signed = _signed(a), _signed(b)
-            min_value = -(1 << 63)
-        if b_signed == 0:
-            return MASK64
-        if a_signed == min_value and b_signed == -1:
-            return to_unsigned64(to_signed64(a_signed & MASK64)) if width == 64 else (
-                _signed32(min_value) & MASK64
-            )
-        quotient = int(a_signed / b_signed)  # C-style truncation toward zero
-        if width == 32:
-            return _signed32(quotient) & MASK64
-        return quotient & MASK64
+    #: Upper bound on superblock length; bounds both compile-ahead work and
+    #: how far a batch may overshoot its instruction budget.
+    _MAX_BLOCK = 512
 
-    @staticmethod
-    def _rem_signed(a: int, b: int, width: int) -> int:
-        if width == 32:
-            a_signed, b_signed = _signed32(a), _signed32(b)
-            min_value = -(1 << 31)
-        else:
-            a_signed, b_signed = _signed(a), _signed(b)
-            min_value = -(1 << 63)
-        if b_signed == 0:
-            return (a_signed & MASK64) if width == 64 else _signed32(a_signed) & MASK64
-        if a_signed == min_value and b_signed == -1:
-            return 0
-        remainder = a_signed - b_signed * int(a_signed / b_signed)
-        if width == 32:
-            return _signed32(remainder) & MASK64
-        return remainder & MASK64
+    def _compile_block(self, pc: int):
+        """Thread the straight-line run starting at ``pc`` into one op list."""
+        ops = []
+        kinds = self._kinds
+        table = self._ops
+        p = pc
+        while len(ops) < self._MAX_BLOCK:
+            op = table.get(p)
+            if op is None:
+                try:
+                    op = self._compile(p)
+                except (DecodingError, SimulationError) as error:
+                    # Block building decodes ahead of execution; a bad word
+                    # must only raise if control actually reaches it.
+                    if not ops:
+                        def op(error=error):
+                            raise error
+                        ops.append(op)
+                    break
+            kind = kinds[p]
+            if kind == _KIND_SLOW:
+                if not ops:
+                    ops.append(op)
+                break
+            ops.append(op)
+            if kind == _KIND_TERM:
+                break
+            p += 4
+        self._blocks[pc] = ops
+        return ops
+
+    def _build(self, pc: int, decoded, info):  # noqa: C901 - one arm per instruction
+        hart = self.hart
+        regs = hart.regs
+        memory = self.memory
+        mnemonic = decoded.mnemonic
+        rd = decoded.rd
+        rs1 = decoded.rs1
+        rs2 = decoded.rs2
+        imm = decoded.imm
+        next_pc = pc + 4
+
+        def alu_info(fast_op, result_info=info):
+            def op():
+                fast_op()
+                hart.pc = next_pc
+                return result_info
+            return op
+
+        fast = None
+
+        # --- integer register-register / register-immediate -----------------
+        if rd == 0 and mnemonic in _ALU_MNEMONICS:
+            # Writes to x0 are discarded; the whole instruction is a no-op.
+            def fast():
+                return next_pc
+        elif mnemonic == "add":
+            def fast():
+                regs[rd] = (regs[rs1] + regs[rs2]) & MASK64
+                return next_pc
+        elif mnemonic == "addi":
+            def fast():
+                regs[rd] = (regs[rs1] + imm) & MASK64
+                return next_pc
+        elif mnemonic == "sub":
+            def fast():
+                regs[rd] = (regs[rs1] - regs[rs2]) & MASK64
+                return next_pc
+        elif mnemonic == "and":
+            def fast():
+                regs[rd] = regs[rs1] & regs[rs2]
+                return next_pc
+        elif mnemonic == "andi":
+            masked = imm & MASK64
+            def fast():
+                regs[rd] = regs[rs1] & masked
+                return next_pc
+        elif mnemonic == "or":
+            def fast():
+                regs[rd] = regs[rs1] | regs[rs2]
+                return next_pc
+        elif mnemonic == "ori":
+            masked = imm & MASK64
+            def fast():
+                regs[rd] = regs[rs1] | masked
+                return next_pc
+        elif mnemonic == "xor":
+            def fast():
+                regs[rd] = regs[rs1] ^ regs[rs2]
+                return next_pc
+        elif mnemonic == "xori":
+            masked = imm & MASK64
+            def fast():
+                regs[rd] = regs[rs1] ^ masked
+                return next_pc
+        elif mnemonic == "sll":
+            def fast():
+                regs[rd] = (regs[rs1] << (regs[rs2] & 0x3F)) & MASK64
+                return next_pc
+        elif mnemonic == "slli":
+            def fast():
+                regs[rd] = (regs[rs1] << imm) & MASK64
+                return next_pc
+        elif mnemonic == "srl":
+            def fast():
+                regs[rd] = regs[rs1] >> (regs[rs2] & 0x3F)
+                return next_pc
+        elif mnemonic == "srli":
+            def fast():
+                regs[rd] = regs[rs1] >> imm
+                return next_pc
+        elif mnemonic == "sra":
+            def fast():
+                regs[rd] = (((regs[rs1] ^ _SIGN64) - _SIGN64) >> (regs[rs2] & 0x3F)) & MASK64
+                return next_pc
+        elif mnemonic == "srai":
+            def fast():
+                regs[rd] = (((regs[rs1] ^ _SIGN64) - _SIGN64) >> imm) & MASK64
+                return next_pc
+        elif mnemonic == "slt":
+            def fast():
+                regs[rd] = 1 if ((regs[rs1] ^ _SIGN64) - _SIGN64) < ((regs[rs2] ^ _SIGN64) - _SIGN64) else 0
+                return next_pc
+        elif mnemonic == "slti":
+            def fast():
+                regs[rd] = 1 if ((regs[rs1] ^ _SIGN64) - _SIGN64) < imm else 0
+                return next_pc
+        elif mnemonic == "sltu":
+            def fast():
+                regs[rd] = 1 if regs[rs1] < regs[rs2] else 0
+                return next_pc
+        elif mnemonic == "sltiu":
+            masked = imm & MASK64
+            def fast():
+                regs[rd] = 1 if regs[rs1] < masked else 0
+                return next_pc
+        # --- RV64 word ops ---------------------------------------------------
+        elif mnemonic == "addw":
+            def fast():
+                regs[rd] = _signed32(regs[rs1] + regs[rs2]) & MASK64
+                return next_pc
+        elif mnemonic == "addiw":
+            def fast():
+                regs[rd] = _signed32(regs[rs1] + imm) & MASK64
+                return next_pc
+        elif mnemonic == "subw":
+            def fast():
+                regs[rd] = _signed32(regs[rs1] - regs[rs2]) & MASK64
+                return next_pc
+        elif mnemonic == "sllw":
+            def fast():
+                regs[rd] = _signed32(regs[rs1] << (regs[rs2] & 0x1F)) & MASK64
+                return next_pc
+        elif mnemonic == "slliw":
+            def fast():
+                regs[rd] = _signed32(regs[rs1] << imm) & MASK64
+                return next_pc
+        elif mnemonic == "srlw":
+            def fast():
+                regs[rd] = _signed32((regs[rs1] & 0xFFFFFFFF) >> (regs[rs2] & 0x1F)) & MASK64
+                return next_pc
+        elif mnemonic == "srliw":
+            def fast():
+                regs[rd] = _signed32((regs[rs1] & 0xFFFFFFFF) >> imm) & MASK64
+                return next_pc
+        elif mnemonic == "sraw":
+            def fast():
+                regs[rd] = (_signed32(regs[rs1]) >> (regs[rs2] & 0x1F)) & MASK64
+                return next_pc
+        elif mnemonic == "sraiw":
+            def fast():
+                regs[rd] = (_signed32(regs[rs1]) >> imm) & MASK64
+                return next_pc
+        # --- M extension ------------------------------------------------------
+        elif mnemonic == "mul":
+            def fast():
+                regs[rd] = (regs[rs1] * regs[rs2]) & MASK64
+                return next_pc
+        elif mnemonic == "mulh":
+            def fast():
+                regs[rd] = ((((regs[rs1] ^ _SIGN64) - _SIGN64) * ((regs[rs2] ^ _SIGN64) - _SIGN64)) >> 64) & MASK64
+                return next_pc
+        elif mnemonic == "mulhu":
+            def fast():
+                regs[rd] = (regs[rs1] * regs[rs2]) >> 64
+                return next_pc
+        elif mnemonic == "mulhsu":
+            def fast():
+                regs[rd] = ((((regs[rs1] ^ _SIGN64) - _SIGN64) * regs[rs2]) >> 64) & MASK64
+                return next_pc
+        elif mnemonic == "mulw":
+            def fast():
+                regs[rd] = _signed32(regs[rs1] * regs[rs2]) & MASK64
+                return next_pc
+        elif mnemonic == "div":
+            def fast():
+                regs[rd] = _div64(regs[rs1], regs[rs2])
+                return next_pc
+        elif mnemonic == "divu":
+            def fast():
+                b = regs[rs2]
+                regs[rd] = MASK64 if b == 0 else regs[rs1] // b
+                return next_pc
+        elif mnemonic == "rem":
+            def fast():
+                regs[rd] = _rem64(regs[rs1], regs[rs2])
+                return next_pc
+        elif mnemonic == "remu":
+            def fast():
+                b = regs[rs2]
+                regs[rd] = regs[rs1] if b == 0 else regs[rs1] % b
+                return next_pc
+        elif mnemonic == "divw":
+            def fast():
+                regs[rd] = _div32(regs[rs1], regs[rs2])
+                return next_pc
+        elif mnemonic == "divuw":
+            def fast():
+                b32 = regs[rs2] & 0xFFFFFFFF
+                regs[rd] = MASK64 if b32 == 0 else _signed32((regs[rs1] & 0xFFFFFFFF) // b32) & MASK64
+                return next_pc
+        elif mnemonic == "remw":
+            def fast():
+                regs[rd] = _rem32(regs[rs1], regs[rs2])
+                return next_pc
+        elif mnemonic == "remuw":
+            def fast():
+                a32 = regs[rs1] & 0xFFFFFFFF
+                b32 = regs[rs2] & 0xFFFFFFFF
+                regs[rd] = _signed32(a32) & MASK64 if b32 == 0 else _signed32(a32 % b32) & MASK64
+                return next_pc
+        # --- upper immediates -------------------------------------------------
+        elif mnemonic == "lui":
+            constant = imm & MASK64
+            def fast():
+                regs[rd] = constant
+                return next_pc
+        elif mnemonic == "auipc":
+            constant = (pc + imm) & MASK64
+            def fast():
+                regs[rd] = constant
+                return next_pc
+
+        if fast is not None and mnemonic in _ALU_MNEMONICS:
+            if mnemonic in _MUL_MNEMONICS:
+                info.timing_class = TC_MUL
+            elif mnemonic in _DIV_MNEMONICS:
+                info.timing_class = TC_DIV
+            return fast, alu_info(fast), _KIND_SEQ
+
+        # --- loads ------------------------------------------------------------
+        if mnemonic in _LOAD_SIZES:
+            size = _LOAD_SIZES[mnemonic]
+            read = memory.read
+            info.mem_size = size
+            info.timing_class = TC_MEM
+            if mnemonic == "ld":
+                if rd:
+                    def fast():
+                        regs[rd] = read((regs[rs1] + imm) & MASK64, 8)
+                        return next_pc
+                else:
+                    def fast():
+                        read((regs[rs1] + imm) & MASK64, 8)
+                        return next_pc
+                fix = None
+            elif mnemonic == "lw":
+                def fast():
+                    value = read((regs[rs1] + imm) & MASK64, 4)
+                    if rd:
+                        regs[rd] = ((value ^ 0x80000000) - 0x80000000) & MASK64
+                    return next_pc
+                fix = lambda value: ((value ^ 0x80000000) - 0x80000000) & MASK64  # noqa: E731
+            elif mnemonic == "lh":
+                def fast():
+                    value = read((regs[rs1] + imm) & MASK64, 2)
+                    if rd:
+                        regs[rd] = ((value ^ 0x8000) - 0x8000) & MASK64
+                    return next_pc
+                fix = lambda value: ((value ^ 0x8000) - 0x8000) & MASK64  # noqa: E731
+            elif mnemonic == "lb":
+                def fast():
+                    value = read((regs[rs1] + imm) & MASK64, 1)
+                    if rd:
+                        regs[rd] = ((value ^ 0x80) - 0x80) & MASK64
+                    return next_pc
+                fix = lambda value: ((value ^ 0x80) - 0x80) & MASK64  # noqa: E731
+            else:  # lwu / lhu / lbu
+                if rd:
+                    def fast():
+                        regs[rd] = read((regs[rs1] + imm) & MASK64, size)
+                        return next_pc
+                else:
+                    def fast():
+                        read((regs[rs1] + imm) & MASK64, size)
+                        return next_pc
+                fix = None
+
+            def info_op():
+                address = (regs[rs1] + imm) & MASK64
+                value = read(address, size)
+                info.mem_addr = address
+                if rd:
+                    regs[rd] = fix(value) if fix is not None else value
+                hart.pc = next_pc
+                return info
+            return fast, info_op, _KIND_SEQ
+
+        # --- stores -----------------------------------------------------------
+        if mnemonic in _STORE_SIZES:
+            size = _STORE_SIZES[mnemonic]
+            write = memory.write
+            bounds = self._code_bounds
+            executor = self
+            info.mem_size = size
+            info.mem_is_store = True
+            info.timing_class = TC_MEM
+
+            def fast():
+                address = (regs[rs1] + imm) & MASK64
+                write(address, size, regs[rs2])
+                # Overlap test against [lo, hi): the store's byte range is
+                # [address, address + size), so a store that merely straddles
+                # the start of the compiled region must invalidate too.
+                if address < bounds[1] and address + size > bounds[0]:
+                    executor._invalidate(address, size)
+                    raise _BlockExit(next_pc)
+                if executor.stop:
+                    raise _Stopped(next_pc)
+                return next_pc
+
+            def info_op():
+                address = (regs[rs1] + imm) & MASK64
+                write(address, size, regs[rs2])
+                if address < bounds[1] and address + size > bounds[0]:
+                    executor._invalidate(address, size)
+                info.mem_addr = address
+                hart.pc = next_pc
+                return info
+            return fast, info_op, _KIND_SEQ
+
+        # --- control transfer -------------------------------------------------
+        if mnemonic == "jal":
+            target = (pc + imm) & MASK64
+            info.next_pc = target
+            info.branch_taken = True
+            info.timing_class = TC_JUMP
+            if rd:
+                def fast():
+                    regs[rd] = next_pc
+                    return target
+            else:
+                def fast():
+                    return target
+
+            def info_op():
+                if rd:
+                    regs[rd] = next_pc
+                hart.pc = target
+                return info
+            return fast, info_op, _KIND_TERM
+
+        if mnemonic == "jalr":
+            target_mask = MASK64 & ~1
+            info.branch_taken = True
+            info.timing_class = TC_JUMP
+            if rd:
+                def fast():
+                    target = (regs[rs1] + imm) & target_mask
+                    regs[rd] = next_pc
+                    return target
+            else:
+                def fast():
+                    return (regs[rs1] + imm) & target_mask
+
+            def info_op():
+                target = (regs[rs1] + imm) & target_mask
+                if rd:
+                    regs[rd] = next_pc
+                info.next_pc = target
+                hart.pc = target
+                return info
+            return fast, info_op, _KIND_TERM
+
+        if mnemonic in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken_pc = (pc + imm) & MASK64
+            info.timing_class = TC_BRANCH
+            if mnemonic == "beq":
+                def fast():
+                    return taken_pc if regs[rs1] == regs[rs2] else next_pc
+                def cond():
+                    return regs[rs1] == regs[rs2]
+            elif mnemonic == "bne":
+                def fast():
+                    return taken_pc if regs[rs1] != regs[rs2] else next_pc
+                def cond():
+                    return regs[rs1] != regs[rs2]
+            elif mnemonic == "blt":
+                def fast():
+                    return taken_pc if ((regs[rs1] ^ _SIGN64) - _SIGN64) < ((regs[rs2] ^ _SIGN64) - _SIGN64) else next_pc
+                def cond():
+                    return ((regs[rs1] ^ _SIGN64) - _SIGN64) < ((regs[rs2] ^ _SIGN64) - _SIGN64)
+            elif mnemonic == "bge":
+                def fast():
+                    return taken_pc if ((regs[rs1] ^ _SIGN64) - _SIGN64) >= ((regs[rs2] ^ _SIGN64) - _SIGN64) else next_pc
+                def cond():
+                    return ((regs[rs1] ^ _SIGN64) - _SIGN64) >= ((regs[rs2] ^ _SIGN64) - _SIGN64)
+            elif mnemonic == "bltu":
+                def fast():
+                    return taken_pc if regs[rs1] < regs[rs2] else next_pc
+                def cond():
+                    return regs[rs1] < regs[rs2]
+            else:  # bgeu
+                def fast():
+                    return taken_pc if regs[rs1] >= regs[rs2] else next_pc
+                def cond():
+                    return regs[rs1] >= regs[rs2]
+
+            def info_op():
+                if cond():
+                    info.branch_taken = True
+                    info.next_pc = taken_pc
+                    hart.pc = taken_pc
+                else:
+                    info.branch_taken = False
+                    info.next_pc = next_pc
+                    hart.pc = next_pc
+                return info
+            return fast, info_op, _KIND_TERM
+
+        # --- system -----------------------------------------------------------
+        if mnemonic in ("csrrs", "csrrw", "csrrc", "csrrsi", "csrrwi", "csrrci"):
+            executor = self
+            csr_address = decoded.csr
+
+            def info_op():
+                value = executor._read_csr(csr_address)
+                if rd:
+                    regs[rd] = value & MASK64
+                hart.pc = next_pc
+                return info
+            return _raise_slow, info_op, _KIND_SLOW
+
+        if mnemonic == "ecall":
+            executor = self
+
+            def info_op():
+                # Bare-metal convention: a7 holds the syscall number; 93 is
+                # exit with the code in a0.  Anything else is "unhandled".
+                if regs[17] == 93:
+                    executor.exit_requested = True
+                    executor.exit_code = regs[10] & 0xFF
+                    executor.stop = True
+                else:
+                    raise TrapError(f"unhandled ecall (a7={regs[17]}) at pc={pc:#x}")
+                hart.pc = next_pc
+                return info
+            return _raise_slow, info_op, _KIND_SLOW
+
+        if mnemonic == "ebreak":
+            def info_op():
+                raise TrapError(f"ebreak at pc={pc:#x}")
+            return _raise_slow, info_op, _KIND_SLOW
+
+        if mnemonic == "fence":
+            def fast():
+                return next_pc
+
+            def info_op():
+                hart.pc = next_pc
+                return info
+            return fast, info_op, _KIND_SEQ
+
+        if mnemonic == "fence.i":
+            executor = self
+
+            def fast():
+                executor.flush()
+                return next_pc
+
+            def info_op():
+                executor.flush()
+                hart.pc = next_pc
+                return info
+            return fast, info_op, _KIND_TERM
+
+        # --- RoCC custom instructions ------------------------------------------
+        if mnemonic == "rocc":
+            rocc = self.rocc
+            if rocc is None:
+                def fast():
+                    raise SimulationError(
+                        f"RoCC instruction at pc={pc:#x} but no accelerator attached"
+                    )
+                return fast, fast, _KIND_SEQ
+            execute = rocc.execute
+            funct7 = decoded.funct7
+            xd = bool(decoded.xd)
+            xs1 = bool(decoded.xs1)
+            xs2 = bool(decoded.xs2)
+            info.is_rocc = True
+            info.rocc_funct7 = funct7
+            info.timing_class = TC_ROCC
+
+            def fast():
+                response = execute(
+                    funct7=funct7, rd=rd, rs1=rs1, rs2=rs2,
+                    rs1_value=regs[rs1], rs2_value=regs[rs2],
+                    xd=xd, xs1=xs1, xs2=xs2, memory=memory,
+                )
+                if response.has_response and rd:
+                    regs[rd] = response.value & MASK64
+                return next_pc
+
+            def info_op():
+                response = execute(
+                    funct7=funct7, rd=rd, rs1=rs1, rs2=rs2,
+                    rs1_value=regs[rs1], rs2_value=regs[rs2],
+                    xd=xd, xs1=xs1, xs2=xs2, memory=memory,
+                )
+                info.rocc_busy_cycles = response.busy_cycles
+                info.rocc_has_response = response.has_response
+                if response.has_response and rd:
+                    regs[rd] = response.value & MASK64
+                hart.pc = next_pc
+                return info
+            return fast, info_op, _KIND_SEQ
+
+        raise SimulationError(  # pragma: no cover - decoder and builder in sync
+            f"unimplemented instruction {mnemonic!r} at {pc:#x}"
+        )
+
+
+#: Register-writing instructions whose only effect is ``rd = f(operands)``;
+#: with ``rd == x0`` they compile to a pure no-op.
+_ALU_MNEMONICS = frozenset({
+    "add", "addi", "sub", "and", "andi", "or", "ori", "xor", "xori",
+    "sll", "slli", "srl", "srli", "sra", "srai",
+    "slt", "slti", "sltu", "sltiu",
+    "addw", "addiw", "subw", "sllw", "slliw", "srlw", "srliw", "sraw", "sraiw",
+    "mul", "mulh", "mulhu", "mulhsu", "mulw",
+    "div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw",
+    "lui", "auipc",
+})

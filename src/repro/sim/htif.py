@@ -22,6 +22,10 @@ class Htif:
         self.exited = False
         self.exit_code = 0
         self.console = []
+        #: Optional callback fired on exit; simulators running the executor in
+        #: batched mode wire this to ``Executor.request_halt`` so the batch
+        #: stops on the exact instruction that wrote ``tohost``.
+        self.on_exit = None
 
     def attach(self, memory) -> None:
         """Register the ``tohost`` write hook on a :class:`SparseMemory`."""
@@ -31,6 +35,8 @@ class Htif:
         if value & 1:
             self.exited = True
             self.exit_code = value >> 1
+            if self.on_exit is not None:
+                self.on_exit()
         elif value & 0xFF == 0x02:
             self.console.append(chr((value >> 8) & 0xFF))
 

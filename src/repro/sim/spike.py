@@ -79,14 +79,16 @@ class SpikeSimulator:
             csr_provider=self._read_counter,
             rocc=rocc_adapter,
         )
+        # Stop a batched Executor.run on the instruction that writes tohost.
+        self.htif.on_exit = self.executor.request_halt
 
     # ---------------------------------------------------------------- counters
     def _read_counter(self, address: int) -> int:
         if address in (csrdefs.CYCLE, csrdefs.MCYCLE, csrdefs.TIME):
             # The functional model has no timing: one cycle per instruction.
-            return self.instructions_retired
+            return self.executor.retired
         if address in (csrdefs.INSTRET, csrdefs.MINSTRET):
-            return self.instructions_retired
+            return self.executor.retired
         return 0
 
     # --------------------------------------------------------------------- run
@@ -96,13 +98,14 @@ class SpikeSimulator:
         htif = self.htif
         limit = self.max_instructions
         while not htif.exited and not executor.exit_requested:
-            if self.instructions_retired >= limit:
+            remaining = limit - executor.retired
+            if remaining <= 0:
                 raise SimulationError(
                     f"instruction limit exceeded ({limit}); "
                     f"pc={self.hart.pc:#x} — runaway program?"
                 )
-            executor.step()
-            self.instructions_retired += 1
+            executor.run(remaining)
+        self.instructions_retired = executor.retired
         exit_code = htif.exit_code if htif.exited else executor.exit_code
         return SimulationResult(
             exit_code=exit_code,

@@ -280,6 +280,28 @@ class TestSpecialsAndMisc:
         assert compare(DecNumber.infinity(1), DecNumber.from_int(0), ctx) == -1
         assert compare(DecNumber.qnan(), DecNumber.from_int(0), ctx) is None
 
+    @pytest.mark.parametrize("x,y,expected", [
+        # ±Inf vs ±Inf.
+        (DecNumber.infinity(0), DecNumber.infinity(0), 0),
+        (DecNumber.infinity(1), DecNumber.infinity(1), 0),
+        (DecNumber.infinity(1), DecNumber.infinity(0), -1),
+        (DecNumber.infinity(0), DecNumber.infinity(1), 1),
+        # ±Inf vs finite: the infinity dominates regardless of magnitude.
+        (DecNumber.infinity(0), DecNumber.from_int(10**15), 1),
+        (DecNumber.infinity(1), DecNumber.from_int(-(10**15)), -1),
+        (DecNumber.infinity(0), DecNumber.zero(), 1),
+        (DecNumber.infinity(1), DecNumber.zero(), -1),
+        # finite vs ±Inf (mirrored operand order).
+        (DecNumber.from_int(10**15), DecNumber.infinity(0), -1),
+        (DecNumber.from_int(-(10**15)), DecNumber.infinity(1), 1),
+        (DecNumber.zero(1), DecNumber.infinity(0), -1),
+        (DecNumber.zero(), DecNumber.infinity(1), 1),
+    ])
+    def test_compare_infinity_orderings(self, x, y, expected):
+        ctx = DECIMAL64_CONTEXT()
+        assert compare(x, y, ctx) == expected
+        assert not ctx.flags.invalid  # infinities are ordered, not invalid
+
     def test_minus_and_absolute(self):
         ctx = DECIMAL64_CONTEXT()
         assert minus(DecNumber.from_int(5), ctx).sign == 1

@@ -1,0 +1,279 @@
+"""Direct unit tests for the threaded-code :class:`~repro.sim.executor.Executor`.
+
+These drive the executor against hand-encoded instruction words, without the
+assembler/linker/HTIF stack, covering RV64IM semantics that the kernel runs
+only exercise indirectly: shift-amount masking, signed division overflow and
+divide-by-zero results, load sign extension — plus behaviours specific to the
+threaded-code engine (batched ``run``, per-PC ``ExecInfo`` reuse, and
+self-modifying-code invalidation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrapError
+from repro.isa.encoder import encode_instruction
+from repro.sim.executor import Executor, TC_BRANCH, TC_JUMP, TC_MEM
+from repro.sim.hart import Hart
+from repro.sim.memory import SparseMemory
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+BASE = 0x1000
+INT64_MIN = 1 << 63          # two's-complement pattern of -2**63
+INT32_MIN = 0xFFFFFFFF80000000  # sign-extended -2**31
+
+
+def make_executor(words, regs=None):
+    """Place encoded words at ``BASE`` and return a ready executor."""
+    memory = SparseMemory()
+    for index, word in enumerate(words):
+        memory.write(BASE + 4 * index, 4, word)
+    hart = Hart(pc=BASE)
+    if regs:
+        for reg, value in regs.items():
+            hart.regs[reg] = value & MASK64
+    return Executor(hart, memory), hart, memory
+
+
+def exec_rr(mnemonic, a, b):
+    """x5 = a; x6 = b; x7 = mnemonic(x5, x6); return x7."""
+    executor, hart, _ = make_executor(
+        [encode_instruction(mnemonic, 7, 5, 6)], regs={5: a, 6: b}
+    )
+    executor.step()
+    return hart.regs[7]
+
+
+class TestShiftAmountMasking:
+    @pytest.mark.parametrize("mnemonic,value,shamt,expected", [
+        # 64-bit shifts use only rs2[5:0]: 0x43 & 0x3F == 3.
+        ("sll", 1, 0x43, 8),
+        ("srl", 0x80, 0x43, 0x10),
+        ("sra", INT64_MIN, 0x43, 0xF000000000000000),
+        # 0x40 & 0x3F == 0: shifting by 64 is a no-op, not zero.
+        ("sll", 0xABCD, 0x40, 0xABCD),
+        ("srl", 0xABCD, 0x40, 0xABCD),
+        # 32-bit shifts use only rs2[4:0]: 0x23 & 0x1F == 3.
+        ("sllw", 1, 0x23, 8),
+        ("srlw", 0x80000000, 0x23, 0x10000000),
+        ("sraw", 0x80000000, 0x23, 0xFFFFFFFFF0000000),
+        # Shifting by 32 on the word ops is a no-op (sign-extended).
+        ("sllw", 5, 0x20, 5),
+    ])
+    def test_register_shift_masks_amount(self, mnemonic, value, shamt, expected):
+        assert exec_rr(mnemonic, value, shamt) == expected
+
+
+class TestDivRemEdges:
+    @pytest.mark.parametrize("mnemonic,a,b,expected", [
+        # Signed overflow: INT_MIN / -1 wraps to INT_MIN, remainder 0.
+        ("div", INT64_MIN, MASK64, INT64_MIN),
+        ("rem", INT64_MIN, MASK64, 0),
+        ("divw", INT32_MIN, MASK64, INT32_MIN),
+        ("remw", INT32_MIN, MASK64, 0),
+        # Division by zero: quotient all-ones, remainder is the dividend.
+        ("div", 123, 0, MASK64),
+        ("rem", 123, 0, 123),
+        ("div", (-123) & MASK64, 0, MASK64),
+        ("rem", (-123) & MASK64, 0, (-123) & MASK64),
+        ("divu", 123, 0, MASK64),
+        ("remu", 123, 0, 123),
+        ("divw", 77, 0, MASK64),
+        ("remw", (-77) & MASK64, 0, (-77) & MASK64),
+        ("divuw", 77, 0, MASK64),
+        ("remuw", 0x80000001, 0, INT32_MIN | 1),
+        # C-style truncation toward zero for mixed signs.
+        ("div", (-7) & MASK64, 2, (-3) & MASK64),
+        ("rem", (-7) & MASK64, 2, (-1) & MASK64),
+        ("div", 7, (-2) & MASK64, (-3) & MASK64),
+        ("rem", 7, (-2) & MASK64, 1),
+        # Large-magnitude operands must divide exactly (no float rounding).
+        ("div", (1 << 62) + 3, 3, ((1 << 62) + 3) // 3),
+        ("rem", (1 << 62) + 4, 3, ((1 << 62) + 4) % 3),
+        ("div", ((-(1 << 62)) - 3) & MASK64, 3, (-(((1 << 62) + 3) // 3)) & MASK64),
+        # Word ops ignore the upper 32 bits of both operands.
+        ("divw", (0xDEAD << 32) | 10, (0xBEEF << 32) | 3, 3),
+        ("remw", (0xDEAD << 32) | 10, (0xBEEF << 32) | 3, 1),
+        ("divuw", (1 << 35) | 0x80000000, 2, 0x40000000),
+    ])
+    def test_div_rem(self, mnemonic, a, b, expected):
+        assert exec_rr(mnemonic, a, b) == expected
+
+
+class TestLoadExtension:
+    @pytest.mark.parametrize("mnemonic,stored,expected", [
+        ("lb", 0x80, 0xFFFFFFFFFFFFFF80),
+        ("lb", 0x7F, 0x7F),
+        ("lbu", 0xFF, 0xFF),
+        ("lh", 0x8000, 0xFFFFFFFFFFFF8000),
+        ("lh", 0x7FFF, 0x7FFF),
+        ("lhu", 0xFFFF, 0xFFFF),
+        ("lw", 0x80000000, 0xFFFFFFFF80000000),
+        ("lw", 0x7FFFFFFF, 0x7FFFFFFF),
+        ("lwu", 0xFFFFFFFF, 0xFFFFFFFF),
+        ("ld", 0x8000000000000001, 0x8000000000000001),
+    ])
+    def test_load_sign_extension(self, mnemonic, stored, expected):
+        data = 0x9000
+        executor, hart, memory = make_executor(
+            [encode_instruction(mnemonic, 7, 5, 0)], regs={5: data}
+        )
+        memory.write(data, 8, stored)
+        executor.step()
+        assert hart.regs[7] == expected
+
+    def test_load_to_x0_is_discarded_but_accessed(self):
+        seen = []
+        executor, hart, memory = make_executor(
+            [encode_instruction("ld", 0, 5, 0)], regs={5: 0x9000}
+        )
+        memory.add_read_hook(0x9000, lambda size: seen.append(size) or 99)
+        executor.step()
+        assert hart.regs[0] == 0
+        assert seen == [8]  # the access still happened (MMIO semantics)
+
+
+class TestX0Invariant:
+    def test_alu_write_to_x0_discarded(self):
+        executor, hart, _ = make_executor(
+            [encode_instruction("addi", 0, 0, 55)]
+        )
+        executor.step()
+        assert hart.regs[0] == 0
+        assert hart.pc == BASE + 4
+
+
+class TestRunBatching:
+    def _counting_loop(self, iterations):
+        # x5 counts down; bne back to itself.
+        return [
+            encode_instruction("addi", 5, 5, -1),
+            encode_instruction("bne", 5, 0, -4),
+            encode_instruction("addi", 6, 0, 1),
+        ], {5: iterations}
+
+    def test_run_counts_instructions(self):
+        from repro.errors import DecodingError
+
+        words, regs = self._counting_loop(10)
+        executor, hart, _ = make_executor(words, regs=regs)
+        # The loop retires 2 * 10 instructions plus the trailing addi, then
+        # control reaches an undecodable zero word, which must raise exactly
+        # as the old fetch-every-step interpreter did — with the 21 real
+        # instructions already retired and architecturally applied.
+        with pytest.raises(DecodingError):
+            executor.run(1_000_000)
+        assert executor.retired == 21
+        assert hart.regs[6] == 1
+        assert hart.pc == BASE + 12  # left at the faulting word
+
+    def test_run_respects_budget_with_overshoot_bound(self):
+        words, regs = self._counting_loop(10_000)
+        executor, _, _ = make_executor(words, regs=regs)
+        retired = executor.run(100)
+        assert 100 <= retired <= 100 + Executor._MAX_BLOCK
+
+    def test_run_and_step_agree(self):
+        words, regs = self._counting_loop(7)
+        executor_a, hart_a, _ = make_executor(words, regs=regs)
+        executor_b, hart_b, _ = make_executor(words, regs=regs)
+        executor_a.run(14)
+        for _ in range(14):
+            executor_b.step()
+        assert hart_a.regs == hart_b.regs
+        assert hart_a.pc == hart_b.pc
+        assert executor_a.retired == executor_b.retired == 14
+
+
+class TestSelfModifyingCode:
+    def test_store_into_compiled_code_takes_effect(self):
+        # x7 = 1; overwrite the *next* instruction (addi x7,x0,2) with
+        # addi x7,x0,3 before it executes a second time.
+        patch = encode_instruction("addi", 7, 0, 3)
+        words = [
+            encode_instruction("addi", 7, 0, 2),   # BASE: will be patched
+            encode_instruction("sw", 6, 5, 0),     # BASE+4: patch BASE
+            encode_instruction("jal", 0, -8),      # BASE+8: loop back
+        ]
+        executor, hart, _ = make_executor(words, regs={5: BASE, 6: patch})
+        for _ in range(3):   # addi(2), sw, jal — all compiled once
+            executor.step()
+        assert hart.regs[7] == 2
+        for _ in range(1):
+            executor.step()  # re-executes BASE: must see the patched word
+        assert hart.regs[7] == 3
+
+    def test_store_into_code_mid_block_under_run(self):
+        patch = encode_instruction("addi", 7, 0, 3)
+        words = [
+            encode_instruction("addi", 7, 0, 2),
+            encode_instruction("sw", 6, 5, 0),
+            encode_instruction("jal", 0, -8),
+        ]
+        executor, hart, _ = make_executor(words, regs={5: BASE, 6: patch})
+        executor.run(6)  # two trips around the loop
+        assert hart.regs[7] == 3
+
+    def test_store_straddling_start_of_code_range_invalidates(self):
+        # An 8-byte store at BASE-4 overlaps only the *first* compiled
+        # instruction with its upper half; the overlap (not just the start
+        # address) must trigger invalidation.
+        patch = encode_instruction("addi", 7, 0, 3)
+        words = [
+            encode_instruction("addi", 7, 0, 2),   # BASE: patched via overlap
+            encode_instruction("sd", 6, 5, -4),    # BASE+4: store to BASE-4
+            encode_instruction("jal", 0, -8),      # BASE+8: loop back
+        ]
+        # Upper dword half = patched instruction, lower half lands below code.
+        value = (patch << 32) | 0x0000_0013        # low word: nop encoding
+        executor, hart, memory = make_executor(words, regs={5: BASE, 6: value})
+        executor.run(6)  # two trips: second iteration must see the patch
+        assert memory.read(BASE, 4) == patch
+        assert hart.regs[7] == 3
+
+
+class TestExecInfoProtocol:
+    def test_load_info_fields(self):
+        executor, _, memory = make_executor(
+            [encode_instruction("lw", 7, 5, 4)], regs={5: 0x9000}
+        )
+        memory.write(0x9004, 4, 42)
+        info = executor.step()
+        assert info.mem_addr == 0x9004
+        assert info.mem_size == 4
+        assert not info.mem_is_store
+        assert info.timing_class == TC_MEM
+
+    def test_store_info_fields(self):
+        executor, _, _ = make_executor(
+            [encode_instruction("sd", 6, 5, 8)], regs={5: 0x9000, 6: 7}
+        )
+        info = executor.step()
+        assert info.mem_addr == 0x9008
+        assert info.mem_size == 8
+        assert info.mem_is_store
+
+    def test_branch_info_reused_across_outcomes(self):
+        # beq taken once, then not taken: the per-PC ExecInfo is reused and
+        # must be rewritten on every execution.
+        words = [
+            encode_instruction("beq", 5, 6, 8),    # BASE -> BASE+8 when x5==x6
+            encode_instruction("addi", 0, 0, 0),
+            encode_instruction("jal", 0, -8),      # BASE+8 -> BASE
+        ]
+        executor, hart, _ = make_executor(words, regs={5: 1, 6: 1})
+        info = executor.step()
+        assert info.branch_taken and info.next_pc == BASE + 8
+        assert info.timing_class == TC_BRANCH
+        jal_info = executor.step()
+        assert jal_info.timing_class == TC_JUMP and jal_info.branch_taken
+        hart.regs[6] = 2
+        info = executor.step()
+        assert not info.branch_taken and info.next_pc == BASE + 4
+
+    def test_ebreak_traps_with_pc(self):
+        executor, _, _ = make_executor([encode_instruction("ebreak")])
+        with pytest.raises(TrapError, match=hex(BASE)):
+            executor.step()
+        assert executor.retired == 0

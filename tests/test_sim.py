@@ -49,6 +49,46 @@ class TestSparseMemory:
         memory.write_bytes(0x3000, blob)
         assert memory.read_bytes(0x3000, len(blob)) == blob
 
+    def test_read_bytes_spanning_pages_and_holes(self):
+        memory = SparseMemory()
+        # Two written islands with an unbacked page between them; the read
+        # spans written/unwritten/written regions across page boundaries.
+        memory.write_bytes(0x0FF8, b"\x11" * 16)     # crosses 0x1000
+        memory.write_bytes(0x2FFC, b"\x22" * 8)      # crosses 0x3000
+        data = memory.read_bytes(0x0FF0, 0x3010 - 0x0FF0)
+        assert len(data) == 0x3010 - 0x0FF0
+        assert data[0:8] == b"\x00" * 8              # before first island
+        assert data[8:24] == b"\x11" * 16
+        assert data[24:0x2FFC - 0x0FF0] == b"\x00" * (0x2FFC - 0x0FF0 - 24)
+        assert data[0x2FFC - 0x0FF0:0x3004 - 0x0FF0] == b"\x22" * 8
+        assert data[0x3004 - 0x0FF0:] == b"\x00" * 0xC
+
+    def test_read_bytes_fully_unbacked(self):
+        memory = SparseMemory()
+        assert memory.read_bytes(0x7000_0000, 3 * 4096 + 5) == bytes(3 * 4096 + 5)
+
+    def test_scalar_rw_straddling_page_boundary(self):
+        memory = SparseMemory()
+        for size in (2, 4, 8):
+            for offset in range(1, size):
+                address = 0x5000 - offset  # straddles the 0x5000 page edge
+                value = 0x1122334455667788 & ((1 << (8 * size)) - 1)
+                memory.write(address, size, value)
+                assert memory.read(address, size) == value, (size, offset)
+
+    def test_interleaved_hot_page_reads_and_writes(self):
+        # Alternating accesses to different pages exercise the last-page
+        # caches; values must never leak between pages.
+        memory = SparseMemory()
+        memory.write(0x1000, 8, 0xAAAA)
+        memory.write(0x9000, 8, 0xBBBB)
+        for _ in range(3):
+            assert memory.read(0x1000, 8) == 0xAAAA
+            assert memory.read(0x9000, 8) == 0xBBBB
+        memory.write(0x1000, 8, 0xCCCC)
+        assert memory.read(0x1000, 8) == 0xCCCC
+        assert memory.read(0x9000, 8) == 0xBBBB
+
 
 def _exec_binop(mnemonic, a, b_value):
     """Run a single register-register instruction and return rd."""
