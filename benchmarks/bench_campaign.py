@@ -1,0 +1,131 @@
+"""Campaign-engine scaling benchmark: serial vs sharded multiprocess runs.
+
+Runs the Table IV evaluation twice with the *same shard plan* — once with
+``workers=1`` (in-process serial reference) and once fanned out over worker
+processes — and appends wall-clock numbers plus the measured speedup to
+``BENCH_campaign.json`` at the repository root.  Because the shard plan, not
+the scheduling, defines the measurement, the two runs produce identical
+merged reports; the benchmark asserts that before recording.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py [--samples N]
+        [--workers N] [--shards-per-cell N] [--out PATH]
+
+The paper-scale acceptance run is ``--samples 8000`` on a >= 4-core host;
+``cpu_count`` is recorded with every entry because the achievable speedup is
+bounded by the cores actually available.
+
+This is a standalone script (not collected by pytest); CI runs the campaign
+CLI with a tiny sample count as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core.campaign import run_table_iv_campaign  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_campaign.json")
+
+
+def _reports_identical(a, b) -> bool:
+    return all(
+        left.per_sample_cycles == right.per_sample_cycles
+        and left.hw_cycles_total == right.hw_cycles_total
+        and left.icache_hit_rate == right.icache_hit_rate
+        and left.dcache_hit_rate == right.dcache_hit_rate
+        for left, right in zip(a.reports, b.reports)
+    )
+
+
+def run_benchmark(samples: int, workers: int, shards_per_cell: int) -> dict:
+    kwargs = dict(num_samples=samples, shards_per_cell=shards_per_cell)
+    serial = run_table_iv_campaign(workers=1, **kwargs)
+    parallel = run_table_iv_campaign(workers=workers, **kwargs)
+    if not _reports_identical(serial, parallel):
+        raise AssertionError(
+            "merged campaign reports diverged between the serial and "
+            "parallel runs of the same shard plan — determinism regression"
+        )
+    speedup = (
+        serial.wall_seconds / parallel.wall_seconds if parallel.wall_seconds else 0.0
+    )
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "samples": samples,
+        "workers": workers,
+        "shards_per_cell": shards_per_cell,
+        "total_shards": parallel.total_shards,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_seconds": round(serial.wall_seconds, 3),
+        "parallel_wall_seconds": round(parallel.wall_seconds, 3),
+        "speedup": round(speedup, 2),
+        "sim_wall_seconds": round(parallel.total_sim_wall_seconds, 3),
+        "bit_identical_to_serial": _reports_identical(serial, parallel),
+        "table_iv_rows": parallel.table_iv().rows(),
+    }
+
+
+def persist(record: dict, path: str) -> dict:
+    """Append ``record`` to the benchmark history file and return the doc."""
+    document = {"benchmark": "campaign_scaling", "history": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+            if isinstance(existing.get("history"), list):
+                document = existing
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt or unreadable history: start fresh
+    document["history"].append(record)
+    document["latest"] = record
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--samples", type=int,
+        default=int(os.environ.get("REPRO_BENCH_SAMPLES", 800)),
+        help="samples per cell (default 800; paper scale 8000)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=min(4, os.cpu_count() or 1),
+        help="worker processes for the parallel run (default: min(4, cores))",
+    )
+    parser.add_argument(
+        "--shards-per-cell", type=int, default=None,
+        help="shards per cell (default: same as --workers)",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT, help="benchmark history JSON path"
+    )
+    args = parser.parse_args(argv)
+    shards = args.shards_per_cell if args.shards_per_cell else max(1, args.workers)
+
+    record = run_benchmark(args.samples, args.workers, shards)
+    persist(record, args.out)
+
+    print(f"campaign scaling, {record['samples']} samples/cell, "
+          f"{record['total_shards']} shards, {record['cpu_count']} cores")
+    print(f"  serial   (1 worker):  {record['serial_wall_seconds']:>8.2f} s")
+    print(f"  parallel ({args.workers} workers): "
+          f"{record['parallel_wall_seconds']:>8.2f} s")
+    print(f"  speedup: {record['speedup']:.2f}x  "
+          f"(merged reports identical: {record['bit_identical_to_serial']})")
+    print(f"history -> {os.path.abspath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Command-line entry point for paper-scale evaluation campaigns.
+
+Runs a Table IV-style campaign through the sharded multiprocess engine
+(:mod:`repro.core.campaign`) and prints the merged table plus a campaign
+summary.  Typical paper-scale invocation::
+
+    PYTHONPATH=src python -m repro.campaign --samples 8000 --workers 4
+
+With the default ``--shards-per-cell 1`` the output is bit-identical to the
+serial ``EvaluationFramework.evaluate_table_iv`` at the same seed; raise it
+to shard each solution's vector set across workers too (see
+docs/campaigns.md for the determinism trade-off).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.core import reporting
+from repro.core.campaign import run_table_iv_campaign
+from repro.testgen.config import SolutionKind
+from repro.verification.database import OperandClass
+
+
+def _parse_kinds(text: str):
+    kinds = tuple(part.strip() for part in text.split(",") if part.strip())
+    for kind in kinds:
+        if kind not in SolutionKind.ALL:
+            raise argparse.ArgumentTypeError(
+                f"unknown solution kind {kind!r} (choose from {SolutionKind.ALL})"
+            )
+    return kinds
+
+
+def _parse_classes(text: str):
+    classes = tuple(part.strip() for part in text.split(",") if part.strip())
+    for name in classes:
+        if name not in OperandClass.ALL:
+            raise argparse.ArgumentTypeError(
+                f"unknown operand class {name!r} (choose from {OperandClass.ALL})"
+            )
+    return classes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--samples", type=int,
+        default=int(os.environ.get("REPRO_BENCH_SAMPLES", 200)),
+        help="samples per cell (default 200; paper scale 8000)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=os.cpu_count() or 1,
+        help="worker processes (default: CPU count; 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--shards-per-cell", type=int, default=1,
+        help="contiguous shards per cell (1 = bit-identical to serial)",
+    )
+    parser.add_argument("--repetitions", type=int, default=1,
+                        help="kernel repetitions per sample")
+    parser.add_argument("--seed", type=int, default=2018,
+                        help="operand-database seed")
+    parser.add_argument(
+        "--kinds", type=_parse_kinds, default=None,
+        help="comma-separated solution kinds (default: all three Table IV rows)",
+    )
+    parser.add_argument(
+        "--classes", type=_parse_classes, default=OperandClass.TABLE_IV_MIX,
+        help="comma-separated operand classes (default: the Table IV mix)",
+    )
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the functional verification pass")
+    parser.add_argument(
+        "--mp-start-method", default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method (default: platform default)",
+    )
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the campaign summary as JSON")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    result = run_table_iv_campaign(
+        num_samples=args.samples,
+        kinds=args.kinds,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        operand_classes=args.classes,
+        verify_functionally=not args.no_verify,
+        workers=args.workers,
+        shards_per_cell=args.shards_per_cell,
+        mp_start_method=args.mp_start_method,
+    )
+    table = result.table_iv()
+    print(reporting.render_table_iv(table))
+    print()
+    print(reporting.render_campaign(result))
+    if args.json:
+        summary = result.to_summary()
+        summary["table_iv_rows"] = table.rows()
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+        print(f"summary -> {os.path.abspath(args.json)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

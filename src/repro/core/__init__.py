@@ -18,12 +18,22 @@ them together into the paper's flow (Fig. 2):
 
 from repro.core.solution import CoDesignSolution, standard_solutions
 from repro.core.results import (
+    ShardCycleReport,
     SolutionCycleReport,
     TableIVReport,
     TableVReport,
     TableVIReport,
+    merge_shard_reports,
 )
-from repro.core.evaluation import EvaluationFramework
+from repro.core.evaluation import EvaluationFramework, run_solution_shard
+from repro.core.campaign import (
+    CampaignCell,
+    CampaignResult,
+    plan_shards,
+    run_campaign,
+    run_table_iv_campaign,
+    table_iv_cells,
+)
 from repro.core.method1 import Method1HostModel, DummyHardware, FunctionalHardware
 from repro.core.software_baseline import SoftwareBaseline
 from repro.core.host_eval import HostEvaluator
@@ -33,6 +43,15 @@ from repro.core import reporting
 __all__ = [
     "CoDesignSolution",
     "standard_solutions",
+    "CampaignCell",
+    "CampaignResult",
+    "plan_shards",
+    "run_campaign",
+    "run_table_iv_campaign",
+    "table_iv_cells",
+    "run_solution_shard",
+    "merge_shard_reports",
+    "ShardCycleReport",
     "SolutionCycleReport",
     "TableIVReport",
     "TableVReport",

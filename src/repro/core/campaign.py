@@ -1,0 +1,326 @@
+"""Sharded multiprocess campaign engine for paper-scale evaluations.
+
+The paper evaluates with 8,000 constrained-random samples per table; the
+serial :class:`~repro.core.evaluation.EvaluationFramework` runs every
+solution in one process, one simulator run after another.  The campaign
+engine decomposes an evaluation into independent units and fans them out
+over ``multiprocessing`` workers:
+
+* a **cell** is one (co-design solution × operand-class mix × RocketConfig)
+  combination with its sample count and seed — one row of a table, or one
+  design point of a config sweep;
+* each cell's shared vector set is generated once from the seed
+  (bit-identical to the serial framework's) and **sharded** into contiguous
+  slices; a shard is the unit of work: the worker builds and links the
+  shard's test program once, runs SPIKE-style verification and the Rocket
+  measurement, and returns a picklable :class:`ShardCycleReport`;
+* shards are merged (order-independently, keyed by sample range) through
+  :func:`repro.core.results.merge_shard_reports` — the same accounting the
+  serial path uses.
+
+Determinism guarantees:
+
+* the **shard plan is a pure function** of (num_samples, shards_per_cell),
+  so a fixed plan produces the same merged report for any worker count,
+  any completion order, and any multiprocessing start method;
+* with ``shards_per_cell=1`` each cell is measured in a single simulator
+  run, exactly like the serial framework — the merged report is
+  **bit-identical** to ``EvaluationFramework.evaluate_table_iv`` at the
+  same seed (parallelism then comes from running cells concurrently);
+* with ``shards_per_cell>1`` each shard starts with cold caches and a fresh
+  replacement PRNG, which perturbs a handful of boundary samples — results
+  are still exactly reproducible for the same plan, but differ slightly
+  from the single-shard measurement (see docs/campaigns.md).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.core.evaluation import run_solution_shard
+from repro.core.results import (
+    SolutionCycleReport,
+    TableIVReport,
+    merge_shard_reports,
+)
+from repro.core.solution import CoDesignSolution, standard_solutions
+from repro.errors import ConfigurationError
+from repro.rocket.config import RocketConfig
+from repro.testgen.config import SolutionKind
+from repro.verification.database import OperandClass, VerificationDatabase
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One evaluation cell: solution × operand mix × core configuration."""
+
+    solution: CoDesignSolution
+    num_samples: int
+    operand_classes: tuple = OperandClass.TABLE_IV_MIX
+    repetitions: int = 1
+    seed: int = 2018
+    rocket_config: RocketConfig = field(default_factory=RocketConfig)
+    verify_functionally: bool = True
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 1:
+            raise ConfigurationError("cell num_samples must be at least 1")
+        if not self.label:
+            object.__setattr__(self, "label", self.solution.kind)
+
+    def generate_vectors(self) -> list:
+        """The cell's full vector set — identical to the serial framework's."""
+        return VerificationDatabase(self.seed).generate_mix(
+            self.num_samples, self.operand_classes
+        )
+
+
+def plan_shards(num_samples: int, shards: int) -> list:
+    """Split ``num_samples`` into ``shards`` contiguous (start, stop) slices.
+
+    The plan is deterministic and depends only on its arguments: the first
+    ``num_samples % shards`` shards are one sample longer.  Empty slices
+    (more shards than samples) are dropped.
+    """
+    if shards < 1:
+        raise ConfigurationError("shards_per_cell must be at least 1")
+    shards = min(shards, num_samples)
+    base, extra = divmod(num_samples, shards)
+    plan = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        plan.append((start, stop))
+        start = stop
+    return plan
+
+
+def _run_shard_task(task):
+    """Worker entry point: run one shard and return its picklable report."""
+    cell_id, shard_index, start, stop, cell, vectors = task
+    outcome = run_solution_shard(
+        cell.solution,
+        vectors,
+        operand_classes=cell.operand_classes,
+        repetitions=cell.repetitions,
+        seed=cell.seed,
+        rocket_config=cell.rocket_config,
+        verify_functionally=cell.verify_functionally,
+        shard_index=shard_index,
+        start=start,
+    )
+    return cell_id, outcome.shard_report
+
+
+@dataclass
+class CampaignResult:
+    """Merged outcome of one campaign run."""
+
+    cells: list
+    reports: list                  # SolutionCycleReport, aligned with cells
+    workers: int                   # processes actually used (1 = in-process)
+    shards_per_cell: int
+    wall_seconds: float
+    baseline_kind: str = SolutionKind.SOFTWARE
+
+    @property
+    def total_samples(self) -> int:
+        return sum(cell.num_samples for cell in self.cells)
+
+    @property
+    def total_shards(self) -> int:
+        return sum(report.num_shards for report in self.reports)
+
+    @property
+    def total_sim_wall_seconds(self) -> float:
+        """Summed simulator wall-clock across all shards (CPU work done)."""
+        return sum(report.sim_wall_seconds for report in self.reports)
+
+    def report_for(self, kind: str) -> SolutionCycleReport:
+        for cell, report in zip(self.cells, self.reports):
+            if cell.solution.kind == kind:
+                return report
+        raise ConfigurationError(f"no campaign cell evaluated kind {kind!r}")
+
+    def table_iv(self, baseline_kind: str = None) -> TableIVReport:
+        """The campaign's rows as a Table IV report (one cell per kind)."""
+        kinds = [cell.solution.kind for cell in self.cells]
+        if len(set(kinds)) != len(kinds):
+            raise ConfigurationError(
+                "table_iv() needs one cell per solution kind; this campaign "
+                f"evaluated {kinds} (use .reports for sweep-style campaigns)"
+            )
+        report = TableIVReport(
+            num_samples=max((c.num_samples for c in self.cells), default=0),
+            baseline_kind=baseline_kind or self.baseline_kind,
+        )
+        for cell, cycle_report in zip(self.cells, self.reports):
+            report.reports[cell.solution.kind] = cycle_report
+        return report
+
+    def to_summary(self) -> dict:
+        """JSON-ready summary (used by the CLI and the campaign benchmark)."""
+        return {
+            "workers": self.workers,
+            "shards_per_cell": self.shards_per_cell,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "sim_wall_seconds": round(self.total_sim_wall_seconds, 4),
+            "total_samples": self.total_samples,
+            "total_shards": self.total_shards,
+            "cells": [
+                {
+                    "label": cell.label,
+                    "kind": cell.solution.kind,
+                    "solution": report.solution_name,
+                    "samples": report.num_samples,
+                    "shards": report.num_shards,
+                    "avg_total_cycles": round(report.avg_total_cycles, 3),
+                    "avg_hw_cycles": round(report.avg_hw_cycles, 3),
+                    "avg_sw_cycles": round(report.avg_sw_cycles, 3),
+                    "icache_hit_rate": round(report.icache_hit_rate, 6),
+                    "dcache_hit_rate": round(report.dcache_hit_rate, 6),
+                    "rocc_commands": report.rocc_commands,
+                    "verification_failures": report.verification_failures,
+                    "sim_wall_seconds": round(report.sim_wall_seconds, 4),
+                }
+                for cell, report in zip(self.cells, self.reports)
+            ],
+        }
+
+
+def run_campaign(
+    cells,
+    workers: int = 1,
+    shards_per_cell: int = 1,
+    mp_start_method: str = None,
+) -> CampaignResult:
+    """Run every cell, sharded and fanned out over worker processes.
+
+    ``workers <= 1`` runs all shards in-process (the serial reference mode);
+    any worker count produces the same merged reports for the same shard
+    plan, because the plan — not the scheduling — defines the measurement.
+    ``mp_start_method`` overrides the platform's multiprocessing start
+    method ("fork" is fastest where available).
+    """
+    cells = list(cells)
+    if not cells:
+        raise ConfigurationError("a campaign needs at least one cell")
+
+    started = time.perf_counter()
+    # Vectors are generated once per cell in the parent and pre-sliced into
+    # the tasks, so workers never regenerate a cell's full set per shard.
+    tasks = []
+    for cell_id, cell in enumerate(cells):
+        vectors = cell.generate_vectors()
+        for shard_index, (start, stop) in enumerate(
+            plan_shards(cell.num_samples, shards_per_cell)
+        ):
+            tasks.append(
+                (cell_id, shard_index, start, stop, cell, vectors[start:stop])
+            )
+
+    shard_reports = {cell_id: [] for cell_id in range(len(cells))}
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1 or len(tasks) == 1:
+        pool_size = 1
+        for task in tasks:
+            cell_id, report = _run_shard_task(task)
+            shard_reports[cell_id].append(report)
+    else:
+        context = (
+            multiprocessing.get_context(mp_start_method)
+            if mp_start_method
+            else multiprocessing.get_context()
+        )
+        pool_size = min(workers, len(tasks))
+        with context.Pool(processes=pool_size) as pool:
+            for cell_id, report in pool.imap_unordered(_run_shard_task, tasks):
+                shard_reports[cell_id].append(report)
+    wall_seconds = time.perf_counter() - started
+
+    reports = [
+        merge_shard_reports(
+            solution_name=cell.solution.name,
+            solution_kind=cell.solution.kind,
+            shards=shard_reports[cell_id],
+            repetitions=cell.repetitions,
+        )
+        for cell_id, cell in enumerate(cells)
+    ]
+    return CampaignResult(
+        cells=cells,
+        reports=reports,
+        workers=pool_size,
+        shards_per_cell=shards_per_cell,
+        wall_seconds=wall_seconds,
+    )
+
+
+def table_iv_cells(
+    num_samples: int = 100,
+    kinds=None,
+    repetitions: int = 1,
+    seed: int = 2018,
+    operand_classes=OperandClass.TABLE_IV_MIX,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    solutions: dict = None,
+) -> list:
+    """One campaign cell per Table IV solution kind."""
+    kinds = kinds or (
+        SolutionKind.METHOD1,
+        SolutionKind.SOFTWARE,
+        SolutionKind.METHOD1_DUMMY,
+    )
+    solutions = solutions if solutions is not None else standard_solutions()
+    return [
+        CampaignCell(
+            solution=solutions[kind],
+            num_samples=num_samples,
+            operand_classes=tuple(operand_classes),
+            repetitions=repetitions,
+            seed=seed,
+            rocket_config=(
+                rocket_config if rocket_config is not None else RocketConfig()
+            ),
+            verify_functionally=verify_functionally,
+        )
+        for kind in kinds
+    ]
+
+
+def run_table_iv_campaign(
+    num_samples: int = 100,
+    kinds=None,
+    repetitions: int = 1,
+    seed: int = 2018,
+    operand_classes=OperandClass.TABLE_IV_MIX,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    solutions: dict = None,
+    workers: int = 1,
+    shards_per_cell: int = 1,
+    mp_start_method: str = None,
+) -> CampaignResult:
+    """Convenience wrapper: plan, run and merge a Table IV campaign."""
+    cells = table_iv_cells(
+        num_samples=num_samples,
+        kinds=kinds,
+        repetitions=repetitions,
+        seed=seed,
+        operand_classes=operand_classes,
+        rocket_config=rocket_config,
+        verify_functionally=verify_functionally,
+        solutions=solutions,
+    )
+    return run_campaign(
+        cells,
+        workers=workers,
+        shards_per_cell=shards_per_cell,
+        mp_start_method=mp_start_method,
+    )

@@ -11,6 +11,12 @@ All three solutions are evaluated over the *same* operand vectors, results of
 verifiable solutions are checked against the golden library on the functional
 simulator first, and the cycle measurements come from the Rocket-like emulator
 with the decimal accelerator attached.
+
+The measurement primitive is :func:`run_solution_shard`: one build/link +
+spike + Rocket pass over a contiguous slice of vectors.  A serial evaluation
+is the single-shard case; the campaign engine (:mod:`repro.core.campaign`)
+fans many shards out over worker processes and merges them through the same
+accounting code, so both paths agree bit for bit.
 """
 
 from __future__ import annotations
@@ -20,10 +26,12 @@ from dataclasses import dataclass, field
 
 from repro.core.host_eval import HostEvaluator
 from repro.core.results import (
+    ShardCycleReport,
     SolutionCycleReport,
     TableIVReport,
     TableVIReport,
     TimedRow,
+    merge_shard_reports,
 )
 from repro.core.solution import CoDesignSolution, standard_solutions
 from repro.errors import VerificationError
@@ -36,6 +44,104 @@ from repro.testgen.generator import build_test_program
 from repro.verification.checker import ResultChecker
 from repro.verification.database import OperandClass, VerificationDatabase
 from repro.verification.reference import GoldenReference
+
+
+@dataclass
+class ShardRunOutcome:
+    """Everything produced by one shard run (live objects + picklable report)."""
+
+    program: object
+    shard_report: ShardCycleReport
+    functional_result: object = None
+    timed_result: object = None
+    check_report: object = None
+
+
+def run_solution_shard(
+    solution: CoDesignSolution,
+    vectors,
+    *,
+    operand_classes=OperandClass.TABLE_IV_MIX,
+    repetitions: int = 1,
+    seed: int = 2018,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    checker: ResultChecker = None,
+    shard_index: int = 0,
+    start: int = 0,
+) -> ShardRunOutcome:
+    """Build, verify and measure one solution over one slice of vectors.
+
+    This is the single unit of work of every evaluation: the shard's test
+    program is built and linked once, run on the SPIKE-style functional
+    simulator (golden-checked when the solution is verifiable), then measured
+    on the Rocket-like emulator.  ``start``/``shard_index`` only label the
+    shard inside a larger campaign; a serial run passes the full vector set
+    with ``start=0``.
+    """
+    vectors = list(vectors)
+    config = TestProgramConfig(
+        solution=solution.kind,
+        num_samples=len(vectors),
+        repetitions=repetitions,
+        operand_classes=operand_classes,
+        seed=seed,
+    )
+    program = build_test_program(config, vectors=vectors)
+    outcome = ShardRunOutcome(
+        program=program,
+        shard_report=ShardCycleReport(
+            shard_index=shard_index, start=start, stop=start + len(vectors)
+        ),
+    )
+    report = outcome.shard_report
+
+    if verify_functionally and solution.verifiable:
+        if checker is None:
+            checker = ResultChecker(GoldenReference())
+        simulator = SpikeSimulator(
+            program.image, accelerator=solution.make_accelerator()
+        )
+        started = time.perf_counter()
+        functional = simulator.run()
+        report.sim_wall_seconds += time.perf_counter() - started
+        outcome.functional_result = functional
+        outcome.check_report = checker.check_run(
+            vectors, program.read_results(functional)
+        )
+        report.verified = True
+        report.check_total = outcome.check_report.total
+        report.check_failed = outcome.check_report.failed
+        if not outcome.check_report.all_passed:
+            raise VerificationError(
+                f"{solution.name}: functional verification failed "
+                f"({outcome.check_report.failed}/{outcome.check_report.total}) "
+                f"on samples [{start}:{start + len(vectors)})"
+            )
+
+    emulator = RocketEmulator(
+        program.image,
+        accelerator=solution.make_accelerator(),
+        config=rocket_config if rocket_config is not None else RocketConfig(),
+    )
+    started = time.perf_counter()
+    timed = emulator.run()
+    report.sim_wall_seconds += time.perf_counter() - started
+    outcome.timed_result = timed
+
+    report.raw_cycle_samples = program.read_cycle_samples(timed)
+    report.hw_cycles = timed.hw_cycles
+    report.sw_cycles = timed.sw_cycles
+    report.instructions_retired = timed.instructions_retired
+    report.total_cycles_run = timed.cycles
+    report.icache_accesses = timed.icache_stats.accesses
+    report.icache_hits = timed.icache_stats.hits
+    report.icache_misses = timed.icache_stats.misses
+    report.dcache_accesses = timed.dcache_stats.accesses
+    report.dcache_hits = timed.dcache_stats.hits
+    report.dcache_misses = timed.dcache_stats.misses
+    report.rocc_commands = timed.rocc_commands
+    return outcome
 
 
 @dataclass
@@ -122,66 +228,63 @@ class EvaluationFramework:
     def run_cycle_accurate(self, kind: str) -> EvaluationRun:
         """Full pipeline for one solution: verify functionally, then measure."""
         solution = self.solutions[kind]
-        program = self.build_program(kind)
-        run = EvaluationRun(solution=solution, program=program)
-
-        if self.verify_functionally and solution.verifiable:
-            simulator = SpikeSimulator(
-                program.image, accelerator=solution.make_accelerator()
-            )
-            started = time.perf_counter()
-            functional = simulator.run()
-            run.sim_wall_seconds += time.perf_counter() - started
-            run.functional_result = functional
-            run.check_report = self.checker.check_run(
-                self.vectors, program.read_results(functional)
-            )
-            if not run.check_report.all_passed:
-                raise VerificationError(
-                    f"{solution.name}: functional verification failed "
-                    f"({run.check_report.failed}/{run.check_report.total})"
-                )
-
-        emulator = RocketEmulator(
-            program.image,
-            accelerator=solution.make_accelerator(),
-            config=self.rocket_config,
+        outcome = run_solution_shard(
+            solution,
+            self.vectors,
+            operand_classes=self.operand_classes,
+            repetitions=self.repetitions,
+            seed=self.seed,
+            rocket_config=self.rocket_config,
+            verify_functionally=self.verify_functionally,
+            checker=self.checker,
         )
-        started = time.perf_counter()
-        timed = emulator.run()
-        run.sim_wall_seconds += time.perf_counter() - started
-        run.timed_result = timed
-
-        per_sample = program.read_cycle_samples(timed)
-        run.cycle_report = SolutionCycleReport(
+        run = EvaluationRun(
+            solution=solution,
+            program=outcome.program,
+            functional_result=outcome.functional_result,
+            timed_result=outcome.timed_result,
+            check_report=outcome.check_report,
+            sim_wall_seconds=outcome.shard_report.sim_wall_seconds,
+        )
+        run.cycle_report = merge_shard_reports(
             solution_name=solution.name,
             solution_kind=kind,
-            num_samples=self.num_samples,
-            per_sample_cycles=[count / self.repetitions for count in per_sample],
-            hw_cycles_total=timed.hw_cycles // self.repetitions,
-            sw_cycles_total=timed.sw_cycles,
-            instructions_retired=timed.instructions_retired,
-            total_cycles_run=timed.cycles,
-            verification_passed=(
-                run.check_report.all_passed if run.check_report else True
-            ),
-            verification_failures=(
-                run.check_report.failed if run.check_report else 0
-            ),
-            icache_hit_rate=timed.icache_stats.hit_rate,
-            dcache_hit_rate=timed.dcache_stats.hit_rate,
-            rocc_commands=timed.rocc_commands,
+            shards=[outcome.shard_report],
+            repetitions=self.repetitions,
         )
         return run
 
     # -------------------------------------------------------------- experiments
-    def evaluate_table_iv(self, kinds=None) -> TableIVReport:
-        """Reproduce Table IV: average cycles and speedups of the solutions."""
+    def evaluate_table_iv(
+        self, kinds=None, workers: int = None, shards_per_cell: int = 1
+    ) -> TableIVReport:
+        """Reproduce Table IV: average cycles and speedups of the solutions.
+
+        With ``workers`` set, the evaluation is fanned out over that many
+        worker processes by the campaign engine; ``shards_per_cell=1`` (the
+        default) keeps each solution's measurement a single simulator run, so
+        the resulting report is bit-identical to the serial path.
+        """
         kinds = kinds or (
             SolutionKind.METHOD1,
             SolutionKind.SOFTWARE,
             SolutionKind.METHOD1_DUMMY,
         )
+        if workers is not None and workers > 1:
+            from repro.core.campaign import run_table_iv_campaign
+
+            return run_table_iv_campaign(
+                kinds=kinds,
+                num_samples=self.num_samples,
+                repetitions=self.repetitions,
+                seed=self.seed,
+                operand_classes=self.operand_classes,
+                rocket_config=self.rocket_config,
+                verify_functionally=self.verify_functionally,
+                solutions=self.solutions,
+                workers=workers,
+                shards_per_cell=shards_per_cell,
+            ).table_iv()
         report = TableIVReport(
             num_samples=self.num_samples, baseline_kind=SolutionKind.SOFTWARE
         )

@@ -53,20 +53,73 @@ class ParetoAnalyzer:
         finally:
             if original is not None:
                 self.framework.solutions[solution.kind] = original
+            else:
+                # The kind had no registered solution before: drop the
+                # temporary entry instead of leaking it into later runs.
+                self.framework.solutions.pop(solution.kind, None)
+        return self._record_point(solution, run.cycle_report)
+
+    def _record_point(self, solution: CoDesignSolution, cycle_report) -> ParetoPoint:
         overhead = solution.hardware_overhead()
         point = ParetoPoint(
             name=solution.name,
-            avg_cycles=run.cycle_report.avg_total_cycles,
+            avg_cycles=cycle_report.avg_total_cycles,
             gate_equivalents=overhead.total_gate_equivalents if overhead else 0.0,
             flip_flops=overhead.total_flip_flops if overhead else 0,
         )
         self.points.append(point)
         return point
 
-    def evaluate_standard_points(self) -> list:
+    def evaluate_sweep(
+        self,
+        solutions,
+        rocket_configs=None,
+        workers: int = 1,
+        shards_per_cell: int = 1,
+    ) -> list:
+        """Evaluate a family of design points through the campaign engine.
+
+        Builds one campaign cell per (solution × RocketConfig) combination —
+        all over the framework's shared vector parameters — runs them (in
+        parallel when ``workers > 1``) and records the resulting points.
+        Unlike :meth:`evaluate_solution` this never touches
+        ``framework.solutions``, so there is no state to restore.
+        """
+        from repro.core.campaign import CampaignCell, run_campaign
+
+        framework = self.framework
+        configs = list(rocket_configs) if rocket_configs else [framework.rocket_config]
+        cells = [
+            CampaignCell(
+                solution=solution,
+                num_samples=framework.num_samples,
+                operand_classes=tuple(framework.operand_classes),
+                repetitions=framework.repetitions,
+                seed=framework.seed,
+                rocket_config=config,
+                verify_functionally=framework.verify_functionally,
+                label=f"{solution.name} @ {config.frequency_hz / 1e6:.0f}MHz",
+            )
+            for solution in solutions
+            for config in configs
+        ]
+        result = run_campaign(
+            cells, workers=workers, shards_per_cell=shards_per_cell
+        )
+        return [
+            self._record_point(cell.solution, report)
+            for cell, report in zip(result.cells, result.reports)
+        ]
+
+    def evaluate_standard_points(self, workers: int = 1) -> list:
         """Evaluate the software baseline and Method-1 (the paper's two designs)."""
-        for kind in (SolutionKind.SOFTWARE, SolutionKind.METHOD1):
-            self.evaluate_solution(self.framework.solutions[kind])
+        self.evaluate_sweep(
+            [
+                self.framework.solutions[kind]
+                for kind in (SolutionKind.SOFTWARE, SolutionKind.METHOD1)
+            ],
+            workers=workers,
+        )
         return self.points
 
     def frontier(self) -> list:

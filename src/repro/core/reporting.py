@@ -70,7 +70,7 @@ def render_table_iv(report, include_paper: bool = True) -> str:
     lines.append("-" * 76)
     speedups = report.speedups()
     for kind, cycle_report in report.reports.items():
-        speedup = None if kind == report.baseline_kind else speedups[kind]
+        speedup = None if kind == report.baseline_kind else speedups.get(kind)
         lines.append(
             f"{cycle_report.solution_name:<36s} "
             f"{cycle_report.avg_sw_cycles:>9.0f} {cycle_report.avg_hw_cycles:>9.0f} "
@@ -124,6 +124,36 @@ def render_table_vi(report, include_paper: bool = True) -> str:
                 f"{'  (paper)':<36s} {paper['seconds']:>12.6f} "
                 f"{_format_speedup(paper['speedup']):>9s}"
             )
+    return "\n".join(lines)
+
+
+def render_campaign(result) -> str:
+    """Summary of a sharded campaign run (cells, shards, workers, wall clock)."""
+    lines = [
+        (
+            f"Campaign: {len(result.cells)} cells, {result.total_shards} shards, "
+            f"{result.workers} workers, {result.total_samples} samples"
+        ),
+        (
+            f"wall clock {result.wall_seconds:.2f}s, "
+            f"simulator time {result.total_sim_wall_seconds:.2f}s"
+            + (
+                f" ({result.total_sim_wall_seconds / result.wall_seconds:.2f}x "
+                f"concurrency)"
+                if result.wall_seconds
+                else ""
+            )
+        ),
+        f"{'Cell':<40s} {'Samples':>8s} {'Shards':>7s} {'Avg cyc':>9s} "
+        f"{'I$ hit':>7s} {'D$ hit':>7s} {'Sim s':>7s}",
+        "-" * 90,
+    ]
+    for cell, report in zip(result.cells, result.reports):
+        lines.append(
+            f"{cell.label:<40s} {report.num_samples:>8d} {report.num_shards:>7d} "
+            f"{report.avg_total_cycles:>9.0f} {report.icache_hit_rate:>6.1%} "
+            f"{report.dcache_hit_rate:>6.1%} {report.sim_wall_seconds:>7.2f}"
+        )
     return "\n".join(lines)
 
 

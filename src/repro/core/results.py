@@ -1,9 +1,18 @@
-"""Result containers for the evaluation framework (Tables IV, V, VI)."""
+"""Result containers for the evaluation framework (Tables IV, V, VI).
+
+Cycle measurements are collected per *shard* — a contiguous slice of a
+solution's operand vectors measured in one simulator run — and merged into
+:class:`SolutionCycleReport` rows.  A serial evaluation is simply the
+single-shard case, so the campaign engine (``repro.core.campaign``) and the
+serial framework share one accounting path and produce bit-identical numbers.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
 
 
 def _mean(values) -> float:
@@ -19,6 +28,44 @@ def _stdev(values) -> float:
     return math.sqrt(sum((value - mean) ** 2 for value in values) / (len(values) - 1))
 
 
+def _hit_rate(hits: int, accesses: int) -> float:
+    return hits / accesses if accesses else 0.0
+
+
+@dataclass
+class ShardCycleReport:
+    """Raw measurements of one shard run — plain ints/floats, picklable.
+
+    ``raw_cycle_samples`` holds the RDCYCLE deltas exactly as read back from
+    the simulated cycle buffer (one per sample, covering all ``repetitions``
+    of that sample); the repetitions division happens once, at merge time.
+    """
+
+    shard_index: int
+    start: int
+    stop: int
+    raw_cycle_samples: list = field(default_factory=list)
+    hw_cycles: int = 0
+    sw_cycles: int = 0
+    instructions_retired: int = 0
+    total_cycles_run: int = 0
+    icache_accesses: int = 0
+    icache_hits: int = 0
+    icache_misses: int = 0
+    dcache_accesses: int = 0
+    dcache_hits: int = 0
+    dcache_misses: int = 0
+    rocc_commands: int = 0
+    check_total: int = 0
+    check_failed: int = 0
+    verified: bool = False
+    sim_wall_seconds: float = 0.0
+
+    @property
+    def num_samples(self) -> int:
+        return self.stop - self.start
+
+
 @dataclass
 class SolutionCycleReport:
     """Cycle-accurate measurements of one solution (one row of Table IV)."""
@@ -27,7 +74,7 @@ class SolutionCycleReport:
     solution_kind: str
     num_samples: int
     per_sample_cycles: list = field(default_factory=list)
-    hw_cycles_total: int = 0
+    hw_cycles_total: float = 0
     sw_cycles_total: int = 0
     instructions_retired: int = 0
     total_cycles_run: int = 0
@@ -36,6 +83,16 @@ class SolutionCycleReport:
     icache_hit_rate: float = 0.0
     dcache_hit_rate: float = 0.0
     rocc_commands: int = 0
+    #: Raw cache counters (0 when the report predates shard accounting);
+    #: hit rates above stay authoritative for rendering.
+    icache_accesses: int = 0
+    icache_hits: int = 0
+    dcache_accesses: int = 0
+    dcache_hits: int = 0
+    #: Host wall-clock seconds spent inside simulator runs for this row.
+    sim_wall_seconds: float = 0.0
+    #: Number of shards this report was merged from (1 for a serial run).
+    num_shards: int = 1
 
     @property
     def avg_total_cycles(self) -> float:
@@ -65,6 +122,71 @@ class SolutionCycleReport:
         return baseline.avg_total_cycles / self.avg_total_cycles
 
 
+def merge_shard_reports(
+    solution_name: str,
+    solution_kind: str,
+    shards,
+    repetitions: int = 1,
+) -> SolutionCycleReport:
+    """Merge shard measurements into one :class:`SolutionCycleReport`.
+
+    The merge is order-independent: shards are keyed by their sample range,
+    so the same shard set produces the same report no matter which workers
+    ran them or in which order they completed.  Per-sample cycles and the
+    hardware-cycle total use *true* division by ``repetitions`` (rounding is
+    a rendering concern), except that the exact integer totals are preserved
+    when ``repetitions == 1``.
+    """
+    shards = sorted(shards, key=lambda shard: (shard.start, shard.shard_index))
+    expected = 0
+    for shard in shards:
+        if shard.start != expected:
+            raise ConfigurationError(
+                f"shard set for {solution_kind!r} is not contiguous: "
+                f"expected a shard starting at {expected}, got {shard.start}"
+            )
+        if len(shard.raw_cycle_samples) != shard.num_samples:
+            raise ConfigurationError(
+                f"shard [{shard.start}:{shard.stop}] returned "
+                f"{len(shard.raw_cycle_samples)} cycle samples"
+            )
+        expected = shard.stop
+
+    per_sample = [
+        count / repetitions
+        for shard in shards
+        for count in shard.raw_cycle_samples
+    ]
+    hw_raw = sum(shard.hw_cycles for shard in shards)
+    ic_accesses = sum(shard.icache_accesses for shard in shards)
+    ic_hits = sum(shard.icache_hits for shard in shards)
+    dc_accesses = sum(shard.dcache_accesses for shard in shards)
+    dc_hits = sum(shard.dcache_hits for shard in shards)
+    check_failed = sum(shard.check_failed for shard in shards)
+    verified = any(shard.verified for shard in shards)
+    return SolutionCycleReport(
+        solution_name=solution_name,
+        solution_kind=solution_kind,
+        num_samples=expected,
+        per_sample_cycles=per_sample,
+        hw_cycles_total=hw_raw if repetitions == 1 else hw_raw / repetitions,
+        sw_cycles_total=sum(shard.sw_cycles for shard in shards),
+        instructions_retired=sum(shard.instructions_retired for shard in shards),
+        total_cycles_run=sum(shard.total_cycles_run for shard in shards),
+        verification_passed=(check_failed == 0) if verified else True,
+        verification_failures=check_failed,
+        icache_hit_rate=_hit_rate(ic_hits, ic_accesses),
+        dcache_hit_rate=_hit_rate(dc_hits, dc_accesses),
+        rocc_commands=sum(shard.rocc_commands for shard in shards),
+        icache_accesses=ic_accesses,
+        icache_hits=ic_hits,
+        dcache_accesses=dc_accesses,
+        dcache_hits=dc_hits,
+        sim_wall_seconds=sum(shard.sim_wall_seconds for shard in shards),
+        num_shards=len(shards),
+    )
+
+
 @dataclass
 class TableIVReport:
     """The three-row cycle comparison of Table IV."""
@@ -73,8 +195,22 @@ class TableIVReport:
     reports: dict = field(default_factory=dict)  # kind -> SolutionCycleReport
     baseline_kind: str = "software"
 
-    def speedups(self) -> dict:
-        baseline = self.reports[self.baseline_kind]
+    def speedups(self, strict: bool = False) -> dict:
+        """Speedup of every evaluated kind over ``baseline_kind``.
+
+        When the evaluated subset does not include the baseline there is
+        nothing to normalise against: every speedup is ``None`` (or, with
+        ``strict=True``, a :class:`ConfigurationError` naming the missing
+        baseline is raised instead of a bare ``KeyError``).
+        """
+        baseline = self.reports.get(self.baseline_kind)
+        if baseline is None:
+            if strict:
+                raise ConfigurationError(
+                    f"baseline kind {self.baseline_kind!r} was not evaluated "
+                    f"(have: {', '.join(self.reports) or 'none'})"
+                )
+            return {kind: None for kind in self.reports}
         return {
             kind: report.speedup_over(baseline) for kind, report in self.reports.items()
         }
@@ -84,14 +220,18 @@ class TableIVReport:
         speedups = self.speedups()
         rows = []
         for kind, report in self.reports.items():
-            speedup = speedups[kind]
+            speedup = speedups.get(kind)
             rows.append(
                 {
                     "solution": report.solution_name,
                     "sw_part": round(report.avg_sw_cycles),
                     "hw_part": round(report.avg_hw_cycles),
                     "total": round(report.avg_total_cycles),
-                    "speedup": None if kind == self.baseline_kind else round(speedup, 2),
+                    "speedup": (
+                        None
+                        if kind == self.baseline_kind or speedup is None
+                        else round(speedup, 2)
+                    ),
                 }
             )
         return rows

@@ -1,0 +1,258 @@
+"""Campaign engine: shard-merge correctness, determinism, accounting fixes."""
+
+import random
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignCell,
+    plan_shards,
+    run_campaign,
+    run_table_iv_campaign,
+    table_iv_cells,
+)
+from repro.core.evaluation import EvaluationFramework, run_solution_shard
+from repro.core.pareto import ParetoAnalyzer
+from repro.core.reporting import render_campaign, render_table_iv
+from repro.core.results import ShardCycleReport, TableIVReport, merge_shard_reports
+from repro.core.solution import standard_solutions
+from repro.errors import ConfigurationError
+from repro.testgen.config import SolutionKind
+from repro.verification.coverage import CoverageTracker
+from repro.verification.database import OperandClass, VerificationDatabase
+
+SEED = 2018
+SAMPLES = 200
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return EvaluationFramework(num_samples=SAMPLES, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def serial_table_iv(framework):
+    return framework.evaluate_table_iv()
+
+
+class TestShardPlan:
+    def test_contiguous_and_balanced(self):
+        plan = plan_shards(10, 3)
+        assert plan == [(0, 4), (4, 7), (7, 10)]
+        assert plan_shards(8000, 4) == [
+            (0, 2000), (2000, 4000), (4000, 6000), (6000, 8000)
+        ]
+
+    def test_more_shards_than_samples(self):
+        assert plan_shards(2, 5) == [(0, 1), (1, 2)]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(10, 0)
+
+
+class TestShardMerge:
+    @staticmethod
+    def _shard(start, stop, **overrides):
+        fields = dict(
+            shard_index=start,
+            start=start,
+            stop=stop,
+            raw_cycle_samples=list(range(start, stop)),
+            hw_cycles=10 * (stop - start),
+            sw_cycles=100,
+            icache_accesses=50,
+            icache_hits=40,
+            dcache_accesses=20,
+            dcache_hits=10,
+            sim_wall_seconds=0.5,
+            check_total=stop - start,
+            verified=True,
+        )
+        fields.update(overrides)
+        return ShardCycleReport(**fields)
+
+    def test_merge_is_order_independent(self):
+        shards = [self._shard(0, 3), self._shard(3, 7), self._shard(7, 9)]
+        merged_forward = merge_shard_reports("s", "software", list(shards))
+        random.Random(1).shuffle(shards)
+        merged_shuffled = merge_shard_reports("s", "software", shards)
+        assert merged_forward == merged_shuffled
+        assert merged_forward.per_sample_cycles == [float(i) for i in range(9)]
+        assert merged_forward.num_samples == 9
+        assert merged_forward.num_shards == 3
+
+    def test_merge_aggregates_cache_stats_and_wall_clock(self):
+        merged = merge_shard_reports(
+            "s", "software", [self._shard(0, 4), self._shard(4, 8)]
+        )
+        assert merged.icache_accesses == 100 and merged.icache_hits == 80
+        assert merged.icache_hit_rate == 0.8
+        assert merged.dcache_hit_rate == 0.5
+        assert merged.sim_wall_seconds == 1.0
+        assert merged.hw_cycles_total == 80
+        assert merged.verification_passed
+
+    def test_merge_rejects_gaps(self):
+        with pytest.raises(ConfigurationError):
+            merge_shard_reports("s", "software", [self._shard(0, 3), self._shard(4, 6)])
+
+    def test_merge_repetitions_true_division(self):
+        merged = merge_shard_reports(
+            "s", "software",
+            [self._shard(0, 2, raw_cycle_samples=[7, 9], hw_cycles=5)],
+            repetitions=2,
+        )
+        assert merged.per_sample_cycles == [3.5, 4.5]
+        assert merged.hw_cycles_total == 2.5  # not floor-divided to 2
+
+
+class TestCampaignEqualsSerial:
+    """The acceptance property: workers=4 over the Table IV mix reproduces
+    the serial ``evaluate_table_iv`` rows exactly (same seed, 1 shard/cell)."""
+
+    @pytest.fixture(scope="class")
+    def campaign_table_iv(self):
+        return run_table_iv_campaign(
+            num_samples=SAMPLES, seed=SEED, workers=4
+        ).table_iv()
+
+    def test_rows_identical(self, serial_table_iv, campaign_table_iv):
+        assert serial_table_iv.rows() == campaign_table_iv.rows()
+        assert serial_table_iv.speedups() == campaign_table_iv.speedups()
+
+    def test_per_sample_cycles_identical(self, serial_table_iv, campaign_table_iv):
+        for kind, serial in serial_table_iv.reports.items():
+            merged = campaign_table_iv.reports[kind]
+            assert serial.per_sample_cycles == merged.per_sample_cycles
+            assert serial.hw_cycles_total == merged.hw_cycles_total
+            assert serial.sw_cycles_total == merged.sw_cycles_total
+            assert serial.icache_hit_rate == merged.icache_hit_rate
+            assert serial.dcache_hit_rate == merged.dcache_hit_rate
+            assert serial.rocc_commands == merged.rocc_commands
+            assert serial.instructions_retired == merged.instructions_retired
+            assert merged.sim_wall_seconds > 0
+
+    def test_framework_workers_parameter(self, framework, serial_table_iv):
+        parallel = framework.evaluate_table_iv(workers=2)
+        assert parallel.rows() == serial_table_iv.rows()
+
+
+class TestCampaignDeterminism:
+    def test_worker_count_independence_with_sharding(self):
+        kwargs = dict(num_samples=45, seed=11, shards_per_cell=3)
+        serial = run_table_iv_campaign(workers=1, **kwargs)
+        parallel = run_table_iv_campaign(workers=3, **kwargs)
+        assert serial.total_shards == parallel.total_shards == 9
+        for a, b in zip(serial.reports, parallel.reports):
+            assert a.per_sample_cycles == b.per_sample_cycles
+            assert a.hw_cycles_total == b.hw_cycles_total
+            assert (a.icache_accesses, a.icache_hits) == (b.icache_accesses, b.icache_hits)
+            assert (a.dcache_accesses, a.dcache_hits) == (b.dcache_accesses, b.dcache_hits)
+            assert a.num_shards == b.num_shards == 3
+            assert b.sim_wall_seconds > 0
+
+    def test_shard_vectors_match_framework(self, framework):
+        cell = table_iv_cells(num_samples=SAMPLES, seed=SEED)[0]
+        assert cell.generate_vectors() == framework.vectors
+
+    def test_render_campaign(self):
+        result = run_table_iv_campaign(num_samples=10, seed=4, workers=1)
+        text = render_campaign(result)
+        assert "3 cells" in text and "workers" in text
+
+    def test_campaign_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign([])
+
+    def test_sweep_style_campaign_rejects_table_iv(self):
+        solution = standard_solutions()[SolutionKind.SOFTWARE]
+        cells = [
+            CampaignCell(solution=solution, num_samples=5, seed=1),
+            CampaignCell(solution=solution, num_samples=5, seed=1),
+        ]
+        result = run_campaign(cells)
+        with pytest.raises(ConfigurationError):
+            result.table_iv()
+        assert len(result.reports) == 2
+
+
+class TestAccountingRegressions:
+    def test_pareto_no_solution_restore_leak(self):
+        framework = EvaluationFramework(num_samples=6, seed=3)
+        temporary = framework.solutions.pop(SolutionKind.METHOD1_DUMMY)
+        analyzer = ParetoAnalyzer(framework)
+        analyzer.evaluate_solution(temporary)
+        assert SolutionKind.METHOD1_DUMMY not in framework.solutions
+
+    def test_pareto_restores_existing_solution(self):
+        framework = EvaluationFramework(num_samples=6, seed=3)
+        original = framework.solutions[SolutionKind.SOFTWARE]
+        from dataclasses import replace
+
+        analyzer = ParetoAnalyzer(framework)
+        analyzer.evaluate_solution(replace(original, name="variant"))
+        assert framework.solutions[SolutionKind.SOFTWARE] is original
+
+    def test_pareto_sweep_through_campaign(self):
+        framework = EvaluationFramework(num_samples=6, seed=3)
+        analyzer = ParetoAnalyzer(framework)
+        points = analyzer.evaluate_sweep(
+            [framework.solutions[SolutionKind.SOFTWARE],
+             framework.solutions[SolutionKind.METHOD1]],
+        )
+        assert len(points) == 2
+        assert points[0].avg_cycles > points[1].avg_cycles  # software slower
+        # The sweep never registers temporaries in the framework.
+        assert set(framework.solutions) == set(standard_solutions())
+
+    def test_repetitions_no_floor_drift(self):
+        framework = EvaluationFramework(
+            num_samples=8, seed=5, repetitions=3
+        )
+        run = framework.run_cycle_accurate(SolutionKind.METHOD1)
+        report = run.cycle_report
+        # hw total uses the same true division as the per-sample cycles …
+        assert report.hw_cycles_total == run.timed_result.hw_cycles / 3
+        # … so avg_sw + avg_hw recompose the measured average exactly.
+        assert report.avg_sw_cycles + report.avg_hw_cycles == pytest.approx(
+            report.avg_total_cycles
+        )
+
+    def test_table_iv_subset_without_baseline(self):
+        framework = EvaluationFramework(num_samples=6, seed=3)
+        report = framework.evaluate_table_iv(kinds=(SolutionKind.METHOD1,))
+        assert report.speedups() == {SolutionKind.METHOD1: None}
+        rows = report.rows()
+        assert len(rows) == 1 and rows[0]["speedup"] is None
+        assert "Method-1" in render_table_iv(report)
+        with pytest.raises(ConfigurationError):
+            report.speedups(strict=True)
+
+    def test_table_iv_empty_report_speedups(self):
+        report = TableIVReport(num_samples=0)
+        assert report.speedups() == {}
+        assert report.rows() == []
+
+
+class TestCampaignCoverage:
+    def test_eight_class_mix_covers_paper_conditions(self):
+        """An 8-class campaign mix exercises every result condition the paper
+        lists (overflow, underflow, normal/exact, rounding, clamping) plus
+        the special-value conditions the tracker distinguishes."""
+        vectors = VerificationDatabase(SEED).generate_mix(160, OperandClass.ALL)
+        tracker = CoverageTracker()
+        tracker.record_all(vectors)
+        assert tracker.missing_conditions(CoverageTracker.CONDITIONS) == frozenset()
+        assert set(tracker.class_counts) == set(OperandClass.ALL)
+
+    def test_shard_runner_reports_verification(self):
+        solution = standard_solutions()[SolutionKind.SOFTWARE]
+        vectors = VerificationDatabase(9).generate_mix(5)
+        outcome = run_solution_shard(solution, vectors, seed=9, start=20,
+                                     shard_index=4)
+        report = outcome.shard_report
+        assert report.verified and report.check_total == 5
+        assert report.check_failed == 0
+        assert (report.start, report.stop) == (20, 25)
+        assert len(report.raw_cycle_samples) == 5

@@ -54,6 +54,15 @@ def test_pareto_sweep_example(argv, capsys):
     assert "yes" in output
 
 
+def test_campaign_scale_example(argv, capsys):
+    argv(15, 2)
+    _run("examples/campaign_scale.py")
+    output = capsys.readouterr().out
+    assert "Table IV" in output
+    assert "Campaign: 3 cells" in output
+    assert "serial evaluate_table_iv rows identical: True" in output
+
+
 def test_custom_instruction_example(capsys):
     _run("examples/custom_instruction.py")
     output = capsys.readouterr().out
