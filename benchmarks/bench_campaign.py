@@ -45,8 +45,10 @@ def _reports_identical(a, b) -> bool:
     )
 
 
-def run_benchmark(samples: int, workers: int, shards_per_cell: int) -> dict:
-    kwargs = dict(num_samples=samples, shards_per_cell=shards_per_cell)
+def run_benchmark(samples: int, workers: int, shards_per_cell: int,
+                  workload: str = None) -> dict:
+    kwargs = dict(num_samples=samples, shards_per_cell=shards_per_cell,
+                  workload=workload)
     serial = run_table_iv_campaign(workers=1, **kwargs)
     parallel = run_table_iv_campaign(workers=workers, **kwargs)
     if not _reports_identical(serial, parallel):
@@ -60,6 +62,7 @@ def run_benchmark(samples: int, workers: int, shards_per_cell: int) -> dict:
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "samples": samples,
+        "workload": workload,
         "workers": workers,
         "shards_per_cell": shards_per_cell,
         "total_shards": parallel.total_shards,
@@ -108,12 +111,18 @@ def main(argv=None) -> int:
         help="shards per cell (default: same as --workers)",
     )
     parser.add_argument(
+        "--workload", default=None,
+        help="registered workload name to draw operands from "
+             "(default: the legacy Table IV class mix)",
+    )
+    parser.add_argument(
         "--out", default=DEFAULT_OUT, help="benchmark history JSON path"
     )
     args = parser.parse_args(argv)
     shards = args.shards_per_cell if args.shards_per_cell else max(1, args.workers)
 
-    record = run_benchmark(args.samples, args.workers, shards)
+    record = run_benchmark(args.samples, args.workers, shards,
+                           workload=args.workload)
     persist(record, args.out)
 
     print(f"campaign scaling, {record['samples']} samples/cell, "

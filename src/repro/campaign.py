@@ -10,6 +10,14 @@ With the default ``--shards-per-cell 1`` the output is bit-identical to the
 serial ``EvaluationFramework.evaluate_table_iv`` at the same seed; raise it
 to shard each solution's vector set across workers too (see
 docs/campaigns.md for the determinism trade-off).
+
+``--workload NAME[,NAME...]`` swaps (or multiplies) the operand scenario:
+each registered workload (docs/workloads.md, ``--list-workloads``) becomes
+its own set of cells, rendered as per-workload tables plus a cross-workload
+speedup comparison::
+
+    PYTHONPATH=src python -m repro.campaign --samples 2000 --workers 4 \\
+        --workload telco-billing,carry-stress,special-values
 """
 
 from __future__ import annotations
@@ -20,9 +28,32 @@ import os
 import sys
 
 from repro.core import reporting
-from repro.core.campaign import run_table_iv_campaign
+from repro.core.campaign import run_table_iv_campaign, run_workload_campaign
 from repro.testgen.config import SolutionKind
 from repro.verification.database import OperandClass
+from repro.workloads import registered_workloads
+
+
+def _parse_workloads(text: str):
+    from repro.errors import ConfigurationError
+    from repro.workloads import get_workload
+
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(
+            "--workload needs at least one workload name"
+        )
+    for name in names:
+        try:
+            get_workload(name)  # unknown names get the registry's
+        except ConfigurationError as error:  # did-you-mean message
+            raise argparse.ArgumentTypeError(str(error)) from None
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise argparse.ArgumentTypeError(
+            f"duplicate workload name(s): {', '.join(sorted(duplicates))}"
+        )
+    return names
 
 
 def _parse_kinds(text: str):
@@ -72,8 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated solution kinds (default: all three Table IV rows)",
     )
     parser.add_argument(
-        "--classes", type=_parse_classes, default=OperandClass.TABLE_IV_MIX,
-        help="comma-separated operand classes (default: the Table IV mix)",
+        "--classes", type=_parse_classes, default=None,
+        help="comma-separated operand classes (default: the Table IV mix; "
+             "mutually exclusive with --workload)",
+    )
+    parser.add_argument(
+        "--workload", type=_parse_workloads, default=None, metavar="NAME[,NAME...]",
+        help=(
+            "registered workload scenario(s) to evaluate (see "
+            "--list-workloads and docs/workloads.md); more than one name "
+            "fans (solution x workload) cells across the shards and renders "
+            "per-workload tables plus a cross-workload speedup comparison"
+        ),
+    )
+    parser.add_argument(
+        "--list-workloads", action="store_true",
+        help="list registered workloads and exit",
     )
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the functional verification pass")
@@ -89,24 +134,67 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    result = run_table_iv_campaign(
+    if args.list_workloads:
+        for name, workload in sorted(registered_workloads().items()):
+            print(f"{name:<16s} {workload.description}")
+        return 0
+    if args.workload and args.classes is not None:
+        build_parser().error(
+            "--classes and --workload are mutually exclusive: a workload "
+            "defines its own operand distribution"
+        )
+
+    common = dict(
         num_samples=args.samples,
         kinds=args.kinds,
         repetitions=args.repetitions,
         seed=args.seed,
-        operand_classes=args.classes,
         verify_functionally=not args.no_verify,
         workers=args.workers,
         shards_per_cell=args.shards_per_cell,
         mp_start_method=args.mp_start_method,
     )
-    table = result.table_iv()
-    print(reporting.render_table_iv(table))
+    if args.workload and len(args.workload) > 1:
+        result = run_workload_campaign(args.workload, **common)
+        tables = result.table_iv_by_workload()
+        print(reporting.render_workload_tables(result, tables=tables))
+        print()
+        print(reporting.render_workload_matrix(result, tables=tables))
+    else:
+        # Zero or one workload: a plain Table IV campaign.  With
+        # --workload paper-uniform this is bit-identical to the default
+        # class-mix path at the same seed.
+        workload = args.workload[0] if args.workload else None
+        result = run_table_iv_campaign(
+            operand_classes=(
+                args.classes if args.classes is not None
+                else OperandClass.TABLE_IV_MIX
+            ),
+            workload=workload,
+            **common,
+        )
+        tables = {workload: result.table_iv()}
+        if workload is None:
+            print(reporting.render_table_iv(tables[None]))
+        else:
+            # The paper's published rows only make sense next to the
+            # paper's own operand mix.
+            print(reporting.render_workload_tables(
+                result, include_paper=(workload == "paper-uniform"),
+                tables=tables,
+            ))
     print()
     print(reporting.render_campaign(result))
     if args.json:
         summary = result.to_summary()
-        summary["table_iv_rows"] = table.rows()
+        summary["table_iv_rows"] = {
+            workload or "default": table.rows()
+            for workload, table in tables.items()
+        }
+        if not args.workload:
+            # Pre-workload schema: a single default campaign keeps its rows
+            # as a flat list.
+            summary["table_iv_rows"] = summary["table_iv_rows"]["default"]
         with open(args.json, "w") as handle:
             json.dump(summary, handle, indent=2)
             handle.write("\n")

@@ -6,9 +6,10 @@ solution in one process, one simulator run after another.  The campaign
 engine decomposes an evaluation into independent units and fans them out
 over ``multiprocessing`` workers:
 
-* a **cell** is one (co-design solution × operand-class mix × RocketConfig)
-  combination with its sample count and seed — one row of a table, or one
-  design point of a config sweep;
+* a **cell** is one (co-design solution × workload-or-operand-mix ×
+  RocketConfig) combination with its sample count and seed — one row of a
+  table, one scenario of a ``--workload`` campaign, or one design point of
+  a config sweep;
 * each cell's shared vector set is generated once from the seed
   (bit-identical to the serial framework's) and **sharded** into contiguous
   slices; a shard is the unit of work: the worker builds and links the
@@ -65,17 +66,33 @@ class CampaignCell:
     rocket_config: RocketConfig = field(default_factory=RocketConfig)
     verify_functionally: bool = True
     label: str = ""
+    #: Registered workload name; when set, the cell's vectors come from the
+    #: workload registry (``operand_classes`` is then ignored) and campaign
+    #: reports can be grouped per workload.
+    workload: str = None
 
     def __post_init__(self) -> None:
         if self.num_samples < 1:
             raise ConfigurationError("cell num_samples must be at least 1")
+        if self.workload is not None:
+            from repro.workloads import get_workload
+
+            get_workload(self.workload)  # raises on unknown names
         if not self.label:
-            object.__setattr__(self, "label", self.solution.kind)
+            label = self.solution.kind
+            if self.workload is not None:
+                label = f"{self.solution.kind} @ {self.workload}"
+            object.__setattr__(self, "label", label)
 
     def generate_vectors(self) -> list:
         """The cell's full vector set — identical to the serial framework's."""
-        return VerificationDatabase(self.seed).generate_mix(
-            self.num_samples, self.operand_classes
+        from repro.testgen.generator import draw_vectors
+
+        return draw_vectors(
+            self.num_samples,
+            self.seed,
+            operand_classes=self.operand_classes,
+            workload=self.workload,
         )
 
 
@@ -112,6 +129,7 @@ def _run_shard_task(task):
         verify_functionally=cell.verify_functionally,
         shard_index=shard_index,
         start=start,
+        workload=cell.workload,
     )
     return cell_id, outcome.shard_report
 
@@ -140,11 +158,43 @@ class CampaignResult:
         """Summed simulator wall-clock across all shards (CPU work done)."""
         return sum(report.sim_wall_seconds for report in self.reports)
 
-    def report_for(self, kind: str) -> SolutionCycleReport:
-        for cell, report in zip(self.cells, self.reports):
-            if cell.solution.kind == kind:
-                return report
-        raise ConfigurationError(f"no campaign cell evaluated kind {kind!r}")
+    def report_for(self, kind: str, workload: str = None) -> SolutionCycleReport:
+        """The merged report of one solution kind (and workload, if given).
+
+        ``workload=None`` means "unspecified": it matches only when the
+        matching cells all share one workload, and raises on an ambiguous
+        multi-workload campaign rather than silently picking the first.
+        """
+        matches = [
+            (cell, report)
+            for cell, report in zip(self.cells, self.reports)
+            if cell.solution.kind == kind
+            and (workload is None or cell.workload == workload)
+        ]
+        if not matches:
+            raise ConfigurationError(
+                f"no campaign cell evaluated kind {kind!r}"
+                + (f" with workload {workload!r}" if workload else "")
+            )
+        if workload is None and len({cell.workload for cell, _ in matches}) > 1:
+            raise ConfigurationError(
+                f"kind {kind!r} was evaluated under several workloads "
+                f"({sorted(str(cell.workload) for cell, _ in matches)}); "
+                "pass report_for(kind, workload=...)"
+            )
+        return matches[0][1]
+
+    @property
+    def workloads(self) -> tuple:
+        """Distinct workload names of the cells, in first-seen order.
+
+        Cells without a workload (legacy class-mix cells) appear as ``None``.
+        """
+        seen = []
+        for cell in self.cells:
+            if cell.workload not in seen:
+                seen.append(cell.workload)
+        return tuple(seen)
 
     def table_iv(self, baseline_kind: str = None) -> TableIVReport:
         """The campaign's rows as a Table IV report (one cell per kind)."""
@@ -152,7 +202,8 @@ class CampaignResult:
         if len(set(kinds)) != len(kinds):
             raise ConfigurationError(
                 "table_iv() needs one cell per solution kind; this campaign "
-                f"evaluated {kinds} (use .reports for sweep-style campaigns)"
+                f"evaluated {kinds} (use table_iv_by_workload() for multi-"
+                "workload campaigns, .reports for sweep-style ones)"
             )
         report = TableIVReport(
             num_samples=max((c.num_samples for c in self.cells), default=0),
@@ -161,6 +212,31 @@ class CampaignResult:
         for cell, cycle_report in zip(self.cells, self.reports):
             report.reports[cell.solution.kind] = cycle_report
         return report
+
+    def table_iv_by_workload(self, baseline_kind: str = None) -> dict:
+        """One Table IV report per evaluated workload (keyed by name).
+
+        A multi-workload campaign holds one cell per (solution × workload);
+        this groups its rows so each workload renders as its own table and
+        speedups are computed against that workload's own baseline run.
+        """
+        grouped: dict = {}
+        for cell, cycle_report in zip(self.cells, self.reports):
+            table = grouped.setdefault(
+                cell.workload,
+                TableIVReport(
+                    num_samples=cell.num_samples,
+                    baseline_kind=baseline_kind or self.baseline_kind,
+                ),
+            )
+            if cell.solution.kind in table.reports:
+                raise ConfigurationError(
+                    f"workload {cell.workload!r} has duplicate cells for "
+                    f"kind {cell.solution.kind!r}"
+                )
+            table.reports[cell.solution.kind] = cycle_report
+            table.num_samples = max(table.num_samples, cell.num_samples)
+        return grouped
 
     def to_summary(self) -> dict:
         """JSON-ready summary (used by the CLI and the campaign benchmark)."""
@@ -175,6 +251,7 @@ class CampaignResult:
                 {
                     "label": cell.label,
                     "kind": cell.solution.kind,
+                    "workload": cell.workload,
                     "solution": report.solution_name,
                     "samples": report.num_samples,
                     "shards": report.num_shards,
@@ -270,6 +347,7 @@ def table_iv_cells(
     rocket_config: RocketConfig = None,
     verify_functionally: bool = True,
     solutions: dict = None,
+    workload: str = None,
 ) -> list:
     """One campaign cell per Table IV solution kind."""
     kinds = kinds or (
@@ -289,9 +367,80 @@ def table_iv_cells(
                 rocket_config if rocket_config is not None else RocketConfig()
             ),
             verify_functionally=verify_functionally,
+            workload=workload,
         )
         for kind in kinds
     ]
+
+
+def workload_cells(
+    workloads,
+    num_samples: int = 100,
+    kinds=None,
+    repetitions: int = 1,
+    seed: int = 2018,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    solutions: dict = None,
+) -> list:
+    """One campaign cell per (solution kind × workload name).
+
+    The cell grid this returns is what ``python -m repro.campaign
+    --workload a,b,c`` runs: every named scenario is evaluated with every
+    solution kind over the same shard plan, so
+    :meth:`CampaignResult.table_iv_by_workload` can render one table per
+    workload and the speedup comparison across them.
+    """
+    workloads = list(workloads)
+    if not workloads:
+        raise ConfigurationError("workload_cells needs at least one workload")
+    cells = []
+    for workload in workloads:
+        cells.extend(
+            table_iv_cells(
+                num_samples=num_samples,
+                kinds=kinds,
+                repetitions=repetitions,
+                seed=seed,
+                rocket_config=rocket_config,
+                verify_functionally=verify_functionally,
+                solutions=solutions,
+                workload=workload,
+            )
+        )
+    return cells
+
+
+def run_workload_campaign(
+    workloads,
+    num_samples: int = 100,
+    kinds=None,
+    repetitions: int = 1,
+    seed: int = 2018,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    solutions: dict = None,
+    workers: int = 1,
+    shards_per_cell: int = 1,
+    mp_start_method: str = None,
+) -> CampaignResult:
+    """Fan (solution × workload) cells over the sharded campaign engine."""
+    cells = workload_cells(
+        workloads,
+        num_samples=num_samples,
+        kinds=kinds,
+        repetitions=repetitions,
+        seed=seed,
+        rocket_config=rocket_config,
+        verify_functionally=verify_functionally,
+        solutions=solutions,
+    )
+    return run_campaign(
+        cells,
+        workers=workers,
+        shards_per_cell=shards_per_cell,
+        mp_start_method=mp_start_method,
+    )
 
 
 def run_table_iv_campaign(
@@ -306,6 +455,7 @@ def run_table_iv_campaign(
     workers: int = 1,
     shards_per_cell: int = 1,
     mp_start_method: str = None,
+    workload: str = None,
 ) -> CampaignResult:
     """Convenience wrapper: plan, run and merge a Table IV campaign."""
     cells = table_iv_cells(
@@ -317,6 +467,7 @@ def run_table_iv_campaign(
         rocket_config=rocket_config,
         verify_functionally=verify_functionally,
         solutions=solutions,
+        workload=workload,
     )
     return run_campaign(
         cells,

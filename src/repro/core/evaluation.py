@@ -34,7 +34,7 @@ from repro.core.results import (
     merge_shard_reports,
 )
 from repro.core.solution import CoDesignSolution, standard_solutions
-from repro.errors import VerificationError
+from repro.errors import ConfigurationError, VerificationError
 from repro.gem5.se_mode import Gem5Config, SyscallEmulationRunner
 from repro.rocket.config import RocketConfig
 from repro.rocket.core import RocketEmulator
@@ -44,6 +44,28 @@ from repro.testgen.generator import build_test_program
 from repro.verification.checker import ResultChecker
 from repro.verification.database import OperandClass, VerificationDatabase
 from repro.verification.reference import GoldenReference
+
+
+def checker_for_workload(workload: str = None) -> ResultChecker:
+    """The functional checker for a run.
+
+    When ``workload`` resolves in this process's registry the checker
+    judges results with that workload's :meth:`~repro.workloads.Workload.
+    expected` oracle; otherwise (no workload, or a user-registered name a
+    spawn-started worker never imported — the vectors themselves always
+    come from the parent) it falls back to the golden-library default,
+    which is also what the base oracle delegates to.
+    """
+    if workload is not None:
+        from repro.workloads import get_workload
+
+        try:
+            resolved = get_workload(workload)
+        except ConfigurationError:
+            resolved = None  # only the unknown-name case may fall back
+        if resolved is not None:
+            return resolved.make_checker()
+    return ResultChecker(GoldenReference())
 
 
 @dataclass
@@ -69,6 +91,7 @@ def run_solution_shard(
     checker: ResultChecker = None,
     shard_index: int = 0,
     start: int = 0,
+    workload: str = None,
 ) -> ShardRunOutcome:
     """Build, verify and measure one solution over one slice of vectors.
 
@@ -86,6 +109,7 @@ def run_solution_shard(
         repetitions=repetitions,
         operand_classes=operand_classes,
         seed=seed,
+        workload=workload,
     )
     program = build_test_program(config, vectors=vectors)
     outcome = ShardRunOutcome(
@@ -98,7 +122,7 @@ def run_solution_shard(
 
     if verify_functionally and solution.verifiable:
         if checker is None:
-            checker = ResultChecker(GoldenReference())
+            checker = checker_for_workload(workload)
         simulator = SpikeSimulator(
             program.image, accelerator=solution.make_accelerator()
         )
@@ -183,12 +207,23 @@ class EvaluationFramework:
     rocket_config: RocketConfig = field(default_factory=RocketConfig)
     verify_functionally: bool = True
     solutions: dict = field(default_factory=standard_solutions)
+    #: Registered workload name; when set, the shared vectors come from the
+    #: workload registry instead of the ``operand_classes`` mix.
+    workload: str = None
 
     def __post_init__(self) -> None:
+        from repro.testgen.generator import draw_vectors
+
         self.database = VerificationDatabase(self.seed)
-        self.vectors = self.database.generate_mix(self.num_samples, self.operand_classes)
+        self.vectors = draw_vectors(
+            self.num_samples,
+            self.seed,
+            operand_classes=self.operand_classes,
+            workload=self.workload,
+            database=self.database,
+        )
         self.reference = GoldenReference()
-        self.checker = ResultChecker(self.reference)
+        self.checker = checker_for_workload(self.workload)
 
     # ----------------------------------------------------------------- building
     def _config_for(self, kind: str) -> TestProgramConfig:
@@ -198,6 +233,7 @@ class EvaluationFramework:
             repetitions=self.repetitions,
             operand_classes=self.operand_classes,
             seed=self.seed,
+            workload=self.workload,
         )
 
     def build_program(self, kind: str):
@@ -237,6 +273,7 @@ class EvaluationFramework:
             rocket_config=self.rocket_config,
             verify_functionally=self.verify_functionally,
             checker=self.checker,
+            workload=self.workload,
         )
         run = EvaluationRun(
             solution=solution,
@@ -284,6 +321,7 @@ class EvaluationFramework:
                 solutions=self.solutions,
                 workers=workers,
                 shards_per_cell=shards_per_cell,
+                workload=self.workload,
             ).table_iv()
         report = TableIVReport(
             num_samples=self.num_samples, baseline_kind=SolutionKind.SOFTWARE

@@ -98,6 +98,7 @@ class ParetoAnalyzer:
                 seed=framework.seed,
                 rocket_config=config,
                 verify_functionally=framework.verify_functionally,
+                workload=framework.workload,
                 label=f"{solution.name} @ {config.frequency_hz / 1e6:.0f}MHz",
             )
             for solution in solutions

@@ -157,6 +157,65 @@ def render_campaign(result) -> str:
     return "\n".join(lines)
 
 
+def render_workload_tables(result, include_paper: bool = False,
+                           tables: dict = None) -> str:
+    """One Table IV-style block per workload of a multi-workload campaign.
+
+    ``tables`` takes a precomputed ``result.table_iv_by_workload()``
+    grouping so callers rendering several views need not regroup.
+    """
+    blocks = []
+    if tables is None:
+        tables = result.table_iv_by_workload()
+    for workload, table in tables.items():
+        title = f"Workload: {workload or 'default mix'}"
+        blocks.append("\n".join([title, "=" * len(title),
+                                 render_table_iv(table, include_paper)]))
+    return "\n\n".join(blocks)
+
+
+def render_workload_matrix(result, baseline_kind: str = None,
+                           tables: dict = None) -> str:
+    """Cross-workload comparison: per-solution average cycles and speedups.
+
+    One row per workload; for every non-baseline solution kind the row shows
+    ``avg cycles (speedup vs that workload's own baseline run)``, so the
+    matrix answers "*where* does the co-design help most?" at a glance.
+    ``tables`` takes a precomputed grouping, as in
+    :func:`render_workload_tables`.
+    """
+    grouped = (
+        tables
+        if tables is not None
+        else result.table_iv_by_workload(baseline_kind=baseline_kind)
+    )
+    kinds = []
+    for table in grouped.values():
+        for kind in table.reports:
+            if kind not in kinds:
+                kinds.append(kind)
+    header = f"{'Workload':<18s}" + "".join(f" {kind:>24s}" for kind in kinds)
+    lines = [
+        "Cross-workload comparison (avg cycles, speedup vs baseline)",
+        header,
+        "-" * len(header),
+    ]
+    for workload, table in grouped.items():
+        speedups = table.speedups()
+        row = f"{(workload or 'default'):<18s}"
+        for kind in kinds:
+            report = table.reports.get(kind)
+            if report is None:
+                row += f" {'-':>24s}"
+                continue
+            cell = f"{report.avg_total_cycles:.0f}"
+            if kind != table.baseline_kind:
+                cell += f" ({_format_speedup(speedups.get(kind))})"
+            row += f" {cell:>24s}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
 def render_pareto(points) -> str:
     """Design points and which of them are Pareto-optimal."""
     frontier = {

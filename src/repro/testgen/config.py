@@ -30,6 +30,14 @@ class TestProgramConfig:
     repetitions: int = 1                    # repetitions per calculation
     output_mode: str = "cycles"             # "cycles" or "time"
     seed: int = 2018
+    #: Registered workload name; when set, the generator draws operand
+    #: vectors from ``repro.workloads.get_workload(workload)`` instead of
+    #: the class-mix database (``operand_classes`` is then ignored).  The
+    #: name is resolved when vectors are generated, not here: configs built
+    #: in campaign worker processes carry the name as provenance for
+    #: vectors already generated in the parent, and the worker's registry
+    #: need not know user-registered workloads.
+    workload: str = None
 
     def __post_init__(self) -> None:
         if self.solution not in SolutionKind.ALL:

@@ -117,6 +117,45 @@ def _emit_harness(builder: AsmBuilder, kernel_label: str, num_samples: int,
     b.j("harness_spin")
 
 
+def draw_vectors(
+    num_samples: int,
+    seed: int,
+    operand_classes=None,
+    workload: str = None,
+    database: VerificationDatabase = None,
+) -> list:
+    """The one vector-source branch every evaluation layer shares.
+
+    The workload registry is the preferred source: any registered scenario
+    (see docs/workloads.md) can be named by ``workload``.  Without a
+    workload the legacy class-mix database path is used — and the
+    ``paper-uniform`` workload reproduces that path bit for bit.
+    ``EvaluationFramework``, ``CampaignCell`` and :func:`generate_vectors`
+    all delegate here so the serial and sharded paths cannot drift apart.
+    """
+    if workload is not None:
+        from repro.workloads import get_workload
+
+        return get_workload(workload).vectors(num_samples, seed)
+    if database is None:
+        database = VerificationDatabase(seed)
+    if operand_classes is None:
+        return database.generate_mix(num_samples)
+    return database.generate_mix(num_samples, operand_classes)
+
+
+def generate_vectors(config: TestProgramConfig,
+                     database: VerificationDatabase = None) -> list:
+    """The operand vectors a configuration implies (see :func:`draw_vectors`)."""
+    return draw_vectors(
+        config.num_samples,
+        config.seed,
+        operand_classes=config.operand_classes,
+        workload=config.workload,
+        database=database,
+    )
+
+
 def build_test_program(
     config: TestProgramConfig,
     vectors=None,
@@ -125,12 +164,12 @@ def build_test_program(
     """Generate, assemble and link one test program.
 
     ``vectors`` may be provided explicitly (e.g. to run the same operands
-    through several solutions); otherwise they are drawn from ``database``
+    through several solutions); otherwise they are drawn from the registered
+    workload named by ``config.workload`` if set, else from ``database``
     (or a fresh one seeded from the configuration).
     """
     if vectors is None:
-        database = database if database is not None else VerificationDatabase(config.seed)
-        vectors = database.generate_mix(config.num_samples, config.operand_classes)
+        vectors = generate_vectors(config, database=database)
     if len(vectors) != config.num_samples:
         raise ConfigurationError(
             f"vector count {len(vectors)} != configured num_samples {config.num_samples}"

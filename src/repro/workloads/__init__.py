@@ -1,0 +1,49 @@
+"""Pluggable operand-distribution scenarios (the workload registry).
+
+See docs/workloads.md.  ``repro.workloads`` is the one import site the rest
+of the stack uses::
+
+    from repro.workloads import get_workload, register, workload_names
+
+Importing the package registers the built-in scenarios.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.builtin import (
+    BUILTIN_WORKLOADS,
+    CarryStress,
+    CurrencyFx,
+    PaperUniform,
+    SparseDigits,
+    SpecialValues,
+    TaxLadder,
+    TelcoBilling,
+)
+from repro.workloads.registry import (
+    get_workload,
+    register,
+    registered_workloads,
+    unregister,
+    workload_names,
+)
+
+for _workload in BUILTIN_WORKLOADS:
+    register(_workload, replace=True)
+del _workload
+
+__all__ = [
+    "Workload",
+    "BUILTIN_WORKLOADS",
+    "PaperUniform",
+    "TelcoBilling",
+    "CurrencyFx",
+    "TaxLadder",
+    "SparseDigits",
+    "CarryStress",
+    "SpecialValues",
+    "get_workload",
+    "register",
+    "registered_workloads",
+    "unregister",
+    "workload_names",
+]

@@ -1,0 +1,133 @@
+"""The :class:`Workload` protocol: a named, seeded operand-pair scenario.
+
+A workload answers one question: *which decimal64 operand pairs should this
+evaluation run?*  The paper's tables use a fixed constrained-random mix
+(:data:`~repro.verification.database.OperandClass.TABLE_IV_MIX`); real decimal
+workloads — telco billing, currency conversion, tax ladders, carry-chain
+stress — exercise the accelerator and the software baseline very differently.
+Wrapping the operand source in a small protocol lets every layer above
+(testgen, evaluation framework, campaign engine, CLI) treat "which scenario"
+as one more axis next to the solution kind and the RocketConfig.
+
+A workload must be:
+
+* **deterministic per seed** — ``vectors(count, seed)`` returns the same
+  list for the same arguments, on every host and in every worker process
+  (the campaign engine generates vectors once in the parent and ships
+  slices to shards, but tests regenerate them independently);
+* **decimal64-encodable** — every operand must survive
+  :meth:`repro.verification.reference.GoldenReference.encode_operand`
+  (finite coefficients of at most 16 digits; the encoder clamps/rounds
+  out-of-range exponents, so staying inside [-398, 369] keeps operands
+  bit-exact);
+* **picklable-free** — only the *vectors* travel to worker processes, never
+  the workload object itself, so workloads may hold arbitrary state.
+
+Subclasses implement :meth:`pair` (one operand pair per sample) or override
+:meth:`vectors` wholesale when they need a different drawing scheme (e.g.
+``paper-uniform`` delegates to the legacy
+:class:`~repro.verification.database.VerificationDatabase` stream to stay
+bit-identical with the pre-registry evaluation path).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.verification.database import VerificationVector
+from repro.verification.reference import GoldenReference
+
+
+class Workload:
+    """One named operand-distribution scenario.
+
+    Class attributes double as the registry metadata:
+
+    ``name``
+        Registry key, also used to tag generated vectors' ``operand_class``.
+    ``description``
+        One-line human description (shown by ``--workload help`` style
+        listings and docs).
+    ``tags``
+        Free-form trait strings (``"financial"``, ``"stress"``, …).
+    """
+
+    name: str = ""
+    description: str = ""
+    tags: tuple = ()
+
+    # ------------------------------------------------------------- generation
+    def pair(self, rng: random.Random, index: int):
+        """Draw one ``(x, y)`` DecNumber operand pair for sample ``index``."""
+        raise NotImplementedError(
+            f"workload {self.name!r} must implement pair() or override vectors()"
+        )
+
+    def vectors(self, count: int, seed: int = 2018) -> list:
+        """``count`` :class:`VerificationVector` drawn deterministically."""
+        rng = random.Random(seed)
+        return [
+            VerificationVector(*self.pair(rng, index), operand_class=self.name,
+                               index=index)
+            for index in range(count)
+        ]
+
+    # ------------------------------------------------------------ oracle hook
+    def expected(self, x, y):
+        """Expected result for one pair (the workload's oracle).
+
+        Functional verification checks kernel output against this, via
+        :meth:`make_checker`.  The default oracle is the decNumber-style
+        golden library; scenario packages with a domain-specific notion of
+        correctness (e.g. a regulatory rounding table) override it.
+        Returns a :class:`~repro.verification.reference.GoldenResult`.
+
+        A custom oracle is resolved through the registry in the process
+        doing the verification: with the ``spawn``/``forkserver``
+        multiprocessing start methods, register the workload at import
+        time of a module the workers also import, or the check falls back
+        to the golden default.
+        """
+        return self._reference().compute(x, y)
+
+    def make_checker(self):
+        """A :class:`~repro.verification.checker.ResultChecker` that judges
+        results with this workload's :meth:`expected` oracle."""
+        from repro.verification.checker import ResultChecker
+
+        return ResultChecker(_OracleReference(self))
+
+    def _reference(self) -> GoldenReference:
+        reference = getattr(self, "_golden", None)
+        if reference is None:
+            reference = GoldenReference()
+            self._golden = reference
+        return reference
+
+    # --------------------------------------------------------------- metadata
+    def describe(self) -> dict:
+        """JSON-ready metadata (used by docs tooling and CLI listings)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "tags": list(self.tags),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.name!r}>"
+
+
+class _OracleReference:
+    """Adapter presenting a workload's oracle as the checker's reference."""
+
+    def __init__(self, workload: Workload) -> None:
+        self._workload = workload
+
+    def compute(self, x, y):
+        return self._workload.expected(x, y)
+
+    def decode(self, word):
+        return self._workload._reference().decode(word)
+
+    def encode_operand(self, value):
+        return self._workload._reference().encode_operand(value)

@@ -1,0 +1,188 @@
+"""The built-in workload scenarios.
+
+Seven distributions beyond (and including) the paper's own mix.  Each one
+stresses a different corner of the decimal64 multiply pipeline, so the
+speedup of the co-design over the software baseline is *workload-dependent* —
+exactly the comparison ``python -m repro.campaign --workload a,b,c`` renders.
+
+Every operand stays strictly representable in decimal64 (coefficient of at
+most 16 digits, exponent within [-398, 369]) so the encoded program operand
+round-trips bit-exactly and the golden checker sees the same value the kernel
+does.
+"""
+
+from __future__ import annotations
+
+from repro.decnumber.number import DecNumber
+from repro.verification.database import OperandClass, VerificationDatabase
+from repro.workloads.base import Workload
+
+
+def _finite(rng, digit_range, exponent_range, signed: bool = True) -> DecNumber:
+    digits = rng.randint(*digit_range)
+    low = 10 ** (digits - 1) if digits > 1 else 1
+    coefficient = rng.randint(low, 10 ** digits - 1)
+    exponent = rng.randint(*exponent_range)
+    sign = rng.randint(0, 1) if signed else 0
+    return DecNumber(sign, coefficient, exponent)
+
+
+class PaperUniform(Workload):
+    """The paper's Table IV constrained-random mix, bit-identical.
+
+    Delegates to the legacy :class:`VerificationDatabase` stream (same seed
+    ⇒ same vectors, same per-class tags), so evaluations naming this
+    workload merge to exactly the numbers the pre-registry default path
+    produced.
+    """
+
+    name = "paper-uniform"
+    description = (
+        "Table IV mix: normal/rounding/overflow/underflow/clamping, "
+        "uniform round-robin (bit-identical to the legacy testgen path)"
+    )
+    tags = ("paper", "reference")
+    classes = OperandClass.TABLE_IV_MIX
+
+    def vectors(self, count: int, seed: int = 2018) -> list:
+        return VerificationDatabase(seed).generate_mix(count, self.classes)
+
+
+class TelcoBilling(Workload):
+    """Call-record rating: duration × per-second tariff (telco benchmark)."""
+
+    name = "telco-billing"
+    description = (
+        "call rating: 0.01s..2h durations (2 fraction digits) x 3-7 "
+        "significant-digit tariffs at 1e-7 $/s"
+    )
+    tags = ("financial",)
+
+    def pair(self, rng, index):
+        duration = DecNumber(0, rng.randint(1, 720_000), -2)   # up to 2 hours
+        tariff = DecNumber(0, rng.randint(100, 9_999_999), -7)
+        return duration, tariff
+
+
+class CurrencyFx(Workload):
+    """Rounding-heavy currency conversion: cent amounts × 6-digit FX rates."""
+
+    name = "currency-fx"
+    description = (
+        "conversions: 1-13 digit cent amounts x 6-significant-digit FX "
+        "rates (products need rounding almost every time)"
+    )
+    tags = ("financial", "rounding")
+
+    def pair(self, rng, index):
+        amount = _finite(rng, (1, 13), (-2, -2), signed=False)
+        # Rates like 1.08432 or 0.0093214: 6 significant digits, magnitude
+        # spread over a few decades.
+        rate = DecNumber(0, rng.randint(100_000, 999_999), rng.randint(-7, -4))
+        return amount, rate
+
+
+class TaxLadder(Workload):
+    """Chained small multiplications: full-precision base × (1 + rate)."""
+
+    name = "tax-ladder"
+    description = (
+        "tax/compounding ladders: 8-16 digit accumulated amounts x "
+        "1.0000-1.1999 step factors (inexact at nearly every rung)"
+    )
+    tags = ("financial", "rounding")
+
+    def pair(self, rng, index):
+        # The amount's precision grows along a ladder; model rungs by cycling
+        # the digit count with the sample index.
+        digits = 8 + index % 9                         # 8..16 digits
+        amount = _finite(rng, (digits, digits), (-6, -2), signed=False)
+        factor = DecNumber(0, rng.randint(10_000, 11_999), -4)
+        return amount, factor
+
+
+class SparseDigits(Workload):
+    """Few significant digits, wide exponents: the coefficient path idles."""
+
+    name = "sparse-digits"
+    description = (
+        "1-3 significant digits with exponents across [-380, 360]: exact "
+        "products, exponent/clamp logic dominates"
+    )
+    tags = ("exponent",)
+
+    def pair(self, rng, index):
+        return (
+            _finite(rng, (1, 3), (-380, 360)),
+            _finite(rng, (1, 3), (-380, 360)),
+        )
+
+
+class CarryStress(Workload):
+    """Maximal BCD carry chains: all-nines coefficients of varying width."""
+
+    name = "carry-stress"
+    description = (
+        "all-nines coefficients (8-16 digits): every partial-product digit "
+        "carries, the worst case for the BCD adder tree"
+    )
+    tags = ("stress",)
+
+    def pair(self, rng, index):
+        def nines():
+            return DecNumber(
+                rng.randint(0, 1),
+                10 ** rng.randint(8, 16) - 1,
+                rng.randint(-10, 10),
+            )
+
+        return nines(), nines()
+
+
+class SpecialValues(Workload):
+    """NaN/Inf/zero-dense with subnormal finite pairs in between."""
+
+    name = "special-values"
+    description = (
+        "40% pairs with an infinity/NaN/signed zero, the rest subnormal-"
+        "territory finite pairs (underflow to subnormal or zero)"
+    )
+    tags = ("special", "stress")
+
+    def _special(self, rng):
+        choice = rng.randint(0, 3)
+        if choice == 0:
+            return DecNumber.infinity(rng.randint(0, 1))
+        if choice == 1:
+            return DecNumber.qnan(rng.randint(0, 999))
+        if choice == 2:
+            return DecNumber.snan(rng.randint(0, 999))
+        return DecNumber(rng.randint(0, 1), 0, rng.randint(-398, 369))
+
+    def pair(self, rng, index):
+        if rng.random() < 0.4:
+            x = self._special(rng)
+            y = (
+                self._special(rng)
+                if rng.random() < 0.5
+                else _finite(rng, (1, 16), (-200, 200))
+            )
+            return (x, y) if rng.random() < 0.5 else (y, x)
+        # Subnormal-dense: products land between etiny and emin, or flush
+        # to zero — the underflow/clamp corner of the rounding code.
+        return (
+            _finite(rng, (1, 8), (-398, -380)),
+            _finite(rng, (1, 8), (-398, -380)),
+        )
+
+
+#: Instances in registration order (paper mix first).
+BUILTIN_WORKLOADS = (
+    PaperUniform(),
+    TelcoBilling(),
+    CurrencyFx(),
+    TaxLadder(),
+    SparseDigits(),
+    CarryStress(),
+    SpecialValues(),
+)

@@ -1,0 +1,73 @@
+"""Name-keyed workload registry (entry-point-style lookup).
+
+The registry is the single place the rest of the stack resolves a workload
+name — ``TestProgramConfig(workload=...)``, ``CampaignCell(workload=...)``,
+``EvaluationFramework(workload=...)`` and ``python -m repro.campaign
+--workload`` all go through :func:`get_workload`.  Registering a new scenario
+is one call::
+
+    from repro.workloads import Workload, register
+
+    class MyScenario(Workload):
+        name = "my-scenario"
+        description = "..."
+        def pair(self, rng, index): ...
+
+    register(MyScenario())
+
+Built-in workloads register themselves when :mod:`repro.workloads` is
+imported, so lookup always sees them first.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+
+_REGISTRY: dict = {}
+
+
+def register(workload: Workload, replace: bool = False) -> Workload:
+    """Add ``workload`` to the registry (returns it, so usable as a helper)."""
+    name = workload.name
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"workload {workload!r} needs a non-empty string name"
+        )
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"workload {name!r} is already registered (pass replace=True to "
+            "override it)"
+        )
+    _REGISTRY[name] = workload
+    return workload
+
+
+def unregister(name: str) -> None:
+    """Remove a workload (no-op if absent) — mainly for tests."""
+    _REGISTRY.pop(name, None)
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by name; unknown names raise with suggestions."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        close = difflib.get_close_matches(str(name), _REGISTRY, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        raise ConfigurationError(
+            f"unknown workload {name!r}{hint}; registered: "
+            f"{', '.join(workload_names())}"
+        ) from None
+
+
+def workload_names() -> tuple:
+    """All registered names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def registered_workloads() -> dict:
+    """A name -> Workload snapshot of the registry."""
+    return dict(_REGISTRY)

@@ -63,6 +63,17 @@ def test_campaign_scale_example(argv, capsys):
     assert "serial evaluate_table_iv rows identical: True" in output
 
 
+def test_workload_tour_example(argv, capsys):
+    argv(10, 1)
+    _run("examples/workload_tour.py")
+    output = capsys.readouterr().out
+    assert "Workload: paper-uniform" in output
+    assert "Workload: telco-billing" in output
+    assert "Workload: carry-stress" in output
+    assert "Cross-workload comparison" in output
+    assert "Campaign: 6 cells" in output
+
+
 def test_custom_instruction_example(capsys):
     _run("examples/custom_instruction.py")
     output = capsys.readouterr().out
