@@ -120,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-workloads", action="store_true",
         help="list registered workloads and exit",
     )
+    parser.add_argument(
+        "--differential", action="store_true",
+        help=(
+            "cross-model differential mode: co-simulate every cell on "
+            "spike+rocket+gem5 with the dual (decnumber + stdlib decimal) "
+            "oracle, and render the divergence/coverage table; the exit "
+            "status is non-zero on any divergence (docs/verification.md)"
+        ),
+    )
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the functional verification pass")
     parser.add_argument(
@@ -153,6 +162,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         shards_per_cell=args.shards_per_cell,
         mp_start_method=args.mp_start_method,
+        differential=args.differential,
     )
     if args.workload and len(args.workload) > 1:
         result = run_workload_campaign(args.workload, **common)
@@ -183,6 +193,9 @@ def main(argv=None) -> int:
                 result, include_paper=(workload == "paper-uniform"),
                 tables=tables,
             ))
+    if args.differential:
+        print()
+        print(reporting.render_differential(result))
     print()
     print(reporting.render_campaign(result))
     if args.json:
@@ -199,6 +212,8 @@ def main(argv=None) -> int:
             json.dump(summary, handle, indent=2)
             handle.write("\n")
         print(f"summary -> {os.path.abspath(args.json)}")
+    if args.differential and not result.differential_clean:
+        return 1
     return 0
 
 

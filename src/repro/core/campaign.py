@@ -70,6 +70,10 @@ class CampaignCell:
     #: workload registry (``operand_classes`` is then ignored) and campaign
     #: reports can be grouped per workload.
     workload: str = None
+    #: Differential cell: co-simulate spike/rocket/gem5 over every shard,
+    #: check with the dual oracle, and record divergences in the merged
+    #: report instead of raising (see docs/verification.md).
+    differential: bool = False
 
     def __post_init__(self) -> None:
         if self.num_samples < 1:
@@ -82,6 +86,8 @@ class CampaignCell:
             label = self.solution.kind
             if self.workload is not None:
                 label = f"{self.solution.kind} @ {self.workload}"
+            if self.differential:
+                label = f"{label} [diff]"
             object.__setattr__(self, "label", label)
 
     def generate_vectors(self) -> list:
@@ -130,6 +136,7 @@ def _run_shard_task(task):
         shard_index=shard_index,
         start=start,
         workload=cell.workload,
+        differential=cell.differential,
     )
     return cell_id, outcome.shard_report
 
@@ -157,6 +164,32 @@ class CampaignResult:
     def total_sim_wall_seconds(self) -> float:
         """Summed simulator wall-clock across all shards (CPU work done)."""
         return sum(report.sim_wall_seconds for report in self.reports)
+
+    @property
+    def differential(self) -> bool:
+        """True when any cell ran in cross-model differential mode."""
+        return any(cell.differential for cell in self.cells)
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(report.divergences for report in self.reports)
+
+    @property
+    def total_oracle_disagreements(self) -> int:
+        return sum(report.oracle_disagreements for report in self.reports)
+
+    @property
+    def total_check_failures(self) -> int:
+        return sum(report.verification_failures for report in self.reports)
+
+    @property
+    def differential_clean(self) -> bool:
+        """No divergence, oracle split or check failure across all cells."""
+        return not (
+            self.total_divergences
+            or self.total_oracle_disagreements
+            or self.total_check_failures
+        )
 
     def report_for(self, kind: str, workload: str = None) -> SolutionCycleReport:
         """The merged report of one solution kind (and workload, if given).
@@ -240,7 +273,7 @@ class CampaignResult:
 
     def to_summary(self) -> dict:
         """JSON-ready summary (used by the CLI and the campaign benchmark)."""
-        return {
+        summary = {
             "workers": self.workers,
             "shards_per_cell": self.shards_per_cell,
             "wall_seconds": round(self.wall_seconds, 4),
@@ -267,6 +300,24 @@ class CampaignResult:
                 for cell, report in zip(self.cells, self.reports)
             ],
         }
+        if self.differential:
+            summary["differential"] = {
+                "divergences": self.total_divergences,
+                "oracle_disagreements": self.total_oracle_disagreements,
+                "check_failures": self.total_check_failures,
+            }
+            for cell_summary, report in zip(summary["cells"], self.reports):
+                if not report.differential:
+                    continue
+                cell_summary["differential"] = {
+                    "models": list(report.models),
+                    "divergences": report.divergences,
+                    "oracle_disagreements": report.oracle_disagreements,
+                    "gem5_cycles": report.gem5_cycles,
+                    "conditions_covered": report.conditions_covered,
+                    "first_divergence": report.first_divergence,
+                }
+        return summary
 
 
 def run_campaign(
@@ -348,6 +399,7 @@ def table_iv_cells(
     verify_functionally: bool = True,
     solutions: dict = None,
     workload: str = None,
+    differential: bool = False,
 ) -> list:
     """One campaign cell per Table IV solution kind."""
     kinds = kinds or (
@@ -368,6 +420,7 @@ def table_iv_cells(
             ),
             verify_functionally=verify_functionally,
             workload=workload,
+            differential=differential,
         )
         for kind in kinds
     ]
@@ -382,6 +435,7 @@ def workload_cells(
     rocket_config: RocketConfig = None,
     verify_functionally: bool = True,
     solutions: dict = None,
+    differential: bool = False,
 ) -> list:
     """One campaign cell per (solution kind × workload name).
 
@@ -406,6 +460,7 @@ def workload_cells(
                 verify_functionally=verify_functionally,
                 solutions=solutions,
                 workload=workload,
+                differential=differential,
             )
         )
     return cells
@@ -423,6 +478,7 @@ def run_workload_campaign(
     workers: int = 1,
     shards_per_cell: int = 1,
     mp_start_method: str = None,
+    differential: bool = False,
 ) -> CampaignResult:
     """Fan (solution × workload) cells over the sharded campaign engine."""
     cells = workload_cells(
@@ -434,6 +490,7 @@ def run_workload_campaign(
         rocket_config=rocket_config,
         verify_functionally=verify_functionally,
         solutions=solutions,
+        differential=differential,
     )
     return run_campaign(
         cells,
@@ -456,6 +513,7 @@ def run_table_iv_campaign(
     shards_per_cell: int = 1,
     mp_start_method: str = None,
     workload: str = None,
+    differential: bool = False,
 ) -> CampaignResult:
     """Convenience wrapper: plan, run and merge a Table IV campaign."""
     cells = table_iv_cells(
@@ -468,6 +526,7 @@ def run_table_iv_campaign(
         verify_functionally=verify_functionally,
         solutions=solutions,
         workload=workload,
+        differential=differential,
     )
     return run_campaign(
         cells,

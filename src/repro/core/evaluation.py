@@ -92,6 +92,7 @@ def run_solution_shard(
     shard_index: int = 0,
     start: int = 0,
     workload: str = None,
+    differential: bool = False,
 ) -> ShardRunOutcome:
     """Build, verify and measure one solution over one slice of vectors.
 
@@ -101,6 +102,15 @@ def run_solution_shard(
     on the Rocket-like emulator.  ``start``/``shard_index`` only label the
     shard inside a larger campaign; a serial run passes the full vector set
     with ``start=0``.
+
+    With ``differential=True`` the shard becomes a cross-model cell: the
+    functional check uses the **dual-oracle** checker (decnumber + stdlib
+    ``decimal``), the program additionally runs on the gem5 atomic model,
+    and the spike/rocket/gem5 result buffers are diffed vector-by-vector.
+    Divergences, oracle disagreements and check failures are *recorded* in
+    the shard report (instead of raising), so a sharded campaign can merge
+    and render them; host-side golden condition coverage of the shard's
+    vectors is recorded alongside.
     """
     vectors = list(vectors)
     config = TestProgramConfig(
@@ -119,10 +129,11 @@ def run_solution_shard(
         ),
     )
     report = outcome.shard_report
+    report.differential = differential
 
-    if verify_functionally and solution.verifiable:
-        if checker is None:
-            checker = checker_for_workload(workload)
+    spike_words = None
+    run_spike = (verify_functionally and solution.verifiable) or differential
+    if run_spike:
         simulator = SpikeSimulator(
             program.image, accelerator=solution.make_accelerator()
         )
@@ -130,13 +141,28 @@ def run_solution_shard(
         functional = simulator.run()
         report.sim_wall_seconds += time.perf_counter() - started
         outcome.functional_result = functional
-        outcome.check_report = checker.check_run(
-            vectors, program.read_results(functional)
-        )
+        spike_words = program.read_results(functional)
+
+    if verify_functionally and solution.verifiable:
+        if checker is None:
+            if differential:
+                from repro.verification.differential import (
+                    dual_checker_for_workload,
+                )
+
+                checker = dual_checker_for_workload(workload)
+            else:
+                checker = checker_for_workload(workload)
+        outcome.check_report = checker.check_run(vectors, spike_words)
         report.verified = True
         report.check_total = outcome.check_report.total
         report.check_failed = outcome.check_report.failed
-        if not outcome.check_report.all_passed:
+        report.oracle_disagreements = len(
+            getattr(outcome.check_report, "oracle_disagreements", ())
+        )
+        if not differential and not outcome.check_report.all_passed:
+            # Differential cells record failures for the campaign report
+            # instead of aborting the whole run on the first bad shard.
             raise VerificationError(
                 f"{solution.name}: functional verification failed "
                 f"({outcome.check_report.failed}/{outcome.check_report.total}) "
@@ -165,6 +191,32 @@ def run_solution_shard(
     report.dcache_hits = timed.dcache_stats.hits
     report.dcache_misses = timed.dcache_stats.misses
     report.rocc_commands = timed.rocc_commands
+
+    if differential:
+        from repro.verification.coverage import CoverageTracker
+        from repro.verification.differential import diff_result_words
+
+        runner = SyscallEmulationRunner(Gem5Config())
+        started = time.perf_counter()
+        gem5_result = runner.run_binary(
+            program.image, accelerator=solution.make_accelerator()
+        )
+        report.sim_wall_seconds += time.perf_counter() - started
+        report.gem5_cycles = gem5_result.ticks
+
+        words_by_model = {
+            "spike": spike_words,
+            "rocket": program.read_results(timed),
+            "gem5": program.read_results(gem5_result),
+        }
+        report.models = tuple(words_by_model)
+        divergences = diff_result_words(vectors, words_by_model)
+        report.divergences = len(divergences)
+        if divergences:
+            report.first_divergence = divergences[0].describe()
+        tracker = CoverageTracker()
+        tracker.record_all(vectors)
+        report.condition_coverage = dict(tracker.condition_counts)
     return outcome
 
 

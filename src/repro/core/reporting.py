@@ -157,6 +157,62 @@ def render_campaign(result) -> str:
     return "\n".join(lines)
 
 
+def render_differential(result) -> str:
+    """Divergence/coverage table of a differential campaign.
+
+    One row per cell: cross-model divergence count, oracle disagreements,
+    kernel-vs-oracle check failures, gem5 total ticks and how many golden
+    result conditions the cell's vectors exercised.  Cells with divergences
+    also print their first diverging vector, so the table alone is enough
+    to start debugging.
+    """
+    from repro.verification.coverage import CoverageTracker
+
+    total_conditions = len(CoverageTracker.CONDITIONS)
+    lines = [
+        (
+            "Differential campaign: "
+            f"{result.total_divergences} divergence(s), "
+            f"{result.total_oracle_disagreements} oracle disagreement(s), "
+            f"{result.total_check_failures} check failure(s)"
+        ),
+        f"{'Cell':<40s} {'Samples':>8s} {'Models':>20s} {'Diverge':>8s} "
+        f"{'Oracle':>7s} {'Checks':>7s} {'gem5 cyc':>10s} {'Cond':>6s}",
+        "-" * 112,
+    ]
+    first_divergences = []
+    covered_overall = set()
+    differential_cells = 0
+    for cell, report in zip(result.cells, result.reports):
+        if not report.differential:
+            continue
+        differential_cells += 1
+        covered_overall.update(
+            name for name, count in report.condition_coverage.items() if count
+        )
+        lines.append(
+            f"{cell.label:<40s} {report.num_samples:>8d} "
+            f"{'+'.join(report.models):>20s} {report.divergences:>8d} "
+            f"{report.oracle_disagreements:>7d} "
+            f"{report.verification_failures:>7d} {report.gem5_cycles:>10d} "
+            f"{report.conditions_covered:>3d}/{total_conditions:<2d}"
+        )
+        if report.first_divergence:
+            first_divergences.append(f"{cell.label}: {report.first_divergence}")
+    if not differential_cells:
+        return "Differential campaign: no differential cells"
+    missing = sorted(set(CoverageTracker.CONDITIONS) - covered_overall)
+    lines.append(
+        f"conditions covered across cells: {len(covered_overall)}/"
+        f"{total_conditions}"
+        + (f" (missing: {', '.join(missing)})" if missing else "")
+    )
+    if first_divergences:
+        lines.append("first divergences:")
+        lines.extend("  " + entry for entry in first_divergences)
+    return "\n".join(lines)
+
+
 def render_workload_tables(result, include_paper: bool = False,
                            tables: dict = None) -> str:
     """One Table IV-style block per workload of a multi-workload campaign.

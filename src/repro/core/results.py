@@ -60,6 +60,16 @@ class ShardCycleReport:
     check_failed: int = 0
     verified: bool = False
     sim_wall_seconds: float = 0.0
+    #: Differential-mode measurements (cross-model co-simulation).  All
+    #: plain ints/strings/dicts so shard reports stay picklable.
+    differential: bool = False
+    models: tuple = ()
+    divergences: int = 0
+    first_divergence: str = ""
+    oracle_disagreements: int = 0
+    gem5_cycles: int = 0
+    #: Golden-result condition name -> count over this shard's vectors.
+    condition_coverage: dict = field(default_factory=dict)
 
     @property
     def num_samples(self) -> int:
@@ -93,6 +103,19 @@ class SolutionCycleReport:
     sim_wall_seconds: float = 0.0
     #: Number of shards this report was merged from (1 for a serial run).
     num_shards: int = 1
+    #: Differential-mode rollup (zero/empty for plain measurement runs).
+    differential: bool = False
+    models: tuple = ()
+    divergences: int = 0
+    first_divergence: str = ""
+    oracle_disagreements: int = 0
+    gem5_cycles: int = 0
+    condition_coverage: dict = field(default_factory=dict)
+
+    @property
+    def conditions_covered(self) -> int:
+        """Distinct golden-result conditions this row's vectors exercised."""
+        return sum(1 for count in self.condition_coverage.values() if count)
 
     @property
     def avg_total_cycles(self) -> float:
@@ -164,6 +187,15 @@ def merge_shard_reports(
     dc_hits = sum(shard.dcache_hits for shard in shards)
     check_failed = sum(shard.check_failed for shard in shards)
     verified = any(shard.verified for shard in shards)
+    condition_coverage = {}
+    for shard in shards:
+        for name, count in shard.condition_coverage.items():
+            condition_coverage[name] = condition_coverage.get(name, 0) + count
+    first_divergence = next(
+        (shard.first_divergence for shard in shards if shard.first_divergence),
+        "",
+    )
+    models = next((shard.models for shard in shards if shard.models), ())
     return SolutionCycleReport(
         solution_name=solution_name,
         solution_kind=solution_kind,
@@ -184,6 +216,13 @@ def merge_shard_reports(
         dcache_hits=dc_hits,
         sim_wall_seconds=sum(shard.sim_wall_seconds for shard in shards),
         num_shards=len(shards),
+        differential=any(shard.differential for shard in shards),
+        models=tuple(models),
+        divergences=sum(shard.divergences for shard in shards),
+        first_divergence=first_divergence,
+        oracle_disagreements=sum(shard.oracle_disagreements for shard in shards),
+        gem5_cycles=sum(shard.gem5_cycles for shard in shards),
+        condition_coverage=condition_coverage,
     )
 
 

@@ -1,0 +1,145 @@
+"""Command-line entry point for differential fuzz campaigns.
+
+Typical runs::
+
+    # default: 512 vectors, method1, spike+rocket+gem5, dual oracles
+    PYTHONPATH=src python -m repro.fuzz --seed 2018 --budget 512
+
+    # CI smoke: fixed seed, wall-clock capped
+    PYTHONPATH=src python -m repro.fuzz --seed 2018 --budget 512 --time-limit 60
+
+    # fuzz around one workload's operand distribution
+    PYTHONPATH=src python -m repro.fuzz --budget 256 --workload carry-stress
+
+    # replay a recorded reproducer from a previous --json report
+    PYTHONPATH=src python -m repro.fuzz --replay fuzz_report.json
+
+Exit status is non-zero when any divergence, oracle disagreement or check
+failure was found (or a replayed reproducer still fails), so the command
+slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.fuzz.engine import (
+    FuzzCampaign,
+    FuzzConfig,
+    Reproducer,
+    replay,
+)
+from repro.testgen.config import SolutionKind
+from repro.verification.differential import MODELS
+
+
+def _parse_models(text: str):
+    models = tuple(part.strip() for part in text.split(",") if part.strip())
+    for model in models:
+        if model not in MODELS:
+            raise argparse.ArgumentTypeError(
+                f"unknown model {model!r} (choose from {MODELS})"
+            )
+    if not models:
+        raise argparse.ArgumentTypeError("--models needs at least one model")
+    return models
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--seed", type=int, default=2018,
+                        help="campaign seed (the whole run is a pure function of it)")
+    parser.add_argument("--budget", type=int, default=512,
+                        help="total vectors to simulate (default 512)")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="vectors per generated test program (default 64)")
+    parser.add_argument(
+        "--solution", default=SolutionKind.METHOD1,
+        choices=SolutionKind.ALL,
+        help="solution kind to fuzz (default method1)",
+    )
+    parser.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        metavar="NAME[,NAME...]",
+        help=f"models to cross-check (default {','.join(MODELS)})",
+    )
+    parser.add_argument(
+        "--workload", default=None,
+        help="seed the corpus from one registered workload "
+             "(default: database classes + every registered workload)",
+    )
+    parser.add_argument("--time-limit", type=float, default=None,
+                        help="wall-clock cap in seconds (checked between batches)")
+    parser.add_argument("--max-failures", type=int, default=3,
+                        help="stop after this many distinct failures (default 3)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="record failing batches without shrinking them")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the campaign report (with reproducers) as JSON")
+    parser.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="replay the reproducers recorded in a --json report and exit",
+    )
+    return parser
+
+
+def _replay_report(path: str) -> int:
+    with open(path) as handle:
+        data = json.load(handle)
+    reproducers = [
+        Reproducer.from_json(item) for item in data.get("failures", [])
+    ]
+    if not reproducers:
+        print(f"{path}: no recorded failures to replay")
+        return 0
+    still_failing = 0
+    for reproducer in reproducers:
+        outcome = replay(reproducer)
+        status = "still fails" if outcome.failed else "no longer fails"
+        if outcome.failed:
+            still_failing += 1
+        print(
+            f"[{reproducer.kind}] batch {reproducer.batch_index} "
+            f"({len(reproducer.vectors)} vector(s)): {status}"
+        )
+    return 1 if still_failing else 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay:
+        return _replay_report(args.replay)
+
+    if args.workload is not None:
+        from repro.workloads import get_workload
+
+        get_workload(args.workload)  # raises with suggestions on unknown names
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        batch_size=args.batch_size,
+        solution=args.solution,
+        models=args.models,
+        workload=args.workload,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+        time_limit=args.time_limit,
+    )
+    report = FuzzCampaign(config).run()
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_summary(), handle, indent=2)
+            handle.write("\n")
+        print(f"report -> {os.path.abspath(args.json)}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""Operand-pair mutators for the coverage-guided fuzz engine.
+
+Every mutator takes a seeded ``random.Random`` and an ``(x, y)`` pair of
+:class:`~repro.decnumber.number.DecNumber` operands and returns a mutated
+pair.  Mutations stay **decimal64-canonical by construction** — coefficients
+of at most 16 digits, exponents inside ``[-398, 369]``, NaN payloads small
+enough for the trailing significand — so every mutated operand round-trips
+bit-exactly through the interchange encoding and the oracles judge exactly
+the value the kernel saw.
+
+Each mutator also declares the result *conditions* (from
+:data:`repro.verification.coverage.CoverageTracker.CONDITIONS`) it tends to
+induce; the engine uses those declarations to steer generation toward
+conditions the campaign has not hit yet.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.decnumber import decimal64
+from repro.decnumber.number import DecNumber
+
+#: Exponent range every finite decimal64 operand encodes exactly.
+MIN_EXPONENT = decimal64.ETINY           # -398
+MAX_EXPONENT = decimal64.ETOP            # 369
+MAX_DIGITS = decimal64.PRECISION         # 16
+_MAX_COEFFICIENT = 10 ** MAX_DIGITS - 1
+
+
+def clamp_finite(sign: int, coefficient: int, exponent: int) -> DecNumber:
+    """A finite operand forced into exact decimal64 representability."""
+    coefficient = abs(int(coefficient)) % (_MAX_COEFFICIENT + 1)
+    exponent = max(MIN_EXPONENT, min(MAX_EXPONENT, int(exponent)))
+    return DecNumber(sign & 1, coefficient, exponent)
+
+
+def _as_finite(rng: random.Random, value: DecNumber) -> DecNumber:
+    """``value`` if finite, else a small finite stand-in to mutate from."""
+    if value.is_finite:
+        return value
+    return DecNumber(value.sign, rng.randint(1, 9_999), rng.randint(-8, 8))
+
+
+def _pick_side(rng: random.Random, x, y):
+    """Split the pair into (mutated operand, kept operand, reassembler)."""
+    if rng.random() < 0.5:
+        return x, y, lambda mutated, kept: (mutated, kept)
+    return y, x, lambda mutated, kept: (kept, mutated)
+
+
+# ------------------------------------------------------------------- mutators
+def digit_grow(rng, x, y):
+    """Widen one coefficient to near-full precision (inexact products)."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    target = _as_finite(rng, target)
+    digits = rng.randint(MAX_DIGITS - 1, MAX_DIGITS)
+    low = 10 ** (digits - 1)
+    grown = target.coefficient
+    while grown < low:
+        grown = grown * 10 + rng.randint(0, 9)
+    return rebuild(clamp_finite(target.sign, grown, target.exponent), kept)
+
+
+def digit_shrink(rng, x, y):
+    """Drop trailing digits of one coefficient (toward exact products)."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    target = _as_finite(rng, target)
+    keep = rng.randint(1, max(1, target.digits // 2))
+    shrunk = int(str(target.coefficient)[:keep] or "0")
+    return rebuild(clamp_finite(target.sign, shrunk, target.exponent), kept)
+
+
+def digit_tweak(rng, x, y):
+    """Replace one digit of one coefficient."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    target = _as_finite(rng, target)
+    digits = list(str(target.coefficient))
+    digits[rng.randrange(len(digits))] = str(rng.randint(0, 9))
+    return rebuild(
+        clamp_finite(target.sign, int("".join(digits)), target.exponent), kept
+    )
+
+
+def exponent_up(rng, x, y):
+    """Push one exponent toward the top of the range (overflow/clamping)."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    target = _as_finite(rng, target)
+    exponent = rng.randint(MAX_EXPONENT // 2, MAX_EXPONENT)
+    return rebuild(clamp_finite(target.sign, target.coefficient, exponent), kept)
+
+
+def exponent_down(rng, x, y):
+    """Push one exponent toward the bottom of the range (underflow/subnormal)."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    target = _as_finite(rng, target)
+    exponent = rng.randint(MIN_EXPONENT, MIN_EXPONENT // 2)
+    return rebuild(clamp_finite(target.sign, target.coefficient, exponent), kept)
+
+
+def exponent_nudge(rng, x, y):
+    """Shift one exponent by a small delta."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    target = _as_finite(rng, target)
+    exponent = target.exponent + rng.randint(-5, 5)
+    return rebuild(clamp_finite(target.sign, target.coefficient, exponent), kept)
+
+
+def sign_flip(rng, x, y):
+    """Flip the sign of one operand (specials included)."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    return rebuild(target.copy_negate(), kept)
+
+
+def make_zero(rng, x, y):
+    """Replace one operand with a signed zero of arbitrary exponent."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    zero = DecNumber(
+        rng.randint(0, 1), 0, rng.randint(MIN_EXPONENT, MAX_EXPONENT)
+    )
+    return rebuild(zero, kept)
+
+
+def make_infinity(rng, x, y):
+    """Replace one operand with a signed infinity."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    return rebuild(DecNumber.infinity(rng.randint(0, 1)), kept)
+
+
+def make_nan(rng, x, y):
+    """Replace one operand with a quiet or signaling NaN (with payload)."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    payload = rng.randint(0, 999_999)
+    nan = (
+        DecNumber.snan(payload, rng.randint(0, 1))
+        if rng.random() < 0.5
+        else DecNumber.qnan(payload, rng.randint(0, 1))
+    )
+    return rebuild(nan, kept)
+
+
+def all_nines(rng, x, y):
+    """Replace one coefficient with all nines (maximal carry chains)."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    target = _as_finite(rng, target)
+    coefficient = 10 ** rng.randint(8, MAX_DIGITS) - 1
+    return rebuild(
+        clamp_finite(target.sign, coefficient, target.exponent), kept
+    )
+
+
+def sparse(rng, x, y):
+    """Replace one operand with one significant digit and a wide exponent."""
+    target, kept, rebuild = _pick_side(rng, x, y)
+    return rebuild(
+        DecNumber(
+            rng.randint(0, 1),
+            rng.randint(1, 9),
+            rng.randint(MIN_EXPONENT, MAX_EXPONENT),
+        ),
+        kept,
+    )
+
+
+def swap(rng, x, y):
+    """Swap the operands (commutativity stress on asymmetric kernels)."""
+    return y, x
+
+
+@dataclass(frozen=True)
+class Mutator:
+    """A named mutation plus the result conditions it tends to induce."""
+
+    name: str
+    apply: object                     # callable(rng, x, y) -> (x, y)
+    targets: frozenset = frozenset()  # CoverageTracker condition names
+
+    def __call__(self, rng, x, y):
+        return self.apply(rng, x, y)
+
+
+#: The full mutator catalogue, targets matched to CoverageTracker.CONDITIONS.
+MUTATORS = (
+    Mutator("digit-grow", digit_grow, frozenset({"inexact", "rounded"})),
+    Mutator("digit-shrink", digit_shrink, frozenset({"exact"})),
+    Mutator("digit-tweak", digit_tweak),
+    Mutator("exponent-up", exponent_up,
+            frozenset({"overflow", "clamped", "result_infinity"})),
+    Mutator("exponent-down", exponent_down,
+            frozenset({"underflow", "subnormal", "result_zero"})),
+    Mutator("exponent-nudge", exponent_nudge),
+    Mutator("sign-flip", sign_flip),
+    Mutator("make-zero", make_zero, frozenset({"result_zero", "clamped"})),
+    Mutator("make-infinity", make_infinity,
+            frozenset({"result_infinity", "invalid", "result_nan"})),
+    Mutator("make-nan", make_nan, frozenset({"invalid", "result_nan"})),
+    Mutator("all-nines", all_nines, frozenset({"inexact", "rounded"})),
+    Mutator("sparse", sparse, frozenset({"exact", "clamped"})),
+    Mutator("swap", swap),
+)
+
+MUTATORS_BY_NAME = {mutator.name: mutator for mutator in MUTATORS}
+
+
+def choose_mutator(rng: random.Random, unhit_conditions=frozenset()) -> Mutator:
+    """Pick a mutator, weighted toward those targeting unhit conditions.
+
+    Every mutator keeps a base weight of 1 so generation never collapses
+    onto a single strategy; a mutator whose declared targets intersect the
+    campaign's unhit condition set gets a large bonus, which is what makes
+    the generation *coverage-guided* rather than uniformly random.
+    """
+    unhit = frozenset(unhit_conditions)
+    weights = [
+        1 + (6 if mutator.targets & unhit else 0) for mutator in MUTATORS
+    ]
+    return rng.choices(MUTATORS, weights=weights, k=1)[0]

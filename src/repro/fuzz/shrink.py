@@ -1,0 +1,158 @@
+"""Shrink a failing vector batch to a minimal reproducer.
+
+Two stages, both driven by a caller-supplied ``predicate(vectors) -> bool``
+that re-runs the differential/oracle check and returns True while the
+failure still reproduces:
+
+1. **Subset minimization** (:func:`ddmin`): classic delta debugging over the
+   batch.  Samples are architecturally independent in the generated test
+   programs, so this usually converges to a single vector, but the algorithm
+   is sound even for failures that need several vectors (e.g. cache-state
+   bugs in a timing model).
+2. **Operand simplification** (:func:`simplify_vectors`): each surviving
+   vector's operands are simplified — replace an operand with 1, strip
+   coefficient digits, zero the exponent, clear the sign — as long as the
+   failure keeps reproducing, so the reproducer a human reads is as small
+   as the bug allows.
+
+Every predicate call costs one co-simulation of the candidate subset, so
+both stages share one evaluation budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.decnumber.number import DecNumber
+from repro.verification.database import VerificationVector
+
+
+class _Budget:
+    """Shared evaluation-count budget across the shrink stages."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+
+def ddmin(vectors, predicate, budget: _Budget) -> list:
+    """Minimal failing subset of ``vectors`` by delta debugging.
+
+    ``predicate`` must already hold for the full list.  Returns the smallest
+    subset found within the evaluation budget (always still failing).
+    """
+    current = list(vectors)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        chunks = [
+            current[start:start + chunk]
+            for start in range(0, len(current), chunk)
+        ]
+        reduced = False
+        for index, subset in enumerate(chunks):
+            if len(subset) == len(current):
+                continue
+            if not budget.take():
+                return current
+            if predicate(subset):
+                current = subset
+                granularity = 2
+                reduced = True
+                break
+            complement = [
+                vector
+                for other, piece in enumerate(chunks)
+                if other != index
+                for vector in piece
+            ]
+            if complement and len(complement) < len(current):
+                if not budget.take():
+                    return current
+                if predicate(complement):
+                    current = complement
+                    granularity = max(2, granularity - 1)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+_ONE = DecNumber(0, 1, 0)
+
+
+def _operand_candidates(value: DecNumber):
+    """Simpler stand-ins for one operand, most aggressive first."""
+    candidates = []
+    if value != _ONE:
+        candidates.append(_ONE)
+    if not value.is_finite:
+        # Specials simplify only via payload/sign; drop the payload first.
+        if value.coefficient:
+            candidates.append(
+                DecNumber(value.sign, 0, 0, value.kind)
+            )
+        if value.sign:
+            candidates.append(DecNumber(0, value.coefficient, 0, value.kind))
+        return candidates
+    text = str(value.coefficient)
+    if len(text) > 1:
+        candidates.append(
+            DecNumber(value.sign, int(text[: len(text) // 2]), value.exponent)
+        )
+        candidates.append(DecNumber(value.sign, int(text[0]), value.exponent))
+    if value.exponent:
+        candidates.append(DecNumber(value.sign, value.coefficient, 0))
+        candidates.append(
+            DecNumber(value.sign, value.coefficient, value.exponent // 2)
+        )
+    if value.sign:
+        candidates.append(DecNumber(0, value.coefficient, value.exponent))
+    return candidates
+
+
+def simplify_vectors(vectors, predicate, budget: _Budget) -> list:
+    """Simplify each vector's operands while the failure keeps reproducing."""
+    current = list(vectors)
+    for position in range(len(current)):
+        progress = True
+        while progress and budget.spent < budget.limit:
+            progress = False
+            vector = current[position]
+            for attribute in ("x", "y"):
+                for candidate in _operand_candidates(getattr(vector, attribute)):
+                    trial = replace(vector, **{attribute: candidate})
+                    trial_list = list(current)
+                    trial_list[position] = trial
+                    if not budget.take():
+                        return current
+                    if predicate(trial_list):
+                        current = trial_list
+                        progress = True
+                        break
+                if progress:
+                    break
+    return current
+
+
+def shrink_failure(vectors, predicate, max_evaluations: int = 48) -> list:
+    """Full shrink: subset minimization, then per-operand simplification.
+
+    Returns the original list unchanged if the failure does not reproduce
+    on it (a flaky predicate), so callers always get *a* failing witness.
+    """
+    vectors = list(vectors)
+    budget = _Budget(max_evaluations)
+    if not budget.take() or not predicate(vectors):
+        return vectors
+    minimal = ddmin(vectors, predicate, budget)
+    return simplify_vectors(minimal, predicate, budget)

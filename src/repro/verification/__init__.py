@@ -13,6 +13,16 @@ from repro.verification.database import OperandClass, VerificationDatabase, Veri
 from repro.verification.reference import GoldenReference
 from repro.verification.checker import CheckFailure, CheckReport, ResultChecker
 from repro.verification.coverage import CoverageTracker
+from repro.verification.differential import (
+    CoSimulator,
+    Divergence,
+    DivergenceReport,
+    DualCheckReport,
+    DualOracleChecker,
+    OracleDisagreement,
+    StdlibDecimalReference,
+    dual_checker_for_workload,
+)
 
 __all__ = [
     "OperandClass",
@@ -23,4 +33,12 @@ __all__ = [
     "CheckReport",
     "ResultChecker",
     "CoverageTracker",
+    "CoSimulator",
+    "Divergence",
+    "DivergenceReport",
+    "DualCheckReport",
+    "DualOracleChecker",
+    "OracleDisagreement",
+    "StdlibDecimalReference",
+    "dual_checker_for_workload",
 ]

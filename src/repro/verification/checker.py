@@ -78,6 +78,17 @@ class ResultChecker:
             and actual.exponent == expected.exponent
         )
 
+    def _new_report(self) -> CheckReport:
+        """The report type a run fills in (subclasses may extend it)."""
+        return CheckReport()
+
+    def _cross_check(self, report, vector, golden) -> None:
+        """Hook: extra per-vector validation of the reference itself.
+
+        Called with the primary golden result before the kernel comparison;
+        the base checker trusts its single reference and does nothing.
+        """
+
     def check_run(self, vectors, result_words) -> CheckReport:
         """Check one simulated run.
 
@@ -85,10 +96,11 @@ class ResultChecker:
         built from; ``result_words`` the interchange words the kernel stored,
         in the same order.
         """
-        report = CheckReport()
+        report = self._new_report()
         for vector, word in zip(vectors, result_words):
             report.total += 1
             golden = self.reference.compute(vector.x, vector.y)
+            self._cross_check(report, vector, golden)
             actual = self.reference.decode(word)
             if self.results_match(golden.value, actual):
                 report.passed += 1

@@ -1,0 +1,508 @@
+"""Cross-model differential verification: co-simulation + dual oracles.
+
+The paper's measurement story rests on three independent execution paths —
+Spike-style functional simulation, the Rocket-like cycle-accurate emulator,
+and the gem5 SE-mode atomic model — but trusting them individually is not the
+same as proving they agree.  This module closes that gap from two directions:
+
+* the :class:`CoSimulator` runs *the same linked test program* on every model,
+  reads each model's architectural result buffer back, and diffs them
+  vector-by-vector into a structured :class:`DivergenceReport` that pinpoints
+  the first diverging vector and its operand class (plus the Rocket/gem5
+  cycle numbers of the run, so gross timing-model breakage is visible too);
+* the :class:`DualOracleChecker` extends the plain
+  :class:`~repro.verification.checker.ResultChecker` so every expected value
+  is computed **twice** — once by our :mod:`repro.decnumber` port and once by
+  Python's independently implemented stdlib :mod:`decimal` module, quantized
+  to the decimal64 format.  A kernel mismatch is still a
+  :class:`~repro.verification.checker.CheckFailure`; the two oracles
+  disagreeing with *each other* is reported as its own failure class
+  (:class:`OracleDisagreement`), because it means the reference itself —
+  not the kernel — is suspect.
+
+Both pieces are what the fuzz engine (:mod:`repro.fuzz`) drives in bulk, and
+what ``python -m repro.campaign --differential`` shards over worker
+processes.
+"""
+
+from __future__ import annotations
+
+import decimal as _pydecimal
+
+from dataclasses import dataclass, field
+
+from repro.decnumber import decimal64
+from repro.decnumber.number import DecNumber
+from repro.errors import ConfigurationError
+from repro.verification.checker import CheckReport, ResultChecker
+from repro.verification.reference import GoldenReference, GoldenResult
+
+#: Simulation models the co-simulator knows how to drive, in reference order:
+#: the first available model's results are what the oracle check judges.
+MODELS = ("spike", "rocket", "gem5")
+
+#: stdlib ``decimal`` signal classes -> our flag names.
+_PYTHON_SIGNALS = {
+    "inexact": _pydecimal.Inexact,
+    "rounded": _pydecimal.Rounded,
+    "overflow": _pydecimal.Overflow,
+    "underflow": _pydecimal.Underflow,
+    "subnormal": _pydecimal.Subnormal,
+    "clamped": _pydecimal.Clamped,
+    "invalid": _pydecimal.InvalidOperation,
+    "division_by_zero": _pydecimal.DivisionByZero,
+}
+
+
+# --------------------------------------------------------------------- oracles
+class StdlibDecimalReference:
+    """Independent golden oracle built on Python's stdlib :mod:`decimal`.
+
+    The stdlib module implements the same General Decimal Arithmetic
+    specification as decNumber but shares no code with our port, which makes
+    it a genuinely independent second opinion.  Results are computed under
+    the decimal64 context (16 digits, emax 384, clamp) and re-encoded
+    through the same interchange encoder the primary reference uses, so the
+    two oracles are compared bit-for-bit.
+    """
+
+    def __init__(self, operation: str = "multiply", precision: str = "double") -> None:
+        # Reuse the primary reference for operation/precision validation and
+        # for the interchange encode/decode plumbing.
+        self._golden = GoldenReference(operation=operation, precision=precision)
+        self.operation = operation
+        self.precision = precision
+
+    def context(self):
+        """The equivalent stdlib :class:`decimal.Context` (fresh flags)."""
+        return self._golden.context().to_python_context()
+
+    def compute(self, x: DecNumber, y: DecNumber) -> GoldenResult:
+        """Expected result of ``x op y`` per the stdlib decimal oracle."""
+        ctx = self.context()
+        operation = getattr(ctx, self.operation)
+        value = DecNumber.from_decimal(operation(x.to_decimal(), y.to_decimal()))
+        flags = frozenset(
+            name
+            for name, signal in _PYTHON_SIGNALS.items()
+            if ctx.flags.get(signal)
+        )
+        encoded = self._golden.encode_operand(value)
+        return GoldenResult(value=value, encoded=encoded, flags=flags)
+
+    def encode_operand(self, value: DecNumber) -> int:
+        return self._golden.encode_operand(value)
+
+    def decode(self, word: int) -> DecNumber:
+        return self._golden.decode(word)
+
+
+@dataclass(frozen=True)
+class OracleDisagreement:
+    """The two reference oracles produced different expected values.
+
+    Distinct from :class:`~repro.verification.checker.CheckFailure`: the
+    kernel may well match one of the oracles — the point is that the golden
+    *references* cannot both be right, so the sample proves a reference bug
+    (or a genuine specification ambiguity) rather than a kernel bug.
+    """
+
+    index: int
+    operand_class: str
+    x: DecNumber
+    y: DecNumber
+    primary: DecNumber
+    secondary: DecNumber
+    primary_bits: int
+    secondary_bits: int
+
+    def describe(self) -> str:
+        return (
+            f"sample {self.index} [{self.operand_class}]: oracles disagree on "
+            f"{self.x} * {self.y} -> decnumber {self.primary} "
+            f"(0x{self.primary_bits:016x}) vs stdlib-decimal {self.secondary} "
+            f"(0x{self.secondary_bits:016x})"
+        )
+
+
+@dataclass
+class DualCheckReport(CheckReport):
+    """A :class:`CheckReport` that also tracks oracle disagreements."""
+
+    oracle_disagreements: list = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return super().all_passed and not self.oracle_disagreements
+
+    def raise_on_failure(self, max_reported: int = 5) -> None:
+        if self.oracle_disagreements:
+            from repro.errors import VerificationError
+
+            detail = "\n".join(
+                item.describe()
+                for item in self.oracle_disagreements[:max_reported]
+            )
+            raise VerificationError(
+                f"{len(self.oracle_disagreements)}/{self.total} samples with "
+                f"oracle disagreement:\n{detail}"
+            )
+        super().raise_on_failure(max_reported)
+
+
+class DualOracleChecker(ResultChecker):
+    """Checks kernel results against two independently computed references.
+
+    Every expected value is computed by the ``primary`` reference (the
+    decNumber port — or a workload's custom oracle) *and* the ``secondary``
+    stdlib-decimal reference.  Kernel-vs-primary mismatches are recorded as
+    ordinary :class:`CheckFailure`; primary-vs-secondary mismatches become
+    :class:`OracleDisagreement` entries, a separate failure class that fails
+    the run on its own.
+    """
+
+    def __init__(self, primary=None, secondary=None) -> None:
+        super().__init__(primary if primary is not None else GoldenReference())
+        self.secondary = (
+            secondary if secondary is not None else StdlibDecimalReference()
+        )
+
+    def _new_report(self) -> DualCheckReport:
+        return DualCheckReport()
+
+    def _cross_check(self, report, vector, golden) -> None:
+        second = self.secondary.compute(vector.x, vector.y)
+        if golden.encoded != second.encoded:
+            report.oracle_disagreements.append(
+                OracleDisagreement(
+                    index=vector.index,
+                    operand_class=vector.operand_class,
+                    x=vector.x,
+                    y=vector.y,
+                    primary=golden.value,
+                    secondary=second.value,
+                    primary_bits=golden.encoded,
+                    secondary_bits=second.encoded,
+                )
+            )
+
+
+def dual_checker_for_workload(workload: str = None) -> ResultChecker:
+    """The differential-mode checker for a (possibly workload-scoped) run.
+
+    Mirrors :func:`repro.core.evaluation.checker_for_workload`: a resolvable
+    workload name contributes its own :meth:`~repro.workloads.Workload.
+    expected` oracle (falling back to the golden library for unknown names
+    in spawn-started workers).  The stdlib-decimal cross-check only makes
+    sense against the golden-default oracle, so a workload that *overrides*
+    ``expected()`` — a domain-specific notion of correctness the stdlib
+    module cannot second-guess — keeps its own single-oracle checker
+    instead of drowning in spurious disagreements.
+    """
+    if workload is not None:
+        from repro.workloads import Workload, get_workload
+
+        try:
+            resolved = get_workload(workload)
+        except ConfigurationError:
+            resolved = None
+        if resolved is not None:
+            if type(resolved).expected is not Workload.expected:
+                return resolved.make_checker()
+            return DualOracleChecker(
+                primary=resolved.make_checker().reference
+            )
+    return DualOracleChecker()
+
+
+# ---------------------------------------------------------------- co-simulation
+@dataclass(frozen=True)
+class ModelRun:
+    """One model's architectural outcome over a test program."""
+
+    model: str
+    result_words: tuple
+    exit_code: int
+    instructions_retired: int
+    #: Total simulated cycles/ticks (None for the untimed functional model).
+    cycles: int = None
+    #: Per-vector RDCYCLE deltas as the program measured them (Rocket only).
+    cycle_samples: tuple = None
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One vector on which the models' architectural results differ."""
+
+    index: int
+    operand_class: str
+    x: DecNumber
+    y: DecNumber
+    words: dict          # model name -> result word
+    values: dict         # model name -> decoded DecNumber
+
+    def disagreeing_models(self) -> tuple:
+        """Models whose word differs from the (majority) reference word."""
+        counts = {}
+        for word in self.words.values():
+            counts[word] = counts.get(word, 0) + 1
+        reference = max(counts, key=lambda word: (counts[word], -word))
+        return tuple(
+            sorted(model for model, word in self.words.items() if word != reference)
+        )
+
+    def describe(self) -> str:
+        per_model = ", ".join(
+            f"{model}={self.values[model]} (0x{self.words[model]:016x})"
+            for model in sorted(self.words)
+        )
+        return (
+            f"vector {self.index} [{self.operand_class}]: "
+            f"{self.x} * {self.y} -> {per_model}"
+        )
+
+
+def diff_result_words(vectors, words_by_model, decode=None) -> list:
+    """Vector-by-vector cross-model diff of architectural result words.
+
+    ``words_by_model`` maps each model name to its full result-word list
+    (aligned with ``vectors``).  Returns one :class:`Divergence` per vector
+    on which any two models disagree — the single diff implementation both
+    :meth:`CoSimulator.diff_program` and the campaign engine's differential
+    shards use, so they can never drift apart.
+    """
+    if decode is None:
+        decode = decimal64.decode
+    divergences = []
+    for position, vector in enumerate(vectors):
+        words = {
+            model: model_words[position]
+            for model, model_words in words_by_model.items()
+        }
+        if len(set(words.values())) > 1:
+            divergences.append(
+                Divergence(
+                    index=vector.index,
+                    operand_class=vector.operand_class,
+                    x=vector.x,
+                    y=vector.y,
+                    words=words,
+                    values={
+                        model: decode(word) for model, word in words.items()
+                    },
+                )
+            )
+    return divergences
+
+
+@dataclass
+class DivergenceReport:
+    """Outcome of co-simulating one vector set across several models."""
+
+    solution_kind: str
+    models: tuple
+    total: int
+    divergences: list = field(default_factory=list)
+    runs: dict = field(default_factory=dict)       # model -> ModelRun
+    check_report: object = None                    # DualCheckReport or None
+    workload: str = None
+
+    @property
+    def all_agree(self) -> bool:
+        return not self.divergences
+
+    @property
+    def first_divergence(self):
+        return self.divergences[0] if self.divergences else None
+
+    @property
+    def oracle_disagreements(self) -> list:
+        if self.check_report is None:
+            return []
+        return list(getattr(self.check_report, "oracle_disagreements", []))
+
+    @property
+    def check_failures(self) -> list:
+        if self.check_report is None:
+            return []
+        return list(self.check_report.failures)
+
+    @property
+    def failed(self) -> bool:
+        """Any divergence, kernel/oracle check failure, or oracle split."""
+        return bool(
+            self.divergences or self.check_failures or self.oracle_disagreements
+        )
+
+    def cycle_summary(self) -> dict:
+        """Per-model total cycles (models without a timing model omitted)."""
+        return {
+            model: run.cycles
+            for model, run in self.runs.items()
+            if run.cycles is not None
+        }
+
+    def describe(self, max_reported: int = 5) -> str:
+        lines = [
+            f"differential: {self.total} vectors x {len(self.models)} models "
+            f"({', '.join(self.models)}), solution {self.solution_kind}"
+            + (f", workload {self.workload}" if self.workload else "")
+        ]
+        cycles = self.cycle_summary()
+        if cycles:
+            lines.append(
+                "cycles: "
+                + ", ".join(f"{model}={count}" for model, count in sorted(cycles.items()))
+            )
+        if self.all_agree:
+            lines.append("all models agree")
+        else:
+            lines.append(f"{len(self.divergences)} diverging vector(s):")
+            lines.extend(
+                "  " + divergence.describe()
+                for divergence in self.divergences[:max_reported]
+            )
+        for item in self.oracle_disagreements[:max_reported]:
+            lines.append("  " + item.describe())
+        for item in self.check_failures[:max_reported]:
+            lines.append("  " + item.describe())
+        return "\n".join(lines)
+
+
+class CoSimulator:
+    """Runs one test program on several simulation models and diffs them.
+
+    ``solution`` may be a :class:`~repro.core.solution.CoDesignSolution` or a
+    :class:`~repro.testgen.config.SolutionKind` string (resolved through
+    :func:`~repro.core.solution.standard_solutions`).  Every model gets its
+    own fresh accelerator instance, so no architectural state leaks between
+    models.  Functional results are oracle-checked (dual-oracle by default)
+    against the first model in ``models`` — the reference model — whenever
+    the solution is verifiable.
+    """
+
+    def __init__(
+        self,
+        solution=None,
+        models=MODELS,
+        rocket_config=None,
+        gem5_config=None,
+        checker=None,
+        workload: str = None,
+        verify: bool = True,
+    ) -> None:
+        from repro.core.solution import standard_solutions
+        from repro.testgen.config import SolutionKind
+
+        if solution is None:
+            solution = SolutionKind.METHOD1
+        if isinstance(solution, str):
+            solutions = standard_solutions()
+            if solution not in solutions:
+                raise ConfigurationError(
+                    f"unknown solution kind {solution!r} "
+                    f"(choose from {tuple(solutions)})"
+                )
+            solution = solutions[solution]
+        self.solution = solution
+        models = tuple(models)
+        if not models:
+            raise ConfigurationError("co-simulation needs at least one model")
+        for model in models:
+            if model not in MODELS:
+                raise ConfigurationError(
+                    f"unknown model {model!r} (choose from {MODELS})"
+                )
+        self.models = models
+        self.rocket_config = rocket_config
+        self.gem5_config = gem5_config
+        self.workload = workload
+        self.verify = verify
+        if checker is None and verify and solution.verifiable:
+            checker = dual_checker_for_workload(workload)
+        self.checker = checker
+
+    # ------------------------------------------------------------- model runs
+    def run_model(self, model: str, program) -> ModelRun:
+        """Run ``program`` on one model and capture its architectural output."""
+        accelerator = self.solution.make_accelerator()
+        if model == "spike":
+            from repro.sim.spike import SpikeSimulator
+
+            result = SpikeSimulator(program.image, accelerator=accelerator).run()
+            cycles = None
+            cycle_samples = None
+        elif model == "rocket":
+            from repro.rocket.config import RocketConfig
+            from repro.rocket.core import RocketEmulator
+
+            result = RocketEmulator(
+                program.image,
+                accelerator=accelerator,
+                config=(
+                    self.rocket_config
+                    if self.rocket_config is not None
+                    else RocketConfig()
+                ),
+            ).run()
+            cycles = result.cycles
+            cycle_samples = tuple(program.read_cycle_samples(result))
+        elif model == "gem5":
+            from repro.gem5.se_mode import Gem5Config, SyscallEmulationRunner
+
+            runner = SyscallEmulationRunner(
+                self.gem5_config if self.gem5_config is not None else Gem5Config()
+            )
+            result = runner.run_binary(program.image, accelerator=accelerator)
+            cycles = result.ticks
+            cycle_samples = None
+        else:  # pragma: no cover - guarded in __init__
+            raise ConfigurationError(f"unknown model {model!r}")
+        return ModelRun(
+            model=model,
+            result_words=tuple(program.read_results(result)),
+            exit_code=result.exit_code,
+            instructions_retired=result.instructions_retired,
+            cycles=cycles,
+            cycle_samples=cycle_samples,
+        )
+
+    # ------------------------------------------------------------------ diffs
+    def co_simulate(
+        self, vectors, seed: int = 2018, repetitions: int = 1
+    ) -> DivergenceReport:
+        """Build one program over ``vectors``, run every model, diff results."""
+        from repro.testgen.config import TestProgramConfig
+        from repro.testgen.generator import build_test_program
+
+        vectors = list(vectors)
+        config = TestProgramConfig(
+            solution=self.solution.kind,
+            num_samples=len(vectors),
+            repetitions=repetitions,
+            seed=seed,
+            workload=self.workload,
+        )
+        program = build_test_program(config, vectors=vectors)
+        return self.diff_program(program)
+
+    def diff_program(self, program) -> DivergenceReport:
+        """Run an already-built program on every model and diff the results."""
+        runs = {model: self.run_model(model, program) for model in self.models}
+        report = DivergenceReport(
+            solution_kind=self.solution.kind,
+            models=self.models,
+            total=program.num_samples,
+            runs=runs,
+            workload=self.workload,
+        )
+        report.divergences = diff_result_words(
+            program.vectors,
+            {model: run.result_words for model, run in runs.items()},
+        )
+        if self.checker is not None and self.verify and self.solution.verifiable:
+            reference_model = self.models[0]
+            report.check_report = self.checker.check_run(
+                program.vectors, list(runs[reference_model].result_words)
+            )
+        return report

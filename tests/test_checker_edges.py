@@ -1,0 +1,145 @@
+"""Edge-case tests for the result checker (CheckReport / results_match).
+
+Covers the reporting edges the differential engine leans on: failure-list
+truncation in ``raise_on_failure``, IEEE-level NaN/sign matching rules, and
+the stability of ``describe()`` output (fuzz reproducers quote it verbatim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decnumber.number import DecNumber
+from repro.errors import VerificationError
+from repro.verification.checker import CheckFailure, CheckReport, ResultChecker
+from repro.verification.database import VerificationDatabase
+from repro.verification.reference import GoldenReference
+
+
+def _failure(index: int) -> CheckFailure:
+    return CheckFailure(
+        index=index,
+        operand_class="normal",
+        x=DecNumber(0, 2, 0),
+        y=DecNumber(0, 3, 0),
+        expected=DecNumber(0, 6, 0),
+        actual=DecNumber(0, 7, 0),
+        expected_bits=0x2230000000000006,
+        actual_bits=0x2230000000000007,
+    )
+
+
+# ----------------------------------------------------------- raise_on_failure
+def test_raise_on_failure_truncates_at_max_reported():
+    report = CheckReport(total=20, passed=12)
+    report.failures = [_failure(index) for index in range(8)]
+    with pytest.raises(VerificationError) as excinfo:
+        report.raise_on_failure(max_reported=3)
+    message = str(excinfo.value)
+    assert "8/20 samples mismatched" in message
+    # Exactly three sample lines survive the truncation.
+    assert message.count("sample ") == 3
+    for index in range(3):
+        assert f"sample {index} " in message
+    assert "sample 3 " not in message
+
+
+def test_raise_on_failure_default_reports_five():
+    report = CheckReport(total=10, passed=2)
+    report.failures = [_failure(index) for index in range(8)]
+    with pytest.raises(VerificationError) as excinfo:
+        report.raise_on_failure()
+    assert str(excinfo.value).count("sample ") == 5
+
+
+def test_raise_on_failure_is_silent_when_clean():
+    report = CheckReport(total=4, passed=4)
+    report.raise_on_failure()  # must not raise
+
+
+def test_all_passed_requires_at_least_one_sample():
+    assert not CheckReport().all_passed
+    assert CheckReport(total=1, passed=1).all_passed
+    failing = CheckReport(total=1, passed=0, failures=[_failure(0)])
+    assert not failing.all_passed
+    assert failing.failed == 1
+
+
+# --------------------------------------------------------------- results_match
+def test_results_match_nan_ignores_payload_and_signaling():
+    match = ResultChecker.results_match
+    assert match(DecNumber.qnan(1), DecNumber.qnan(999))
+    assert match(DecNumber.qnan(0), DecNumber.snan(5))
+    assert match(DecNumber.snan(7, sign=1), DecNumber.qnan(7, sign=0))
+    assert not match(DecNumber.qnan(0), DecNumber(0, 0, 0))
+    assert not match(DecNumber.qnan(0), DecNumber.infinity(0))
+    # Expected finite/infinite never matches an actual NaN.
+    assert not match(DecNumber(0, 1, 0), DecNumber.qnan(0))
+    assert not match(DecNumber.infinity(0), DecNumber.qnan(0))
+
+
+def test_results_match_infinity_is_sign_sensitive():
+    match = ResultChecker.results_match
+    assert match(DecNumber.infinity(0), DecNumber.infinity(0))
+    assert match(DecNumber.infinity(1), DecNumber.infinity(1))
+    assert not match(DecNumber.infinity(0), DecNumber.infinity(1))
+    assert not match(DecNumber.infinity(0), DecNumber(0, 1, 369))
+
+
+def test_results_match_zero_is_sign_and_exponent_sensitive():
+    match = ResultChecker.results_match
+    assert match(DecNumber(0, 0, 5), DecNumber(0, 0, 5))
+    assert not match(DecNumber(0, 0, 5), DecNumber(1, 0, 5))    # -0 vs +0
+    assert not match(DecNumber(0, 0, 5), DecNumber(0, 0, 4))    # 0E+5 vs 0E+4
+
+
+def test_results_match_finite_compares_representation_not_value():
+    match = ResultChecker.results_match
+    # 1E+1 and 10E+0 are numerically equal but not the same member triple.
+    assert not match(DecNumber(0, 1, 1), DecNumber(0, 10, 0))
+    assert match(DecNumber(1, 42, -3), DecNumber(1, 42, -3))
+    assert not match(DecNumber(0, 42, -3), DecNumber(1, 42, -3))
+
+
+# -------------------------------------------------------------------- describe
+def test_describe_output_is_stable():
+    failure = _failure(3)
+    assert failure.describe() == (
+        "sample 3 [normal]: 2 * 3 -> expected 6 (0x2230000000000006), "
+        "got 7 (0x2230000000000007)"
+    )
+
+
+def test_describe_special_values_render_sci_strings():
+    failure = CheckFailure(
+        index=0,
+        operand_class="special",
+        x=DecNumber.infinity(1),
+        y=DecNumber.qnan(42),
+        expected=DecNumber.qnan(42),
+        actual=DecNumber(0, 0, 0),
+        expected_bits=0x7C00000000000042,
+        actual_bits=0x2238000000000000,
+    )
+    text = failure.describe()
+    assert "-Infinity * NaN42" in text
+    assert "expected NaN42" in text
+
+
+# --------------------------------------------------------------- end-to-end run
+def test_check_run_flags_exactly_the_corrupted_samples():
+    golden = GoldenReference()
+    vectors = VerificationDatabase(55).generate_mix(12)
+    words = [golden.compute(v.x, v.y).encoded for v in vectors]
+    # Corrupt two finite-result samples (the mix cycles normal, rounding,
+    # overflow, underflow, clamping; index 2 would be an infinity, whose
+    # encoding ignores low bits).
+    assert golden.decode(words[0]).is_finite
+    assert golden.decode(words[9]).is_finite
+    words[0] ^= 0b1
+    words[9] ^= 0b100
+    report = ResultChecker().check_run(vectors, words)
+    assert report.total == 12
+    assert report.failed == 2
+    assert [failure.index for failure in report.failures] == [0, 9]
+    assert report.passed == 10

@@ -1,0 +1,286 @@
+"""Tests for the coverage-guided fuzz engine (mutators, shrinking, campaigns).
+
+The engine's contract: campaigns are pure functions of their config (same
+seed => same batches, coverage and failures), every mutated operand stays
+decimal64-encodable, generation is steered toward unhit result conditions,
+and failing batches shrink to minimal replayable reproducers.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.decnumber.number import DecNumber
+from repro.errors import ConfigurationError
+from repro.fuzz import (
+    MUTATORS,
+    FuzzCampaign,
+    FuzzConfig,
+    Reproducer,
+    choose_mutator,
+    ddmin,
+    replay,
+    run_fuzz_campaign,
+    shrink_failure,
+    vector_from_json,
+    vector_to_json,
+)
+from repro.fuzz.shrink import _Budget
+from repro.verification.coverage import CoverageTracker
+from repro.verification.database import VerificationDatabase, VerificationVector
+from repro.verification.reference import GoldenReference
+
+
+# -------------------------------------------------------------------- mutators
+def test_every_mutator_produces_encodable_operands():
+    reference = GoldenReference()
+    rng = random.Random(3)
+    corpus = [
+        (vector.x, vector.y)
+        for vector in VerificationDatabase(3).generate_mix(40, classes=(
+            "normal", "overflow", "underflow", "special", "zero"
+        ))
+    ]
+    for mutator in MUTATORS:
+        for _ in range(60):
+            x, y = rng.choice(corpus)
+            x, y = mutator(rng, x, y)
+            for operand in (x, y):
+                decoded = reference.decode(reference.encode_operand(operand))
+                assert decoded.kind == operand.kind
+                if operand.is_finite:
+                    assert (
+                        decoded.sign, decoded.coefficient, decoded.exponent
+                    ) == (operand.sign, operand.coefficient, operand.exponent), (
+                        f"{mutator.name} produced non-canonical {operand!r}"
+                    )
+
+
+def test_mutators_are_deterministic_per_rng_seed():
+    corpus_vector = VerificationDatabase(4).generate_mix(1)[0]
+    for mutator in MUTATORS:
+        first = mutator(random.Random(9), corpus_vector.x, corpus_vector.y)
+        second = mutator(random.Random(9), corpus_vector.x, corpus_vector.y)
+        assert first == second
+
+
+def test_choose_mutator_steers_toward_unhit_conditions():
+    rng = random.Random(0)
+    unhit = frozenset({"overflow"})
+    counts = {}
+    for _ in range(3000):
+        name = choose_mutator(rng, unhit).name
+        counts[name] = counts.get(name, 0) + 1
+    # exponent-up targets overflow and must dominate untargeted mutators...
+    assert counts["exponent-up"] > 2 * counts.get("digit-tweak", 0)
+    # ...but no mutator is ever starved (base weight 1).
+    assert all(mutator.name in counts for mutator in MUTATORS)
+
+
+# -------------------------------------------------------------------- shrinking
+def _mkvec(index, x=None, y=None, klass="t"):
+    return VerificationVector(
+        x=x if x is not None else DecNumber(0, 123456, 2),
+        y=y if y is not None else DecNumber(1, 77, -3),
+        operand_class=klass,
+        index=index,
+    )
+
+
+def test_ddmin_isolates_the_single_failing_vector():
+    bad = _mkvec(5, x=DecNumber.infinity(0))
+    vectors = [_mkvec(index) for index in range(8)]
+    vectors[5] = bad
+
+    def predicate(subset):
+        return any(vector.x.is_infinite for vector in subset)
+
+    result = ddmin(vectors, predicate, _Budget(64))
+    assert result == [bad]
+
+
+def test_ddmin_keeps_coupled_pairs():
+    vectors = [_mkvec(index) for index in range(6)]
+
+    def predicate(subset):
+        indices = {vector.index for vector in subset}
+        return {1, 4} <= indices
+
+    result = ddmin(vectors, predicate, _Budget(64))
+    assert sorted(vector.index for vector in result) == [1, 4]
+
+
+def test_shrink_failure_simplifies_operands():
+    bad = _mkvec(2, x=DecNumber(1, 987654321, -7), y=DecNumber(0, 333, 12))
+    vectors = [_mkvec(index) for index in range(5)]
+    vectors[2] = bad
+
+    def predicate(subset):
+        # Fails whenever any vector has a negative x: sign is the essence,
+        # everything else about the operands should shrink away.
+        return any(vector.x.sign == 1 for vector in subset)
+
+    result = shrink_failure(vectors, predicate)
+    assert len(result) == 1
+    survivor = result[0]
+    assert survivor.x.sign == 1
+    assert survivor.x.coefficient < 987654321   # simplified
+    assert survivor.y == DecNumber(0, 1, 0)     # irrelevant operand -> 1
+
+
+def test_shrink_failure_returns_input_when_not_reproducible():
+    vectors = [_mkvec(index) for index in range(3)]
+    result = shrink_failure(vectors, lambda subset: False)
+    assert result == vectors
+
+
+# ---------------------------------------------------------------- serialization
+def test_vector_json_round_trip():
+    for vector in (
+        _mkvec(7),
+        _mkvec(0, x=DecNumber.snan(321, 1), y=DecNumber.infinity(1)),
+        _mkvec(1, x=DecNumber(1, 0, -398), klass="fuzz:make-zero"),
+    ):
+        assert vector_from_json(vector_to_json(vector)) == vector
+        # And through actual JSON text, as the CLI writes it.
+        assert vector_from_json(
+            json.loads(json.dumps(vector_to_json(vector)))
+        ) == vector
+
+
+# ------------------------------------------------------------------- campaigns
+def test_fuzz_config_validation():
+    with pytest.raises(ConfigurationError):
+        FuzzConfig(budget=0)
+    with pytest.raises(ConfigurationError):
+        FuzzConfig(batch_size=0)
+    with pytest.raises(ConfigurationError):
+        FuzzConfig(solution="quantum")
+    with pytest.raises(ConfigurationError):
+        FuzzConfig(max_failures=0)
+
+
+def test_campaign_is_deterministic_and_respects_budget():
+    config = FuzzConfig(seed=2018, budget=96, batch_size=48)
+    first = FuzzCampaign(config).run()
+    second = FuzzCampaign(config).run()
+    assert first.ok and second.ok
+    assert first.vectors_run == second.vectors_run == 96
+    assert first.batches_run == second.batches_run == 2
+    assert first.corpus_size == second.corpus_size
+    assert dict(first.coverage.condition_counts) == dict(
+        second.coverage.condition_counts
+    )
+    assert dict(first.coverage.class_counts) == dict(
+        second.coverage.class_counts
+    )
+
+
+def test_campaign_reaches_full_condition_coverage():
+    report = run_fuzz_campaign(seed=2018, budget=192, batch_size=48)
+    assert report.ok
+    covered = report.coverage.covered_conditions()
+    assert covered == frozenset(CoverageTracker.CONDITIONS)
+    assert report.coverage_events  # steering actually extended coverage
+    assert "11/11" in report.describe()
+
+
+def test_campaign_workload_corpus_and_spike_rocket_only():
+    report = run_fuzz_campaign(
+        seed=5, budget=32, batch_size=32,
+        workload="carry-stress", models=("spike", "rocket"),
+    )
+    assert report.ok
+    assert report.config.workload == "carry-stress"
+    # Fuzz vectors are tagged with their mutator lineage.
+    assert all(
+        name.startswith("fuzz:") for name in report.coverage.class_counts
+    )
+
+
+def test_campaign_time_limit_stops_between_batches():
+    report = run_fuzz_campaign(seed=6, budget=10_000, batch_size=8,
+                               time_limit=0.0)
+    assert report.batches_run == 0
+    assert report.vectors_run == 0
+
+
+def test_campaign_summary_is_json_ready():
+    report = run_fuzz_campaign(seed=8, budget=32, batch_size=32)
+    summary = json.loads(json.dumps(report.to_summary()))
+    assert summary["seed"] == 8
+    assert summary["vectors_run"] == 32
+    assert summary["failures"] == []
+    assert set(summary["coverage"]["conditions"]) == set(
+        CoverageTracker.CONDITIONS
+    )
+
+
+# ------------------------------------------------------------------------- CLI
+def test_fuzz_cli_clean_run_and_json(tmp_path, capsys):
+    from repro.fuzz.__main__ import main
+
+    out_path = tmp_path / "fuzz.json"
+    code = main([
+        "--seed", "2018", "--budget", "32", "--batch-size", "32",
+        "--json", str(out_path),
+    ])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "fuzz campaign: seed 2018" in captured
+    data = json.loads(out_path.read_text())
+    assert data["vectors_run"] == 32
+
+    # Replaying a report with no failures is a no-op success.
+    code = main(["--replay", str(out_path)])
+    assert code == 0
+    assert "no recorded failures" in capsys.readouterr().out
+
+
+def test_fuzz_cli_rejects_unknown_workload_and_model():
+    from repro.fuzz.__main__ import main
+
+    with pytest.raises(ConfigurationError, match="unknown workload"):
+        main(["--workload", "nope", "--budget", "8"])
+    with pytest.raises(SystemExit):
+        main(["--models", "spike,verilator"])
+
+
+def test_fuzz_cli_reports_failures_with_exit_code(tmp_path, capsys, monkeypatch):
+    import repro.gem5.atomic_cpu as atomic_cpu
+    from repro.fuzz.__main__ import main
+    from repro.sim.memory import SparseMemory
+
+    class Broken(SparseMemory):
+        def write(self, address, size, value):
+            if size == 8 and value & 0x2:
+                value ^= 1
+            super().write(address, size, value)
+
+    monkeypatch.setattr(atomic_cpu, "SparseMemory", Broken)
+    out_path = tmp_path / "fuzz.json"
+    code = main([
+        "--seed", "7", "--budget", "32", "--batch-size", "32",
+        "--max-failures", "1", "--json", str(out_path),
+    ])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "[divergence]" in captured
+    data = json.loads(out_path.read_text())
+    assert data["failures"]
+    recorded = Reproducer.from_json(data["failures"][0])
+    assert replay(recorded).failed          # bug still present
+
+    # --replay drives the recorded reproducer and reports it still failing.
+    code = main(["--replay", str(out_path)])
+    assert code == 1
+    assert "still fails" in capsys.readouterr().out
+
+    # Once the bug is fixed, the same reproducer replays clean.
+    monkeypatch.undo()
+    code = main(["--replay", str(out_path)])
+    assert code == 0
+    assert "no longer fails" in capsys.readouterr().out
