@@ -111,6 +111,43 @@ def persist(record: dict, path: str) -> dict:
     return document
 
 
+def check_regression(record: dict, baseline_path: str, tolerance: float) -> list:
+    """Compare a fresh record against the recorded throughput history.
+
+    Returns a list of human-readable failures for every front end whose
+    throughput dropped more than ``tolerance`` (a fraction, e.g. 0.2 for
+    20%) below the *slowest* recorded run of that front end.  Using the
+    history minimum rather than the latest entry makes the floor the
+    demonstrated worst case across recorded machines/loads — ordinary
+    run-to-run and runner-to-runner noise stays inside the recorded
+    envelope, while a real engine regression (these are typically
+    multiples, not percents) still trips the gate.  A missing or
+    malformed baseline is not a failure (first run / fresh checkout).
+    """
+    try:
+        with open(baseline_path) as handle:
+            history = json.load(handle)["history"]
+        baseline = {}
+        for entry in history:
+            for front_end, rate in entry.get("instr_per_s", {}).items():
+                if rate and (front_end not in baseline or rate < baseline[front_end]):
+                    baseline[front_end] = rate
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, AttributeError):
+        return []
+    failures = []
+    for front_end, reference in baseline.items():
+        measured = record["instr_per_s"].get(front_end)
+        if measured is None or not reference:
+            continue
+        floor = reference * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{front_end}: {measured:,.0f} instr/s is more than "
+                f"{tolerance:.0%} below the slowest recorded {reference:,.0f}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -125,9 +162,33 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=DEFAULT_OUT, help="benchmark history JSON path"
     )
+    parser.add_argument(
+        "--check-regression", metavar="BASELINE", default=None,
+        help="compare against a recorded BENCH_sim.json and exit non-zero "
+             "on a throughput regression beyond --tolerance (the fresh run "
+             "is NOT appended to the baseline file in this mode)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional throughput drop for --check-regression "
+             "(default 0.2 = 20%%)",
+    )
     args = parser.parse_args(argv)
 
     record = run_benchmark(args.samples, args.repeats)
+    if args.check_regression is not None:
+        failures = check_regression(record, args.check_regression, args.tolerance)
+        rates = record["instr_per_s"]
+        print(f"regression check vs {args.check_regression} "
+              f"(tolerance {args.tolerance:.0%}):")
+        print(f"  functional {rates['functional']:,} / rocket {rates['rocket']:,} "
+              f"/ gem5 {rates['gem5_atomic']:,} instr/s")
+        for failure in failures:
+            print(f"  REGRESSION {failure}")
+        if failures:
+            return 1
+        print("  ok")
+        return 0
     persist(record, args.out)
 
     rates = record["instr_per_s"]

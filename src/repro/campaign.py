@@ -18,6 +18,15 @@ speedup comparison::
 
     PYTHONPATH=src python -m repro.campaign --samples 2000 --workers 4 \\
         --workload telco-billing,carry-stress,special-values
+
+``--format NAME[,NAME...]`` adds the interchange-format axis
+(docs/formats.md): each named format gets its own kernels, accelerator
+sizing, operand distributions and oracle contexts.  With ``--differential``
+and no explicit workload list, every registered format-compatible workload
+is co-simulated across spike/rocket/gem5 under each format::
+
+    PYTHONPATH=src python -m repro.campaign --samples 200 --workers 4 \\
+        --format decimal64,decimal128 --differential
 """
 
 from __future__ import annotations
@@ -28,10 +37,14 @@ import os
 import sys
 
 from repro.core import reporting
-from repro.core.campaign import run_table_iv_campaign, run_workload_campaign
+from repro.core.campaign import (
+    run_format_campaign,
+    run_table_iv_campaign,
+    run_workload_campaign,
+)
 from repro.testgen.config import SolutionKind
 from repro.verification.database import OperandClass
-from repro.workloads import registered_workloads
+from repro.workloads import registered_workloads, workloads_for_format
 
 
 def _parse_workloads(text: str):
@@ -54,6 +67,29 @@ def _parse_workloads(text: str):
             f"duplicate workload name(s): {', '.join(sorted(duplicates))}"
         )
     return names
+
+
+def _parse_formats(text: str):
+    from repro.decnumber.formats import resolve_format_name
+    from repro.errors import DecimalError
+
+    names = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            names.append(resolve_format_name(part))
+        except DecimalError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+    if not names:
+        raise argparse.ArgumentTypeError("--format needs at least one format name")
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise argparse.ArgumentTypeError(
+            f"duplicate format name(s): {', '.join(sorted(duplicates))}"
+        )
+    return tuple(names)
 
 
 def _parse_kinds(text: str):
@@ -121,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered workloads and exit",
     )
     parser.add_argument(
+        "--format", type=_parse_formats, default=None, metavar="NAME[,NAME...]",
+        dest="formats",
+        help=(
+            "interchange format(s) to evaluate: decimal64 and/or decimal128 "
+            "(docs/formats.md); more than one name fans (format x solution) "
+            "cells and renders per-format speedup tables.  Combined with "
+            "--differential and no explicit --workload, every registered "
+            "format-compatible workload is co-simulated under each format"
+        ),
+    )
+    parser.add_argument(
         "--differential", action="store_true",
         help=(
             "cross-model differential mode: co-simulate every cell on "
@@ -164,7 +211,34 @@ def main(argv=None) -> int:
         mp_start_method=args.mp_start_method,
         differential=args.differential,
     )
-    if args.workload and len(args.workload) > 1:
+    if args.formats is not None:
+        # Explicit format axis: one cell group per (format x workload-or-mix
+        # x solution), rendered as per-format speedup tables.  In
+        # differential mode with no explicit workload list, every
+        # registered workload compatible with a requested format runs —
+        # the "does the whole pipeline generalise?" sweep.
+        workloads = args.workload
+        if args.differential and not workloads and args.classes is None:
+            workloads = tuple(sorted({
+                name
+                for fmt in args.formats
+                for name in workloads_for_format(fmt)
+            }))
+        result = run_format_campaign(
+            args.formats,
+            operand_classes=(
+                args.classes if args.classes is not None
+                else OperandClass.TABLE_IV_MIX
+            ),
+            workloads=workloads,
+            **common,
+        )
+        tables = result.table_iv_grouped()
+        print(reporting.render_format_tables(result, tables=tables))
+        if len(tables) > 1:
+            print()
+            print(reporting.render_format_matrix(result, tables=tables))
+    elif args.workload and len(args.workload) > 1:
         result = run_workload_campaign(args.workload, **common)
         tables = result.table_iv_by_workload()
         print(reporting.render_workload_tables(result, tables=tables))
@@ -200,14 +274,20 @@ def main(argv=None) -> int:
     print(reporting.render_campaign(result))
     if args.json:
         summary = result.to_summary()
-        summary["table_iv_rows"] = {
-            workload or "default": table.rows()
-            for workload, table in tables.items()
-        }
-        if not args.workload:
-            # Pre-workload schema: a single default campaign keeps its rows
-            # as a flat list.
-            summary["table_iv_rows"] = summary["table_iv_rows"]["default"]
+        if args.formats is not None:
+            summary["table_iv_rows"] = {
+                f"{fmt}/{workload or 'default'}": table.rows()
+                for (fmt, workload), table in tables.items()
+            }
+        else:
+            summary["table_iv_rows"] = {
+                workload or "default": table.rows()
+                for workload, table in tables.items()
+            }
+            if not args.workload:
+                # Pre-workload schema: a single default campaign keeps its
+                # rows as a flat list.
+                summary["table_iv_rows"] = summary["table_iv_rows"]["default"]
         with open(args.json, "w") as handle:
             json.dump(summary, handle, indent=2)
             handle.write("\n")

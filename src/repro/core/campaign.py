@@ -74,18 +74,36 @@ class CampaignCell:
     #: check with the dual oracle, and record divergences in the merged
     #: report instead of raising (see docs/verification.md).
     differential: bool = False
+    #: Interchange format the cell evaluates (a first-class sweep axis:
+    #: selects the kernels, accelerator sizing, operand distributions and
+    #: oracle contexts — see docs/formats.md).
+    fmt: str = "decimal64"
 
     def __post_init__(self) -> None:
+        from repro.decnumber.formats import resolve_format_name
+        from repro.errors import DecimalError
+
         if self.num_samples < 1:
             raise ConfigurationError("cell num_samples must be at least 1")
+        try:
+            object.__setattr__(self, "fmt", resolve_format_name(self.fmt))
+        except DecimalError as error:
+            raise ConfigurationError(str(error)) from None
         if self.workload is not None:
             from repro.workloads import get_workload
 
-            get_workload(self.workload)  # raises on unknown names
+            workload = get_workload(self.workload)  # raises on unknown names
+            if not workload.supports_format(self.fmt):
+                raise ConfigurationError(
+                    f"workload {self.workload!r} does not support format "
+                    f"{self.fmt!r} (declares {workload.formats})"
+                )
         if not self.label:
             label = self.solution.kind
             if self.workload is not None:
                 label = f"{self.solution.kind} @ {self.workload}"
+            if self.fmt != "decimal64":
+                label = f"{label} [{self.fmt}]"
             if self.differential:
                 label = f"{label} [diff]"
             object.__setattr__(self, "label", label)
@@ -99,6 +117,7 @@ class CampaignCell:
             self.seed,
             operand_classes=self.operand_classes,
             workload=self.workload,
+            fmt=self.fmt,
         )
 
 
@@ -137,6 +156,7 @@ def _run_shard_task(task):
         start=start,
         workload=cell.workload,
         differential=cell.differential,
+        fmt=cell.fmt,
     )
     return cell_id, outcome.shard_report
 
@@ -191,29 +211,43 @@ class CampaignResult:
             or self.total_check_failures
         )
 
-    def report_for(self, kind: str, workload: str = None) -> SolutionCycleReport:
-        """The merged report of one solution kind (and workload, if given).
+    def report_for(self, kind: str, workload: str = None,
+                   fmt: str = None) -> SolutionCycleReport:
+        """The merged report of one solution kind (plus workload/format).
 
-        ``workload=None`` means "unspecified": it matches only when the
-        matching cells all share one workload, and raises on an ambiguous
-        multi-workload campaign rather than silently picking the first.
+        ``workload=None``/``fmt=None`` mean "unspecified": they match only
+        when the matching cells all share one workload/format, and raise on
+        an ambiguous multi-workload or multi-format campaign rather than
+        silently picking the first.  ``fmt`` accepts aliases ("quad").
         """
+        if fmt is not None:
+            from repro.decnumber.formats import resolve_format_name
+
+            fmt = resolve_format_name(fmt)
         matches = [
             (cell, report)
             for cell, report in zip(self.cells, self.reports)
             if cell.solution.kind == kind
             and (workload is None or cell.workload == workload)
+            and (fmt is None or cell.fmt == fmt)
         ]
         if not matches:
             raise ConfigurationError(
                 f"no campaign cell evaluated kind {kind!r}"
                 + (f" with workload {workload!r}" if workload else "")
+                + (f" under format {fmt!r}" if fmt else "")
             )
         if workload is None and len({cell.workload for cell, _ in matches}) > 1:
             raise ConfigurationError(
                 f"kind {kind!r} was evaluated under several workloads "
                 f"({sorted(str(cell.workload) for cell, _ in matches)}); "
                 "pass report_for(kind, workload=...)"
+            )
+        if fmt is None and len({cell.fmt for cell, _ in matches}) > 1:
+            raise ConfigurationError(
+                f"kind {kind!r} was evaluated under several formats "
+                f"({sorted(cell.fmt for cell, _ in matches)}); "
+                "pass report_for(kind, fmt=...)"
             )
         return matches[0][1]
 
@@ -227,6 +261,15 @@ class CampaignResult:
         for cell in self.cells:
             if cell.workload not in seen:
                 seen.append(cell.workload)
+        return tuple(seen)
+
+    @property
+    def formats(self) -> tuple:
+        """Distinct interchange formats of the cells, in first-seen order."""
+        seen = []
+        for cell in self.cells:
+            if cell.fmt not in seen:
+                seen.append(cell.fmt)
         return tuple(seen)
 
     def table_iv(self, baseline_kind: str = None) -> TableIVReport:
@@ -252,7 +295,14 @@ class CampaignResult:
         A multi-workload campaign holds one cell per (solution × workload);
         this groups its rows so each workload renders as its own table and
         speedups are computed against that workload's own baseline run.
+        Raises on multi-format campaigns — group those with
+        :meth:`table_iv_grouped` instead.
         """
+        if len(self.formats) > 1:
+            raise ConfigurationError(
+                "table_iv_by_workload() is ambiguous over formats "
+                f"{self.formats}; use table_iv_grouped()"
+            )
         grouped: dict = {}
         for cell, cycle_report in zip(self.cells, self.reports):
             table = grouped.setdefault(
@@ -266,6 +316,34 @@ class CampaignResult:
                 raise ConfigurationError(
                     f"workload {cell.workload!r} has duplicate cells for "
                     f"kind {cell.solution.kind!r}"
+                )
+            table.reports[cell.solution.kind] = cycle_report
+            table.num_samples = max(table.num_samples, cell.num_samples)
+        return grouped
+
+    def table_iv_grouped(self, baseline_kind: str = None) -> dict:
+        """One Table IV report per (format, workload) cell group.
+
+        The fully general grouping: keys are ``(fmt, workload)`` tuples in
+        first-seen order, each holding that group's solution rows, so a
+        ``--format decimal64,decimal128`` campaign renders one speedup
+        table per format (per workload) with speedups computed against the
+        group's own baseline run.
+        """
+        grouped: dict = {}
+        for cell, cycle_report in zip(self.cells, self.reports):
+            key = (cell.fmt, cell.workload)
+            table = grouped.setdefault(
+                key,
+                TableIVReport(
+                    num_samples=cell.num_samples,
+                    baseline_kind=baseline_kind or self.baseline_kind,
+                ),
+            )
+            if cell.solution.kind in table.reports:
+                raise ConfigurationError(
+                    f"cell group {key!r} has duplicate cells for kind "
+                    f"{cell.solution.kind!r}"
                 )
             table.reports[cell.solution.kind] = cycle_report
             table.num_samples = max(table.num_samples, cell.num_samples)
@@ -285,6 +363,7 @@ class CampaignResult:
                     "label": cell.label,
                     "kind": cell.solution.kind,
                     "workload": cell.workload,
+                    "fmt": cell.fmt,
                     "solution": report.solution_name,
                     "samples": report.num_samples,
                     "shards": report.num_shards,
@@ -400,6 +479,7 @@ def table_iv_cells(
     solutions: dict = None,
     workload: str = None,
     differential: bool = False,
+    fmt: str = "decimal64",
 ) -> list:
     """One campaign cell per Table IV solution kind."""
     kinds = kinds or (
@@ -421,6 +501,7 @@ def table_iv_cells(
             verify_functionally=verify_functionally,
             workload=workload,
             differential=differential,
+            fmt=fmt,
         )
         for kind in kinds
     ]
@@ -436,6 +517,7 @@ def workload_cells(
     verify_functionally: bool = True,
     solutions: dict = None,
     differential: bool = False,
+    fmt: str = "decimal64",
 ) -> list:
     """One campaign cell per (solution kind × workload name).
 
@@ -461,9 +543,122 @@ def workload_cells(
                 solutions=solutions,
                 workload=workload,
                 differential=differential,
+                fmt=fmt,
             )
         )
     return cells
+
+
+def format_cells(
+    formats,
+    num_samples: int = 100,
+    kinds=None,
+    repetitions: int = 1,
+    seed: int = 2018,
+    operand_classes=OperandClass.TABLE_IV_MIX,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    solutions: dict = None,
+    workloads=None,
+    differential: bool = False,
+) -> list:
+    """One campaign cell per (format × workload-or-mix × solution kind).
+
+    The cell grid behind ``python -m repro.campaign --format
+    decimal64,decimal128``: every named interchange format is evaluated
+    with every solution kind, optionally crossed with a workload list.
+    ``workloads`` entries not supporting a format are skipped for that
+    format (e.g. a decimal64-only third-party scenario in a two-format
+    sweep); a workload supported by *no* requested format raises.
+    """
+    from repro.workloads import get_workload
+
+    formats = list(formats)
+    if not formats:
+        raise ConfigurationError("format_cells needs at least one format")
+    cells = []
+    if workloads:
+        workloads = list(workloads)
+        for name in workloads:
+            workload = get_workload(name)
+            if not any(workload.supports_format(fmt) for fmt in formats):
+                raise ConfigurationError(
+                    f"workload {name!r} supports none of the requested "
+                    f"formats {formats} (declares {workload.formats})"
+                )
+    for fmt in formats:
+        if workloads:
+            for name in workloads:
+                if not get_workload(name).supports_format(fmt):
+                    continue
+                cells.extend(
+                    table_iv_cells(
+                        num_samples=num_samples,
+                        kinds=kinds,
+                        repetitions=repetitions,
+                        seed=seed,
+                        rocket_config=rocket_config,
+                        verify_functionally=verify_functionally,
+                        solutions=solutions,
+                        workload=name,
+                        differential=differential,
+                        fmt=fmt,
+                    )
+                )
+        else:
+            cells.extend(
+                table_iv_cells(
+                    num_samples=num_samples,
+                    kinds=kinds,
+                    repetitions=repetitions,
+                    seed=seed,
+                    operand_classes=operand_classes,
+                    rocket_config=rocket_config,
+                    verify_functionally=verify_functionally,
+                    solutions=solutions,
+                    differential=differential,
+                    fmt=fmt,
+                )
+            )
+    return cells
+
+
+def run_format_campaign(
+    formats,
+    num_samples: int = 100,
+    kinds=None,
+    repetitions: int = 1,
+    seed: int = 2018,
+    operand_classes=OperandClass.TABLE_IV_MIX,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    solutions: dict = None,
+    workloads=None,
+    workers: int = 1,
+    shards_per_cell: int = 1,
+    mp_start_method: str = None,
+    differential: bool = False,
+) -> CampaignResult:
+    """Fan (format × workload × solution) cells over the campaign engine."""
+    cells = format_cells(
+        formats,
+        num_samples=num_samples,
+        kinds=kinds,
+        repetitions=repetitions,
+        seed=seed,
+        operand_classes=operand_classes,
+        rocket_config=rocket_config,
+        verify_functionally=verify_functionally,
+        solutions=solutions,
+        workloads=workloads,
+        differential=differential,
+    )
+    return run_campaign(
+        cells,
+        workers=workers,
+        shards_per_cell=shards_per_cell,
+        mp_start_method=mp_start_method,
+    )
 
 
 def run_workload_campaign(
@@ -479,6 +674,7 @@ def run_workload_campaign(
     shards_per_cell: int = 1,
     mp_start_method: str = None,
     differential: bool = False,
+    fmt: str = "decimal64",
 ) -> CampaignResult:
     """Fan (solution × workload) cells over the sharded campaign engine."""
     cells = workload_cells(
@@ -491,6 +687,7 @@ def run_workload_campaign(
         verify_functionally=verify_functionally,
         solutions=solutions,
         differential=differential,
+        fmt=fmt,
     )
     return run_campaign(
         cells,
@@ -514,6 +711,7 @@ def run_table_iv_campaign(
     mp_start_method: str = None,
     workload: str = None,
     differential: bool = False,
+    fmt: str = "decimal64",
 ) -> CampaignResult:
     """Convenience wrapper: plan, run and merge a Table IV campaign."""
     cells = table_iv_cells(
@@ -527,6 +725,7 @@ def run_table_iv_campaign(
         solutions=solutions,
         workload=workload,
         differential=differential,
+        fmt=fmt,
     )
     return run_campaign(
         cells,

@@ -46,7 +46,7 @@ from repro.verification.database import OperandClass, VerificationDatabase
 from repro.verification.reference import GoldenReference
 
 
-def checker_for_workload(workload: str = None) -> ResultChecker:
+def checker_for_workload(workload: str = None, fmt: str = "decimal64") -> ResultChecker:
     """The functional checker for a run.
 
     When ``workload`` resolves in this process's registry the checker
@@ -54,7 +54,8 @@ def checker_for_workload(workload: str = None) -> ResultChecker:
     expected` oracle; otherwise (no workload, or a user-registered name a
     spawn-started worker never imported — the vectors themselves always
     come from the parent) it falls back to the golden-library default,
-    which is also what the base oracle delegates to.
+    which is also what the base oracle delegates to.  ``fmt`` selects the
+    interchange format the oracle computes under.
     """
     if workload is not None:
         from repro.workloads import get_workload
@@ -64,8 +65,8 @@ def checker_for_workload(workload: str = None) -> ResultChecker:
         except ConfigurationError:
             resolved = None  # only the unknown-name case may fall back
         if resolved is not None:
-            return resolved.make_checker()
-    return ResultChecker(GoldenReference())
+            return resolved.make_checker(fmt)
+    return ResultChecker(GoldenReference(precision=fmt))
 
 
 @dataclass
@@ -93,6 +94,7 @@ def run_solution_shard(
     start: int = 0,
     workload: str = None,
     differential: bool = False,
+    fmt: str = "decimal64",
 ) -> ShardRunOutcome:
     """Build, verify and measure one solution over one slice of vectors.
 
@@ -115,12 +117,14 @@ def run_solution_shard(
     vectors = list(vectors)
     config = TestProgramConfig(
         solution=solution.kind,
+        precision=TestProgramConfig.precision_for_format(fmt),
         num_samples=len(vectors),
         repetitions=repetitions,
         operand_classes=operand_classes,
         seed=seed,
         workload=workload,
     )
+    fmt = config.fmt  # canonical name
     program = build_test_program(config, vectors=vectors)
     outcome = ShardRunOutcome(
         program=program,
@@ -130,12 +134,13 @@ def run_solution_shard(
     )
     report = outcome.shard_report
     report.differential = differential
+    report.fmt = fmt
 
     spike_words = None
     run_spike = (verify_functionally and solution.verifiable) or differential
     if run_spike:
         simulator = SpikeSimulator(
-            program.image, accelerator=solution.make_accelerator()
+            program.image, accelerator=solution.make_accelerator(fmt)
         )
         started = time.perf_counter()
         functional = simulator.run()
@@ -150,9 +155,9 @@ def run_solution_shard(
                     dual_checker_for_workload,
                 )
 
-                checker = dual_checker_for_workload(workload)
+                checker = dual_checker_for_workload(workload, fmt)
             else:
-                checker = checker_for_workload(workload)
+                checker = checker_for_workload(workload, fmt)
         outcome.check_report = checker.check_run(vectors, spike_words)
         report.verified = True
         report.check_total = outcome.check_report.total
@@ -171,7 +176,7 @@ def run_solution_shard(
 
     emulator = RocketEmulator(
         program.image,
-        accelerator=solution.make_accelerator(),
+        accelerator=solution.make_accelerator(fmt),
         config=rocket_config if rocket_config is not None else RocketConfig(),
     )
     started = time.perf_counter()
@@ -199,7 +204,7 @@ def run_solution_shard(
         runner = SyscallEmulationRunner(Gem5Config())
         started = time.perf_counter()
         gem5_result = runner.run_binary(
-            program.image, accelerator=solution.make_accelerator()
+            program.image, accelerator=solution.make_accelerator(fmt)
         )
         report.sim_wall_seconds += time.perf_counter() - started
         report.gem5_cycles = gem5_result.ticks
@@ -210,11 +215,14 @@ def run_solution_shard(
             "gem5": program.read_results(gem5_result),
         }
         report.models = tuple(words_by_model)
-        divergences = diff_result_words(vectors, words_by_model)
+        divergences = diff_result_words(
+            vectors, words_by_model,
+            decode=GoldenReference(precision=fmt).decode,
+        )
         report.divergences = len(divergences)
         if divergences:
             report.first_divergence = divergences[0].describe()
-        tracker = CoverageTracker()
+        tracker = CoverageTracker(GoldenReference(precision=fmt))
         tracker.record_all(vectors)
         report.condition_coverage = dict(tracker.condition_counts)
     return outcome
@@ -262,25 +270,35 @@ class EvaluationFramework:
     #: Registered workload name; when set, the shared vectors come from the
     #: workload registry instead of the ``operand_classes`` mix.
     workload: str = None
+    #: Interchange format the whole evaluation runs under.
+    fmt: str = "decimal64"
 
     def __post_init__(self) -> None:
+        from repro.decnumber.formats import resolve_format_name
+        from repro.errors import DecimalError
         from repro.testgen.generator import draw_vectors
 
-        self.database = VerificationDatabase(self.seed)
+        try:
+            self.fmt = resolve_format_name(self.fmt)
+        except DecimalError as error:
+            raise ConfigurationError(str(error)) from None
+        self.database = VerificationDatabase(self.seed, fmt=self.fmt)
         self.vectors = draw_vectors(
             self.num_samples,
             self.seed,
             operand_classes=self.operand_classes,
             workload=self.workload,
             database=self.database,
+            fmt=self.fmt,
         )
-        self.reference = GoldenReference()
-        self.checker = checker_for_workload(self.workload)
+        self.reference = GoldenReference(precision=self.fmt)
+        self.checker = checker_for_workload(self.workload, self.fmt)
 
     # ----------------------------------------------------------------- building
     def _config_for(self, kind: str) -> TestProgramConfig:
         return TestProgramConfig(
             solution=kind,
+            precision=TestProgramConfig.precision_for_format(self.fmt),
             num_samples=self.num_samples,
             repetitions=self.repetitions,
             operand_classes=self.operand_classes,
@@ -298,7 +316,7 @@ class EvaluationFramework:
         solution = self.solutions[kind]
         program = self.build_program(kind)
         simulator = SpikeSimulator(
-            program.image, accelerator=solution.make_accelerator()
+            program.image, accelerator=solution.make_accelerator(self.fmt)
         )
         started = time.perf_counter()
         result = simulator.run()
@@ -326,6 +344,7 @@ class EvaluationFramework:
             verify_functionally=self.verify_functionally,
             checker=self.checker,
             workload=self.workload,
+            fmt=self.fmt,
         )
         run = EvaluationRun(
             solution=solution,
@@ -374,6 +393,7 @@ class EvaluationFramework:
                 workers=workers,
                 shards_per_cell=shards_per_cell,
                 workload=self.workload,
+                fmt=self.fmt,
             ).table_iv()
         report = TableIVReport(
             num_samples=self.num_samples, baseline_kind=SolutionKind.SOFTWARE
@@ -401,7 +421,7 @@ class EvaluationFramework:
             solution = self.solutions[kind]
             program = self.build_program(kind)
             result = runner.run_binary(
-                program.image, accelerator=solution.make_accelerator()
+                program.image, accelerator=solution.make_accelerator(self.fmt)
             )
             report.rows[kind] = TimedRow(
                 name=solution.name,
@@ -413,4 +433,4 @@ class EvaluationFramework:
 
     def hardware_overhead(self, kind: str = SolutionKind.METHOD1):
         """Area report of the accelerator a solution needs (None if software-only)."""
-        return self.solutions[kind].hardware_overhead()
+        return self.solutions[kind].hardware_overhead(self.fmt)

@@ -60,7 +60,7 @@ class ParetoAnalyzer:
         return self._record_point(solution, run.cycle_report)
 
     def _record_point(self, solution: CoDesignSolution, cycle_report) -> ParetoPoint:
-        overhead = solution.hardware_overhead()
+        overhead = solution.hardware_overhead(self.framework.fmt)
         point = ParetoPoint(
             name=solution.name,
             avg_cycles=cycle_report.avg_total_cycles,
@@ -99,6 +99,7 @@ class ParetoAnalyzer:
                 rocket_config=config,
                 verify_functionally=framework.verify_functionally,
                 workload=framework.workload,
+                fmt=framework.fmt,
                 label=f"{solution.name} @ {config.frequency_hz / 1e6:.0f}MHz",
             )
             for solution in solutions

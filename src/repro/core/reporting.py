@@ -213,6 +213,72 @@ def render_differential(result) -> str:
     return "\n".join(lines)
 
 
+def render_format_tables(result, tables: dict = None) -> str:
+    """One Table IV-style block per (format, workload) cell group.
+
+    The renderer behind ``python -m repro.campaign --format ...``: every
+    interchange format gets its own table (per workload when the campaign
+    crossed formats with workloads), with speedups against that group's own
+    baseline.  The paper's published rows are only meaningful next to the
+    paper's own experiment, so they render exclusively under decimal64 with
+    the default mix or the ``paper-uniform`` workload.
+    """
+    blocks = []
+    if tables is None:
+        tables = result.table_iv_grouped()
+    for (fmt, workload), table in tables.items():
+        title = f"Format: {fmt}"
+        if workload is not None:
+            title += f" · workload: {workload}"
+        include_paper = fmt == "decimal64" and workload in (None, "paper-uniform")
+        blocks.append("\n".join([title, "=" * len(title),
+                                 render_table_iv(table, include_paper)]))
+    return "\n\n".join(blocks)
+
+
+def render_format_matrix(result, baseline_kind: str = None,
+                         tables: dict = None) -> str:
+    """Cross-format/workload comparison: per-solution cycles and speedups.
+
+    One row per (format, workload) group — the format axis analogue of
+    :func:`render_workload_matrix`, answering "how does the co-design's
+    advantage change with the interchange width?" at a glance.
+    """
+    grouped = (
+        tables
+        if tables is not None
+        else result.table_iv_grouped(baseline_kind=baseline_kind)
+    )
+    kinds = []
+    for table in grouped.values():
+        for kind in table.reports:
+            if kind not in kinds:
+                kinds.append(kind)
+    header = f"{'Format / workload':<34s}" + "".join(
+        f" {kind:>24s}" for kind in kinds
+    )
+    lines = [
+        "Cross-format comparison (avg cycles, speedup vs baseline)",
+        header,
+        "-" * len(header),
+    ]
+    for (fmt, workload), table in grouped.items():
+        speedups = table.speedups()
+        label = fmt if workload is None else f"{fmt} / {workload}"
+        row = f"{label:<34s}"
+        for kind in kinds:
+            report = table.reports.get(kind)
+            if report is None:
+                row += f" {'-':>24s}"
+                continue
+            cell = f"{report.avg_total_cycles:.0f}"
+            if kind != table.baseline_kind:
+                cell += f" ({_format_speedup(speedups.get(kind))})"
+            row += f" {cell:>24s}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
 def render_workload_tables(result, include_paper: bool = False,
                            tables: dict = None) -> str:
     """One Table IV-style block per workload of a multi-workload campaign.

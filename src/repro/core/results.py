@@ -60,6 +60,8 @@ class ShardCycleReport:
     check_failed: int = 0
     verified: bool = False
     sim_wall_seconds: float = 0.0
+    #: Interchange format the shard's kernel/operands were generated for.
+    fmt: str = "decimal64"
     #: Differential-mode measurements (cross-model co-simulation).  All
     #: plain ints/strings/dicts so shard reports stay picklable.
     differential: bool = False
@@ -103,6 +105,8 @@ class SolutionCycleReport:
     sim_wall_seconds: float = 0.0
     #: Number of shards this report was merged from (1 for a serial run).
     num_shards: int = 1
+    #: Interchange format the row was measured under.
+    fmt: str = "decimal64"
     #: Differential-mode rollup (zero/empty for plain measurement runs).
     differential: bool = False
     models: tuple = ()
@@ -216,6 +220,7 @@ def merge_shard_reports(
         dcache_hits=dc_hits,
         sim_wall_seconds=sum(shard.sim_wall_seconds for shard in shards),
         num_shards=len(shards),
+        fmt=next((shard.fmt for shard in shards), "decimal64"),
         differential=any(shard.differential for shard in shards),
         models=tuple(models),
         divergences=sum(shard.divergences for shard in shards),

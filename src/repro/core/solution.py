@@ -8,6 +8,7 @@ whether (and which) accelerator to attach, and how to describe it in reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.rocc.decimal_accel import DecimalAccelerator, DecimalAcceleratorConfig
 from repro.testgen.config import SolutionKind
@@ -15,29 +16,68 @@ from repro.testgen.config import SolutionKind
 
 @dataclass(frozen=True)
 class CoDesignSolution:
-    """One evaluated solution (a row of Table IV)."""
+    """One evaluated solution (a row of Table IV).
+
+    A solution is format-neutral: the same three Table IV rows exist for
+    every interchange format, and the accelerator datapath is sized for the
+    format at instantiation time (unless ``accelerator_config`` pins an
+    explicit configuration, e.g. for a Pareto sweep).
+    """
 
     name: str
     kind: str                       # a SolutionKind value
     description: str = ""
     uses_accelerator: bool = False
-    accelerator_config: DecimalAcceleratorConfig = None
+    accelerator_config: Optional[DecimalAcceleratorConfig] = None
     #: whether functional results are meaningful (False for dummy functions)
     verifiable: bool = True
 
-    def make_accelerator(self):
-        """Instantiate a fresh accelerator for a run (or None)."""
+    def resolve_accelerator_config(
+        self, fmt: str = "decimal64"
+    ) -> Optional[DecimalAcceleratorConfig]:
+        """The datapath configuration a run under ``fmt`` would use.
+
+        A pinned ``accelerator_config`` is validated against the format's
+        precision up front, so a decimal64-sized datapath under a wider
+        format fails here with a clear message instead of deep inside a
+        simulated kernel's register-file lane write.
+        """
         if not self.uses_accelerator:
             return None
-        config = self.accelerator_config or DecimalAcceleratorConfig()
+        if self.accelerator_config is not None:
+            from repro.decnumber.formats import get_format
+            from repro.errors import ConfigurationError
+
+            spec = get_format(fmt)
+            if self.accelerator_config.digits < spec.precision:
+                raise ConfigurationError(
+                    f"solution {self.name!r} pins a "
+                    f"{self.accelerator_config.digits}-digit accelerator "
+                    f"datapath, too narrow for {spec.name} "
+                    f"({spec.precision} digits); pin a "
+                    f"DecimalAcceleratorConfig.for_format({spec.name!r}) "
+                    "variant instead"
+                )
+            return self.accelerator_config
+        return DecimalAcceleratorConfig.for_format(fmt)
+
+    def make_accelerator(self, fmt: str = "decimal64"):
+        """Instantiate a fresh accelerator for a run (or None)."""
+        config = self.resolve_accelerator_config(fmt)
+        if config is None:
+            return None
         return DecimalAccelerator(config)
 
-    def hardware_overhead(self):
-        """Area report of the required dedicated hardware (None if all-software)."""
-        accelerator = self.make_accelerator()
-        if accelerator is None:
+    def hardware_overhead(self, fmt: str = "decimal64"):
+        """Area report of the required dedicated hardware (None if all-software).
+
+        Computed straight from the configuration — no accelerator is
+        instantiated just to read its area.
+        """
+        config = self.resolve_accelerator_config(fmt)
+        if config is None:
             return None
-        return accelerator.area_report()
+        return config.area_report()
 
 
 def standard_solutions() -> dict:

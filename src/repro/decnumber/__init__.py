@@ -32,9 +32,25 @@ from repro.decnumber.context import (
 )
 from repro.decnumber.number import DecNumber
 from repro.decnumber.arith import add, compare, multiply, subtract
+from repro.decnumber.formats import (
+    DECIMAL64,
+    DECIMAL128,
+    FORMATS,
+    FormatSpec,
+    format_names,
+    get_format,
+    resolve_format_name,
+)
 from repro.decnumber import dpd, bcd, decimal64, decimal128
 
 __all__ = [
+    "DECIMAL64",
+    "DECIMAL128",
+    "FORMATS",
+    "FormatSpec",
+    "format_names",
+    "get_format",
+    "resolve_format_name",
     "Context",
     "Flags",
     "ROUND_CEILING",

@@ -46,3 +46,16 @@ def is_special(word: int) -> bool:
 def context():
     """A fresh decimal128 arithmetic context."""
     return DECIMAL128.context()
+
+
+def multiply(x: DecNumber, y: DecNumber, ctx=None) -> DecNumber:
+    """IEEE 754-2008 decimal128 multiplication (fresh context by default)."""
+    from repro.decnumber.arith import multiply as _multiply
+
+    return _multiply(x, y, ctx if ctx is not None else context())
+
+
+def multiply_encoded(x_word: int, y_word: int) -> int:
+    """Multiply two encoded decimal128 words; returns the encoded product."""
+    ctx = context()
+    return DECIMAL128.encode(multiply(decode(x_word), decode(y_word), ctx), ctx)

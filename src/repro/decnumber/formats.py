@@ -53,6 +53,35 @@ class InterchangeFormat:
         return 1 - self.emax
 
     @property
+    def declets(self) -> int:
+        """DPD declets in the coefficient continuation (3 digits each)."""
+        return (self.precision - 1) // 3
+
+    @property
+    def word_bits(self) -> int:
+        """Width of one architectural word holding encoded values."""
+        return 64
+
+    @property
+    def words_per_value(self) -> int:
+        """64-bit words one encoded value occupies (1 for decimal64)."""
+        return max(1, self.total_bits // self.word_bits)
+
+    @property
+    def payload_digits(self) -> int:
+        """Maximum NaN-payload digit count (the trailing significand)."""
+        return self.precision - 1
+
+    @property
+    def max_payload(self) -> int:
+        return 10 ** self.payload_digits - 1
+
+    @property
+    def product_digits(self) -> int:
+        """Digits of a full coefficient product (two max coefficients)."""
+        return 2 * self.precision
+
+    @property
     def etiny(self) -> int:
         return self.emin - self.precision + 1
 
@@ -207,3 +236,50 @@ DECIMAL128 = InterchangeFormat(
     bias=6176,
     exponent_continuation_bits=12,
 )
+
+#: ``FormatSpec`` is the name the rest of the stack uses for the axis; the
+#: class predates the registry under its interchange-format name.
+FormatSpec = InterchangeFormat
+
+#: Registry of the basic decimal interchange formats, keyed by canonical name.
+FORMATS = {
+    DECIMAL64.name: DECIMAL64,
+    DECIMAL128.name: DECIMAL128,
+}
+
+#: Accepted aliases (the paper's "double"/"quad" precision terminology).
+FORMAT_ALIASES = {
+    "double": DECIMAL64.name,
+    "quad": DECIMAL128.name,
+}
+
+#: Canonical format name -> the paper's precision word (testgen configs).
+PRECISION_BY_FORMAT = {
+    DECIMAL64.name: "double",
+    DECIMAL128.name: "quad",
+}
+
+
+def format_names() -> tuple:
+    """Canonical names of the registered formats, in definition order."""
+    return tuple(FORMATS)
+
+
+def resolve_format_name(name) -> str:
+    """Canonical format name for ``name`` (accepts aliases and specs)."""
+    if isinstance(name, InterchangeFormat):
+        return name.name
+    name = str(name)
+    if name in FORMATS:
+        return name
+    if name in FORMAT_ALIASES:
+        return FORMAT_ALIASES[name]
+    raise DecimalError(
+        f"unknown decimal format {name!r} "
+        f"(choose from {', '.join(FORMATS)})"
+    )
+
+
+def get_format(name) -> InterchangeFormat:
+    """Look up a format spec by canonical name, alias, or spec instance."""
+    return FORMATS[resolve_format_name(name)]

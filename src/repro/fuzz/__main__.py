@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed the corpus from one registered workload "
              "(default: database classes + every registered workload)",
     )
+    parser.add_argument(
+        "--format", default="decimal64", dest="fmt", metavar="NAME",
+        help="interchange format to fuzz: decimal64 (default) or decimal128 "
+             "(mutator bounds, corpus and oracle contexts all follow; "
+             "docs/formats.md)",
+    )
     parser.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock cap in seconds (checked between batches)")
     parser.add_argument("--max-failures", type=int, default=3,
@@ -116,10 +122,22 @@ def main(argv=None) -> int:
     if args.replay:
         return _replay_report(args.replay)
 
+    from repro.decnumber.formats import resolve_format_name
+    from repro.errors import DecimalError
+
+    try:
+        fmt = resolve_format_name(args.fmt)
+    except DecimalError as error:
+        build_parser().error(str(error))
     if args.workload is not None:
         from repro.workloads import get_workload
 
-        get_workload(args.workload)  # raises with suggestions on unknown names
+        workload = get_workload(args.workload)  # raises with suggestions
+        if not workload.supports_format(fmt):
+            build_parser().error(
+                f"workload {args.workload!r} does not support format "
+                f"{fmt!r} (declares {workload.formats})"
+            )
     config = FuzzConfig(
         seed=args.seed,
         budget=args.budget,
@@ -130,6 +148,7 @@ def main(argv=None) -> int:
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
         time_limit=args.time_limit,
+        fmt=fmt,
     )
     report = FuzzCampaign(config).run()
     print(report.describe())

@@ -2,11 +2,18 @@
 
 Every mutator takes a seeded ``random.Random`` and an ``(x, y)`` pair of
 :class:`~repro.decnumber.number.DecNumber` operands and returns a mutated
-pair.  Mutations stay **decimal64-canonical by construction** — coefficients
-of at most 16 digits, exponents inside ``[-398, 369]``, NaN payloads small
-enough for the trailing significand — so every mutated operand round-trips
-bit-exactly through the interchange encoding and the oracles judge exactly
-the value the kernel saw.
+pair.  Mutations stay **canonical by construction for their format** —
+coefficients of at most ``precision`` digits, exponents inside
+``[etiny, etop]``, NaN payloads small enough for the trailing significand —
+so every mutated operand round-trips bit-exactly through the interchange
+encoding and the oracles judge exactly the value the kernel saw.
+
+The catalogue is built per interchange format by
+:func:`mutators_for_format`: every bound (digit counts, exponent envelope,
+payload width) comes from the :class:`~repro.decnumber.formats.FormatSpec`,
+never from literals, so decimal64 and decimal128 fuzz with the same
+strategies sized to their own envelopes.  The module-level :data:`MUTATORS`
+is the decimal64 instance (the historical default).
 
 Each mutator also declares the result *conditions* (from
 :data:`repro.verification.coverage.CoverageTracker.CONDITIONS`) it tends to
@@ -19,153 +26,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.decnumber import decimal64
+from repro.decnumber.formats import FormatSpec, get_format
 from repro.decnumber.number import DecNumber
-
-#: Exponent range every finite decimal64 operand encodes exactly.
-MIN_EXPONENT = decimal64.ETINY           # -398
-MAX_EXPONENT = decimal64.ETOP            # 369
-MAX_DIGITS = decimal64.PRECISION         # 16
-_MAX_COEFFICIENT = 10 ** MAX_DIGITS - 1
-
-
-def clamp_finite(sign: int, coefficient: int, exponent: int) -> DecNumber:
-    """A finite operand forced into exact decimal64 representability."""
-    coefficient = abs(int(coefficient)) % (_MAX_COEFFICIENT + 1)
-    exponent = max(MIN_EXPONENT, min(MAX_EXPONENT, int(exponent)))
-    return DecNumber(sign & 1, coefficient, exponent)
-
-
-def _as_finite(rng: random.Random, value: DecNumber) -> DecNumber:
-    """``value`` if finite, else a small finite stand-in to mutate from."""
-    if value.is_finite:
-        return value
-    return DecNumber(value.sign, rng.randint(1, 9_999), rng.randint(-8, 8))
-
-
-def _pick_side(rng: random.Random, x, y):
-    """Split the pair into (mutated operand, kept operand, reassembler)."""
-    if rng.random() < 0.5:
-        return x, y, lambda mutated, kept: (mutated, kept)
-    return y, x, lambda mutated, kept: (kept, mutated)
-
-
-# ------------------------------------------------------------------- mutators
-def digit_grow(rng, x, y):
-    """Widen one coefficient to near-full precision (inexact products)."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    target = _as_finite(rng, target)
-    digits = rng.randint(MAX_DIGITS - 1, MAX_DIGITS)
-    low = 10 ** (digits - 1)
-    grown = target.coefficient
-    while grown < low:
-        grown = grown * 10 + rng.randint(0, 9)
-    return rebuild(clamp_finite(target.sign, grown, target.exponent), kept)
-
-
-def digit_shrink(rng, x, y):
-    """Drop trailing digits of one coefficient (toward exact products)."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    target = _as_finite(rng, target)
-    keep = rng.randint(1, max(1, target.digits // 2))
-    shrunk = int(str(target.coefficient)[:keep] or "0")
-    return rebuild(clamp_finite(target.sign, shrunk, target.exponent), kept)
-
-
-def digit_tweak(rng, x, y):
-    """Replace one digit of one coefficient."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    target = _as_finite(rng, target)
-    digits = list(str(target.coefficient))
-    digits[rng.randrange(len(digits))] = str(rng.randint(0, 9))
-    return rebuild(
-        clamp_finite(target.sign, int("".join(digits)), target.exponent), kept
-    )
-
-
-def exponent_up(rng, x, y):
-    """Push one exponent toward the top of the range (overflow/clamping)."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    target = _as_finite(rng, target)
-    exponent = rng.randint(MAX_EXPONENT // 2, MAX_EXPONENT)
-    return rebuild(clamp_finite(target.sign, target.coefficient, exponent), kept)
-
-
-def exponent_down(rng, x, y):
-    """Push one exponent toward the bottom of the range (underflow/subnormal)."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    target = _as_finite(rng, target)
-    exponent = rng.randint(MIN_EXPONENT, MIN_EXPONENT // 2)
-    return rebuild(clamp_finite(target.sign, target.coefficient, exponent), kept)
-
-
-def exponent_nudge(rng, x, y):
-    """Shift one exponent by a small delta."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    target = _as_finite(rng, target)
-    exponent = target.exponent + rng.randint(-5, 5)
-    return rebuild(clamp_finite(target.sign, target.coefficient, exponent), kept)
-
-
-def sign_flip(rng, x, y):
-    """Flip the sign of one operand (specials included)."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    return rebuild(target.copy_negate(), kept)
-
-
-def make_zero(rng, x, y):
-    """Replace one operand with a signed zero of arbitrary exponent."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    zero = DecNumber(
-        rng.randint(0, 1), 0, rng.randint(MIN_EXPONENT, MAX_EXPONENT)
-    )
-    return rebuild(zero, kept)
-
-
-def make_infinity(rng, x, y):
-    """Replace one operand with a signed infinity."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    return rebuild(DecNumber.infinity(rng.randint(0, 1)), kept)
-
-
-def make_nan(rng, x, y):
-    """Replace one operand with a quiet or signaling NaN (with payload)."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    payload = rng.randint(0, 999_999)
-    nan = (
-        DecNumber.snan(payload, rng.randint(0, 1))
-        if rng.random() < 0.5
-        else DecNumber.qnan(payload, rng.randint(0, 1))
-    )
-    return rebuild(nan, kept)
-
-
-def all_nines(rng, x, y):
-    """Replace one coefficient with all nines (maximal carry chains)."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    target = _as_finite(rng, target)
-    coefficient = 10 ** rng.randint(8, MAX_DIGITS) - 1
-    return rebuild(
-        clamp_finite(target.sign, coefficient, target.exponent), kept
-    )
-
-
-def sparse(rng, x, y):
-    """Replace one operand with one significant digit and a wide exponent."""
-    target, kept, rebuild = _pick_side(rng, x, y)
-    return rebuild(
-        DecNumber(
-            rng.randint(0, 1),
-            rng.randint(1, 9),
-            rng.randint(MIN_EXPONENT, MAX_EXPONENT),
-        ),
-        kept,
-    )
-
-
-def swap(rng, x, y):
-    """Swap the operands (commutativity stress on asymmetric kernels)."""
-    return y, x
 
 
 @dataclass(frozen=True)
@@ -180,30 +42,182 @@ class Mutator:
         return self.apply(rng, x, y)
 
 
-#: The full mutator catalogue, targets matched to CoverageTracker.CONDITIONS.
-MUTATORS = (
-    Mutator("digit-grow", digit_grow, frozenset({"inexact", "rounded"})),
-    Mutator("digit-shrink", digit_shrink, frozenset({"exact"})),
-    Mutator("digit-tweak", digit_tweak),
-    Mutator("exponent-up", exponent_up,
-            frozenset({"overflow", "clamped", "result_infinity"})),
-    Mutator("exponent-down", exponent_down,
-            frozenset({"underflow", "subnormal", "result_zero"})),
-    Mutator("exponent-nudge", exponent_nudge),
-    Mutator("sign-flip", sign_flip),
-    Mutator("make-zero", make_zero, frozenset({"result_zero", "clamped"})),
-    Mutator("make-infinity", make_infinity,
-            frozenset({"result_infinity", "invalid", "result_nan"})),
-    Mutator("make-nan", make_nan, frozenset({"invalid", "result_nan"})),
-    Mutator("all-nines", all_nines, frozenset({"inexact", "rounded"})),
-    Mutator("sparse", sparse, frozenset({"exact", "clamped"})),
-    Mutator("swap", swap),
-)
+def _pick_side(rng: random.Random, x, y):
+    """Split the pair into (mutated operand, kept operand, reassembler)."""
+    if rng.random() < 0.5:
+        return x, y, lambda mutated, kept: (mutated, kept)
+    return y, x, lambda mutated, kept: (kept, mutated)
+
+
+def clamp_finite(
+    sign: int, coefficient: int, exponent: int, spec: FormatSpec = None
+) -> DecNumber:
+    """A finite operand forced into exact representability under ``spec``."""
+    spec = spec if spec is not None else get_format("decimal64")
+    coefficient = abs(int(coefficient)) % (spec.max_coefficient + 1)
+    exponent = max(spec.etiny, min(spec.etop, int(exponent)))
+    return DecNumber(sign & 1, coefficient, exponent)
+
+
+def mutators_for_format(fmt) -> tuple:
+    """The full mutator catalogue bound to one interchange format.
+
+    Targets are matched to :data:`~repro.verification.coverage.
+    CoverageTracker.CONDITIONS`; bounds all derive from the format spec.
+    """
+    spec = get_format(fmt)
+    min_exponent = spec.etiny
+    max_exponent = spec.etop
+    max_digits = spec.precision
+
+    def _clamp(sign, coefficient, exponent):
+        return clamp_finite(sign, coefficient, exponent, spec)
+
+    def _as_finite(rng, value):
+        """``value`` if finite, else a small finite stand-in to mutate from."""
+        if value.is_finite:
+            return value
+        return DecNumber(value.sign, rng.randint(1, 9_999), rng.randint(-8, 8))
+
+    # --------------------------------------------------------------- mutators
+    def digit_grow(rng, x, y):
+        """Widen one coefficient to near-full precision (inexact products)."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        target = _as_finite(rng, target)
+        digits = rng.randint(max_digits - 1, max_digits)
+        low = 10 ** (digits - 1)
+        grown = target.coefficient
+        while grown < low:
+            grown = grown * 10 + rng.randint(0, 9)
+        return rebuild(_clamp(target.sign, grown, target.exponent), kept)
+
+    def digit_shrink(rng, x, y):
+        """Drop trailing digits of one coefficient (toward exact products)."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        target = _as_finite(rng, target)
+        keep = rng.randint(1, max(1, target.digits // 2))
+        shrunk = int(str(target.coefficient)[:keep] or "0")
+        return rebuild(_clamp(target.sign, shrunk, target.exponent), kept)
+
+    def digit_tweak(rng, x, y):
+        """Replace one digit of one coefficient."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        target = _as_finite(rng, target)
+        digits = list(str(target.coefficient))
+        digits[rng.randrange(len(digits))] = str(rng.randint(0, 9))
+        return rebuild(
+            _clamp(target.sign, int("".join(digits)), target.exponent), kept
+        )
+
+    def exponent_up(rng, x, y):
+        """Push one exponent toward the top of the range (overflow/clamping)."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        target = _as_finite(rng, target)
+        exponent = rng.randint(max_exponent // 2, max_exponent)
+        return rebuild(_clamp(target.sign, target.coefficient, exponent), kept)
+
+    def exponent_down(rng, x, y):
+        """Push one exponent toward the bottom (underflow/subnormal)."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        target = _as_finite(rng, target)
+        exponent = rng.randint(min_exponent, min_exponent // 2)
+        return rebuild(_clamp(target.sign, target.coefficient, exponent), kept)
+
+    def exponent_nudge(rng, x, y):
+        """Shift one exponent by a small delta."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        target = _as_finite(rng, target)
+        exponent = target.exponent + rng.randint(-5, 5)
+        return rebuild(_clamp(target.sign, target.coefficient, exponent), kept)
+
+    def sign_flip(rng, x, y):
+        """Flip the sign of one operand (specials included)."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        return rebuild(target.copy_negate(), kept)
+
+    def make_zero(rng, x, y):
+        """Replace one operand with a signed zero of arbitrary exponent."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        zero = DecNumber(
+            rng.randint(0, 1), 0, rng.randint(min_exponent, max_exponent)
+        )
+        return rebuild(zero, kept)
+
+    def make_infinity(rng, x, y):
+        """Replace one operand with a signed infinity."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        return rebuild(DecNumber.infinity(rng.randint(0, 1)), kept)
+
+    def make_nan(rng, x, y):
+        """Replace one operand with a quiet or signaling NaN (with payload)."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        payload = rng.randint(0, min(spec.max_payload, 999_999))
+        nan = (
+            DecNumber.snan(payload, rng.randint(0, 1))
+            if rng.random() < 0.5
+            else DecNumber.qnan(payload, rng.randint(0, 1))
+        )
+        return rebuild(nan, kept)
+
+    def all_nines(rng, x, y):
+        """Replace one coefficient with all nines (maximal carry chains)."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        target = _as_finite(rng, target)
+        coefficient = 10 ** rng.randint(max_digits // 2, max_digits) - 1
+        return rebuild(
+            _clamp(target.sign, coefficient, target.exponent), kept
+        )
+
+    def sparse(rng, x, y):
+        """Replace one operand with one significant digit, wide exponent."""
+        target, kept, rebuild = _pick_side(rng, x, y)
+        return rebuild(
+            DecNumber(
+                rng.randint(0, 1),
+                rng.randint(1, 9),
+                rng.randint(min_exponent, max_exponent),
+            ),
+            kept,
+        )
+
+    def swap(rng, x, y):
+        """Swap the operands (commutativity stress on asymmetric kernels)."""
+        return y, x
+
+    return (
+        Mutator("digit-grow", digit_grow, frozenset({"inexact", "rounded"})),
+        Mutator("digit-shrink", digit_shrink, frozenset({"exact"})),
+        Mutator("digit-tweak", digit_tweak),
+        Mutator("exponent-up", exponent_up,
+                frozenset({"overflow", "clamped", "result_infinity"})),
+        Mutator("exponent-down", exponent_down,
+                frozenset({"underflow", "subnormal", "result_zero"})),
+        Mutator("exponent-nudge", exponent_nudge),
+        Mutator("sign-flip", sign_flip),
+        Mutator("make-zero", make_zero, frozenset({"result_zero", "clamped"})),
+        Mutator("make-infinity", make_infinity,
+                frozenset({"result_infinity", "invalid", "result_nan"})),
+        Mutator("make-nan", make_nan, frozenset({"invalid", "result_nan"})),
+        Mutator("all-nines", all_nines, frozenset({"inexact", "rounded"})),
+        Mutator("sparse", sparse, frozenset({"exact", "clamped"})),
+        Mutator("swap", swap),
+    )
+
+
+#: Decimal64 bounds, re-exported for callers that predate the format axis.
+MIN_EXPONENT = get_format("decimal64").etiny     # -398
+MAX_EXPONENT = get_format("decimal64").etop      # 369
+MAX_DIGITS = get_format("decimal64").precision   # 16
+
+#: The decimal64 catalogue (the historical default surface).
+MUTATORS = mutators_for_format("decimal64")
 
 MUTATORS_BY_NAME = {mutator.name: mutator for mutator in MUTATORS}
 
 
-def choose_mutator(rng: random.Random, unhit_conditions=frozenset()) -> Mutator:
+def choose_mutator(
+    rng: random.Random, unhit_conditions=frozenset(), mutators=MUTATORS
+) -> Mutator:
     """Pick a mutator, weighted toward those targeting unhit conditions.
 
     Every mutator keeps a base weight of 1 so generation never collapses
@@ -213,6 +227,6 @@ def choose_mutator(rng: random.Random, unhit_conditions=frozenset()) -> Mutator:
     """
     unhit = frozenset(unhit_conditions)
     weights = [
-        1 + (6 if mutator.targets & unhit else 0) for mutator in MUTATORS
+        1 + (6 if mutator.targets & unhit else 0) for mutator in mutators
     ]
-    return rng.choices(MUTATORS, weights=weights, k=1)[0]
+    return rng.choices(mutators, weights=weights, k=1)[0]

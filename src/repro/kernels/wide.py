@@ -1,0 +1,323 @@
+"""Shared assembly fragments for multi-word (wide) decimal formats.
+
+The decimal64 kernels (:mod:`repro.kernels.common`) operate on operands that
+fit one RV64 register; wider interchange formats — decimal128 today — span
+two registers per operand, so the special-value path, field extraction and
+result assembly all need the two-word variants emitted here.  Every shift
+and mask is derived from the :class:`~repro.decnumber.formats.FormatSpec`,
+so a future format only needs a spec entry, not new emitters.
+
+Register/calling conventions for two-word kernels:
+
+* operands arrive as register pairs, least-significant word first:
+  X in ``a0``/``a1``, Y in ``a2``/``a3``;
+* results return in ``a0`` (low) / ``a1`` (high);
+* the combination field, sign and exponent continuation live in the *high*
+  word; the coefficient continuation spans the low word plus the low bits
+  of the high word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decnumber.formats import FormatSpec
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WideLayout:
+    """Derived bit-layout constants of a two-word interchange format."""
+
+    spec: FormatSpec
+
+    def __post_init__(self) -> None:
+        if self.spec.words_per_value != 2:
+            raise ConfigurationError(
+                f"wide kernels support two-word formats; {self.spec.name} "
+                f"occupies {self.spec.words_per_value} word(s)"
+            )
+
+    # -- high-word field positions ------------------------------------------
+    @property
+    def sign_shift(self) -> int:
+        return 63
+
+    @property
+    def comb_shift(self) -> int:
+        """Combination-field shift within the high word."""
+        return self.spec.total_bits - 6 - 64
+
+    @property
+    def signal_shift(self) -> int:
+        """Signaling-NaN bit (MSB of the exponent continuation), high word."""
+        return self.comb_shift - 1
+
+    @property
+    def exp_bits(self) -> int:
+        return self.spec.exponent_continuation_bits
+
+    @property
+    def exp_shift(self) -> int:
+        """Exponent-continuation shift within the high word."""
+        return self.spec.coefficient_continuation_bits - 64
+
+    @property
+    def cont_hi_bits(self) -> int:
+        """Coefficient-continuation bits living in the high word."""
+        return self.spec.coefficient_continuation_bits - 64
+
+    @property
+    def cont_hi_clear(self) -> int:
+        """Shift that isolates the high-word continuation via slli+srli."""
+        return 64 - self.cont_hi_bits
+
+    # -- arithmetic constants ------------------------------------------------
+    @property
+    def precision(self) -> int:
+        return self.spec.precision
+
+    @property
+    def bias(self) -> int:
+        return self.spec.bias
+
+    @property
+    def emax(self) -> int:
+        return self.spec.emax
+
+    @property
+    def etiny(self) -> int:
+        return self.spec.etiny
+
+    @property
+    def etop(self) -> int:
+        return self.spec.etop
+
+    @property
+    def declets(self) -> int:
+        return self.spec.declets
+
+    def declet_bounds(self, declet: int) -> tuple:
+        """(bit offset, low-word bits, high-word bits) of declet ``declet``
+        inside the coefficient continuation (10 bits per declet)."""
+        offset = 10 * declet
+        if offset + 10 <= 64:
+            return offset, 10, 0
+        if offset >= 64:
+            return offset, 0, 10
+        return offset, 64 - offset, 10 - (64 - offset)
+
+
+def emit_wide_entry_special_check(b, layout: WideLayout, prefix: str) -> None:
+    """Branch to ``{prefix}_special`` when either operand is Inf/NaN.
+
+    Expects X in ``a0``/``a1`` and Y in ``a2``/``a3``.  Leaves the
+    combination fields in ``t0`` (X) and ``t1`` (Y) for the special path.
+    Clobbers ``t0-t2``.  Must be emitted *before* the prologue so the
+    special path can ``ret`` without an epilogue.
+    """
+    b.emit("srli", "t0", "a1", layout.comb_shift)
+    b.emit("andi", "t0", "t0", 0x1F)
+    b.emit("srli", "t1", "a3", layout.comb_shift)
+    b.emit("andi", "t1", "t1", 0x1F)
+    b.emit("addi", "t2", "zero", 0b11110)
+    b.branch("bgeu", "t0", "t2", f"{prefix}_special")
+    b.branch("bgeu", "t1", "t2", f"{prefix}_special")
+
+
+def _emit_zero_coefficient_check(b, layout, comb_reg, lo, hi, target, tmp) -> None:
+    """Jump to ``target`` when the operand's coefficient is nonzero."""
+    b.emit("addi", tmp, "zero", 24)
+    b.branch("bgeu", comb_reg, tmp, target)  # MSD is 8/9 -> nonzero
+    b.emit("andi", tmp, comb_reg, 7)
+    b.bnez(tmp, target)
+    b.emit("slli", tmp, hi, layout.cont_hi_clear)
+    b.bnez(tmp, target)
+    b.bnez(lo, target)
+
+
+def emit_wide_special_path(b, layout: WideLayout, prefix: str) -> None:
+    """The special-value result path (NaN propagation, infinity rules).
+
+    Entered with X in ``a0``/``a1``, Y in ``a2``/``a3``, combination fields
+    in ``t0``/``t1``.  Returns the result in ``a0``/``a1`` and executes
+    ``ret`` (no stack frame yet).  Clobbers ``t2-t6``.
+    """
+    b.label(f"{prefix}_special")
+    b.emit("addi", "t2", "zero", 0b11111)
+    b.branch("beq", "t0", "t2", f"{prefix}_x_nan")
+    b.branch("beq", "t1", "t2", f"{prefix}_y_nan")
+    # At least one infinity, no NaN.
+    b.emit("addi", "t3", "zero", 0b11110)
+    b.branch("bne", "t0", "t3", f"{prefix}_y_is_inf")
+    b.branch("bne", "t1", "t3", f"{prefix}_x_inf_y_finite")
+    b.j(f"{prefix}_make_inf")  # Inf * Inf
+
+    # X infinite, Y finite: Inf * 0 is invalid -> NaN, otherwise Inf.
+    b.label(f"{prefix}_x_inf_y_finite")
+    _emit_zero_coefficient_check(
+        b, layout, "t1", "a2", "a3", f"{prefix}_make_inf", "t4"
+    )
+    b.j(f"{prefix}_make_nan")
+
+    # Y infinite, X finite (X cannot be special here).
+    b.label(f"{prefix}_y_is_inf")
+    _emit_zero_coefficient_check(
+        b, layout, "t0", "a0", "a1", f"{prefix}_make_inf", "t4"
+    )
+    b.j(f"{prefix}_make_nan")
+
+    b.label(f"{prefix}_make_inf")
+    b.emit("xor", "t5", "a1", "a3")
+    b.emit("srli", "t5", "t5", layout.sign_shift)
+    b.emit("slli", "t5", "t5", layout.sign_shift)
+    b.emit("addi", "t6", "zero", 0b11110)
+    b.emit("slli", "t6", "t6", layout.comb_shift)
+    b.emit("or", "a1", "t5", "t6")
+    b.li("a0", 0)
+    b.ret()
+
+    b.label(f"{prefix}_make_nan")
+    b.emit("addi", "t6", "zero", 0b11111)
+    b.emit("slli", "t6", "t6", layout.comb_shift)
+    b.mv("a1", "t6")
+    b.li("a0", 0)
+    b.ret()
+
+    # NaN operands propagate, quieted (clear the signaling bit).
+    b.label(f"{prefix}_x_nan")
+    b.emit("addi", "t6", "zero", 1)
+    b.emit("slli", "t6", "t6", layout.signal_shift)
+    b.not_("t6", "t6")
+    b.emit("and", "a1", "a1", "t6")
+    b.ret()
+
+    b.label(f"{prefix}_y_nan")
+    b.mv("a0", "a2")
+    b.emit("addi", "t6", "zero", 1)
+    b.emit("slli", "t6", "t6", layout.signal_shift)
+    b.not_("t6", "t6")
+    b.emit("and", "a1", "a3", "t6")
+    b.ret()
+
+
+def emit_wide_unpack_fields(
+    b, layout: WideLayout, prefix: str, lo, hi,
+    out_sign, out_bexp, out_cont_hi, out_msd, tmp1, tmp2,
+) -> None:
+    """Extract sign / biased exponent / high continuation word / MSD.
+
+    ``lo``/``hi`` hold a *finite* wide value; ``lo`` doubles as the low
+    continuation word and is preserved.  All output and temporary registers
+    must be distinct from each other and from ``lo``/``hi``.
+    """
+    b.emit("srli", out_sign, hi, layout.sign_shift)
+    b.emit("srli", tmp1, hi, layout.comb_shift)
+    b.emit("andi", tmp1, tmp1, 0x1F)
+    b.emit("addi", tmp2, "zero", 24)
+    b.branch("bltu", tmp1, tmp2, f"{prefix}_msd_small")
+    b.emit("andi", out_msd, tmp1, 1)
+    b.emit("ori", out_msd, out_msd, 8)
+    b.emit("srli", tmp1, tmp1, 1)
+    b.emit("andi", tmp1, tmp1, 3)
+    b.j(f"{prefix}_msd_done")
+    b.label(f"{prefix}_msd_small")
+    b.emit("andi", out_msd, tmp1, 7)
+    b.emit("srli", tmp1, tmp1, 3)
+    b.label(f"{prefix}_msd_done")
+    b.emit("slli", tmp1, tmp1, layout.exp_bits)
+    # The exponent continuation can exceed andi's 12-bit immediate range,
+    # so isolate it with a shift pair instead of a mask.
+    b.emit("slli", out_bexp, hi, 64 - (layout.exp_shift + layout.exp_bits))
+    b.emit("srli", out_bexp, out_bexp, 64 - layout.exp_bits)
+    b.emit("or", out_bexp, out_bexp, tmp1)
+    b.emit("slli", out_cont_hi, hi, layout.cont_hi_clear)
+    b.emit("srli", out_cont_hi, out_cont_hi, layout.cont_hi_clear)
+
+
+def emit_wide_encode_result(
+    b, layout: WideLayout, prefix: str, sign, bexp, msd,
+    cont_lo, cont_hi, out_lo, out_hi, tmp1, tmp2,
+) -> None:
+    """Assemble a wide word pair from its fields into ``out_lo``/``out_hi``.
+
+    ``out_hi`` must be distinct from every input and temporary register;
+    ``out_lo`` only from ``cont_lo``'s consumers (it is written last).
+    """
+    b.emit("srli", tmp1, bexp, layout.exp_bits)
+    b.emit("addi", tmp2, "zero", 8)
+    b.branch("bltu", msd, tmp2, f"{prefix}_enc_small")
+    b.emit("slli", tmp1, tmp1, 1)
+    b.emit("andi", tmp2, msd, 1)
+    b.emit("or", tmp1, tmp1, tmp2)
+    b.emit("ori", tmp1, tmp1, 24)
+    b.j(f"{prefix}_enc_done")
+    b.label(f"{prefix}_enc_small")
+    b.emit("slli", tmp1, tmp1, 3)
+    b.emit("or", tmp1, tmp1, msd)
+    b.label(f"{prefix}_enc_done")
+    b.emit("slli", tmp1, tmp1, layout.comb_shift)
+    b.emit("slli", out_hi, sign, layout.sign_shift)
+    b.emit("or", out_hi, out_hi, tmp1)
+    b.emit("slli", tmp2, bexp, 64 - layout.exp_bits)
+    b.emit("srli", tmp2, tmp2, 64 - layout.exp_bits)
+    b.emit("slli", tmp2, tmp2, layout.exp_shift)
+    b.emit("or", out_hi, out_hi, tmp2)
+    b.emit("or", out_hi, out_hi, cont_hi)
+    if out_lo != cont_lo:
+        b.mv(out_lo, cont_lo)
+
+
+def emit_wide_clamp_exponent(b, layout: WideLayout, prefix: str, exp_reg, tmp) -> None:
+    """Clamp a (true) exponent register into the usable range [etiny, etop]."""
+    b.li(tmp, layout.etiny)
+    b.branch("bge", exp_reg, tmp, f"{prefix}_cl_lo_ok")
+    b.mv(exp_reg, tmp)
+    b.label(f"{prefix}_cl_lo_ok")
+    b.li(tmp, layout.etop)
+    b.branch("bge", tmp, exp_reg, f"{prefix}_cl_hi_ok")
+    b.mv(exp_reg, tmp)
+    b.label(f"{prefix}_cl_hi_ok")
+
+
+def emit_extract_declet(b, layout: WideLayout, declet: int, lo, hi, out, tmp) -> None:
+    """Extract 10-bit declet ``declet`` of the continuation into ``out``.
+
+    ``lo`` holds continuation bits [0, 64), ``hi`` bits [64, ...).  ``out``
+    and ``tmp`` must be distinct from ``lo``/``hi``.
+    """
+    offset, lo_bits, hi_bits = layout.declet_bounds(declet)
+    if hi_bits == 0:
+        b.emit("srli", out, lo, offset)
+        b.emit("andi", out, out, 0x3FF)
+    elif lo_bits == 0:
+        b.emit("srli", out, hi, offset - 64)
+        b.emit("andi", out, out, 0x3FF)
+    else:
+        b.emit("srli", out, lo, offset)
+        b.emit("andi", tmp, hi, (1 << hi_bits) - 1)
+        b.emit("slli", tmp, tmp, lo_bits)
+        b.emit("or", out, out, tmp)
+
+
+def emit_place_declet(b, layout: WideLayout, declet: int, src, lo_acc, hi_acc, tmp) -> None:
+    """OR a 10-bit declet in ``src`` into the continuation accumulators.
+
+    ``lo_acc``/``hi_acc`` accumulate continuation bits [0, 64) and
+    [64, ...).  ``src`` is clobbered for high-word placements; ``tmp`` for
+    straddling ones.
+    """
+    offset, lo_bits, hi_bits = layout.declet_bounds(declet)
+    if hi_bits == 0:
+        if offset:
+            b.emit("slli", src, src, offset)
+        b.emit("or", lo_acc, lo_acc, src)
+    elif lo_bits == 0:
+        b.emit("slli", src, src, offset - 64)
+        b.emit("or", hi_acc, hi_acc, src)
+    else:
+        b.emit("andi", tmp, src, (1 << lo_bits) - 1)
+        b.emit("slli", tmp, tmp, offset)
+        b.emit("or", lo_acc, lo_acc, tmp)
+        b.emit("srli", src, src, lo_bits)
+        b.emit("or", hi_acc, hi_acc, src)

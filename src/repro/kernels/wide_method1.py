@@ -1,0 +1,591 @@
+"""Method-1 multiplication kernel for multi-word decimal formats.
+
+The format-generic counterpart of :mod:`repro.kernels.method1`: the software
+part (special values, DPD<->BCD conversion, digit extraction, rounding and
+re-encoding) runs on the Rocket core, the hardware part (multiplicand
+multiples and partial-product accumulation) on the RoCC decimal accelerator.
+All widths derive from the :class:`~repro.decnumber.formats.FormatSpec`:
+
+* operands span two registers, so the packed-BCD coefficient (34 digits for
+  decimal128) spans three 64-bit words — the multiplicand is written to the
+  accelerator one *word lane* at a time (``WR`` with the lane in ``rd``);
+* the digit loop walks ``precision`` multiplier digits;
+* the product (68 digits) is read back word-by-word through the accumulator
+  word selectors into a stack buffer, where the software rounding flow picks
+  nibbles out of it;
+* the rounding increment runs on the accelerator's BCD adder through two
+  spare register-file registers, read back via the register-file word-lane
+  selectors (passed by value, ``xs2=1``).
+
+``use_accelerator=False`` emits the *dummy function* estimation variant:
+identical software flow, every accelerator invocation replaced by a static
+call with a fixed return value (timing-representative, results meaningless).
+
+Calling convention: X in ``a0``/``a1`` (low/high), Y in ``a2``/``a3``;
+returns the product in ``a0``/``a1``.
+"""
+
+from __future__ import annotations
+
+from repro.decnumber.formats import FormatSpec
+from repro.kernels.tables import TABLE_SYMBOLS
+from repro.kernels.wide import (
+    WideLayout,
+    emit_extract_declet,
+    emit_place_declet,
+    emit_wide_clamp_exponent,
+    emit_wide_encode_result,
+    emit_wide_entry_special_check,
+    emit_wide_special_path,
+    emit_wide_unpack_fields,
+)
+from repro.rocc.decimal_accel import (
+    DecimalAcceleratorConfig,
+    acc_word_selector,
+    regfile_word_selector,
+)
+
+_SAVED = ("ra", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+          "s10", "s11")
+
+#: Accelerator register that holds the multiplicand (MM[1]); MM[i] lives in
+#: register i, and register 0 stays zero so a zero multiplier digit adds 0.
+_MULTIPLICAND_REG = 1
+_MULTIPLE_COUNT = 9  # MM[1] .. MM[9]
+
+#: Spare accelerator registers used for the rounding increment.
+_INCR_VALUE_REG = 10
+_INCR_ONE_REG = 11
+_INCR_RESULT_REG = 12
+
+
+def _bcd_words(precision: int) -> int:
+    """64-bit words of a ``precision``-digit packed-BCD coefficient."""
+    return -(-(4 * precision) // 64)
+
+
+def _emit_dummy_functions(b, p: str) -> None:
+    """The static dummy functions of the estimation methodology."""
+
+    def frame_enter():
+        b.emit("addi", "sp", "sp", -16)
+        b.emit("sd", "s0", "sp", 0)
+        b.emit("addi", "s0", "sp", 16)
+
+    def frame_leave():
+        b.emit("ld", "s0", "sp", 0)
+        b.emit("addi", "sp", "sp", 16)
+        b.ret()
+
+    b.label(f"{p}_dummy_clr")
+    frame_enter()
+    frame_leave()
+    b.label(f"{p}_dummy_wr")
+    frame_enter()
+    b.mv("a1", "a0")
+    frame_leave()
+    b.label(f"{p}_dummy_dec_add")
+    frame_enter()
+    b.mv("a2", "a0")
+    b.li("a0", 0x1)
+    frame_leave()
+    b.label(f"{p}_dummy_dec_accum")
+    frame_enter()
+    b.mv("a1", "a0")
+    frame_leave()
+    b.label(f"{p}_dummy_rd")
+    frame_enter()
+    b.li("a0", 0x123)
+    frame_leave()
+
+
+def emit_wide_method1_kernel(
+    b, spec: FormatSpec, label: str = None, use_accelerator: bool = True
+) -> str:
+    """Emit the wide Method-1 kernel; returns its entry label."""
+    layout = WideLayout(spec)
+    p = label if label is not None else f"dec{spec.total_bits}_mul_m1"
+    precision = layout.precision
+    bcd_words = _bcd_words(precision)               # 3 for decimal128
+    acc_words = DecimalAcceleratorConfig.for_format(spec.name).accumulator_words
+    # The quotient walk reads nibbles up to (drop + precision - 1); pad the
+    # product buffer with zero words so those reads stay in-frame.
+    prod_nibbles = 2 * precision + precision        # worst-case nibble index
+    prod_words = -(-prod_nibbles // 16)
+    save_bytes = 8 * len(_SAVED)
+    prod_offset = save_bytes
+    frame = (save_bytes + 8 * prod_words + 15) // 16 * 16
+
+    if bcd_words != 3:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"wide method1 kernel expects a three-word BCD coefficient; "
+            f"{spec.name} needs {bcd_words}"
+        )
+
+    # ----- hardware-invocation helpers (the only part that differs) ----------
+    def hw_clear():
+        if use_accelerator:
+            b.rocc("CLR_ALL")
+        else:
+            b.call(f"{p}_dummy_clr")
+
+    def hw_write_multiplicand_word(lane, reg):
+        if use_accelerator:
+            b.rocc("WR", rd=lane, rs1=reg, rs2=_MULTIPLICAND_REG,
+                   xd=False, xs1=True, xs2=False)
+        else:
+            b.mv("a0", reg)
+            b.call(f"{p}_dummy_wr")
+
+    def hw_generate_multiple(index):
+        if use_accelerator:
+            # regfile[index + 1] = regfile[index] + regfile[1]
+            b.rocc("DEC_ADD", rd=index + 1, rs1=index, rs2=_MULTIPLICAND_REG,
+                   xd=False, xs1=False, xs2=False)
+        else:
+            b.call(f"{p}_dummy_dec_add")
+
+    def hw_accumulate_digit(digit_reg):
+        if use_accelerator:
+            # accumulator = accumulator * 10 + regfile[digit]
+            b.rocc("DEC_ACCUM", rd=0, rs1=digit_reg, rs2=0,
+                   xd=False, xs1=True, xs2=False)
+        else:
+            b.mv("a0", digit_reg)
+            b.call(f"{p}_dummy_dec_accum")
+
+    def hw_read_acc_word(word, dest_reg):
+        if use_accelerator:
+            b.rocc("RD", rd=dest_reg, rs1=0, rs2=acc_word_selector(word),
+                   xd=True, xs1=False, xs2=False)
+        else:
+            b.call(f"{p}_dummy_rd")
+            b.mv(dest_reg, "a0")
+
+    def hw_bcd_increment(regs):
+        """regs (low..high BCD words) += 1 on the accelerator's BCD adder."""
+        if use_accelerator:
+            # Assemble the wide value in a spare register (lane 0 clears
+            # the upper lanes), add the constant 1, read the sum back.
+            for lane, reg in enumerate(regs):
+                b.rocc("WR", rd=lane, rs1=reg, rs2=_INCR_VALUE_REG,
+                       xd=False, xs1=True, xs2=False)
+            b.li("t2", 1)
+            b.rocc("WR", rd=0, rs1="t2", rs2=_INCR_ONE_REG,
+                   xd=False, xs1=True, xs2=False)
+            b.rocc("DEC_ADD", rd=_INCR_RESULT_REG, rs1=_INCR_VALUE_REG,
+                   rs2=_INCR_ONE_REG, xd=False, xs1=False, xs2=False)
+            for lane, reg in enumerate(regs):
+                b.li("t2", regfile_word_selector(_INCR_RESULT_REG, lane))
+                b.rocc("RD", rd=reg, rs1=0, rs2="t2",
+                       xd=True, xs1=False, xs2=True)
+        else:
+            b.mv("a0", regs[0])
+            b.li("a1", 1)
+            b.call(f"{p}_dummy_dec_add")
+            b.mv(regs[0], "a0")
+
+    # ----- kernel entry --------------------------------------------------------
+    b.text()
+    b.label(p)
+    emit_wide_entry_special_check(b, layout, p)
+    b.emit("addi", "sp", "sp", -frame)
+    for index, reg in enumerate(_SAVED):
+        b.emit("sd", reg, "sp", 8 * index)
+
+    # Unpack both operands (software, table-driven DPD -> BCD).
+    b.mv("s3", "a2")                  # stash Y before clobbering a-regs
+    b.mv("s4", "a3")
+    b.mv("a2", "a0")
+    b.mv("a3", "a1")
+    b.jal("ra", f"{p}_unpack_bcd")
+    b.mv("s5", "a2")                  # X BCD low/mid/high
+    b.mv("s6", "a3")
+    b.mv("s7", "a6")
+    b.mv("s1", "a4")
+    b.mv("s2", "a5")
+    b.mv("a2", "s3")
+    b.mv("a3", "s4")
+    b.jal("ra", f"{p}_unpack_bcd")
+    b.mv("s3", "a2")                  # Y BCD low/mid/high
+    b.mv("s4", "a3")
+    b.mv("s11", "a6")
+    b.emit("xor", "s1", "s1", "a4")
+    b.emit("add", "s2", "s2", "a5")
+    b.li("t0", -2 * layout.bias)
+    b.emit("add", "s2", "s2", "t0")
+
+    # Zero operands short-circuit the whole hardware section.
+    b.emit("or", "t0", "s5", "s6")
+    b.emit("or", "t0", "t0", "s7")
+    b.beqz("t0", f"{p}_zero_result")
+    b.emit("or", "t0", "s3", "s4")
+    b.emit("or", "t0", "t0", "s11")
+    b.beqz("t0", f"{p}_zero_result")
+
+    # ----- hardware part: multiples generation --------------------------------
+    hw_clear()
+    for lane, reg in enumerate(("s5", "s6", "s7")):
+        hw_write_multiplicand_word(lane, reg)
+    for index in range(1, _MULTIPLE_COUNT):
+        hw_generate_multiple(index)
+
+    # ----- digit loop: software extracts, hardware accumulates ----------------
+    # The top multiplier digit sits at nibble (precision-1) % 16 of the high
+    # BCD word; shift the three-word value left one digit per iteration.
+    top_nibble_shift = 4 * ((precision - 1) % 16)
+    b.li("s10", precision)
+    b.label(f"{p}_digit_loop")
+    b.emit("srli", "t0", "s11", top_nibble_shift)
+    b.emit("andi", "t0", "t0", 0xF)
+    hw_accumulate_digit("t0")
+    b.emit("slli", "s11", "s11", 4)
+    b.emit("srli", "t1", "s4", 60)
+    b.emit("or", "s11", "s11", "t1")
+    b.emit("slli", "s4", "s4", 4)
+    b.emit("srli", "t1", "s3", 60)
+    b.emit("or", "s4", "s4", "t1")
+    b.emit("slli", "s3", "s3", 4)
+    b.emit("addi", "s10", "s10", -1)
+    b.bnez("s10", f"{p}_digit_loop")
+
+    # ----- read the full product back into the stack buffer -------------------
+    for word in range(acc_words):
+        hw_read_acc_word(word, "t0")
+        b.emit("sd", "t0", "sp", prod_offset + 8 * word)
+    for word in range(acc_words, prod_words):
+        b.emit("sd", "zero", "sp", prod_offset + 8 * word)
+
+    # ----- software part: significant digit count D -> s9 ---------------------
+    b.li("s0", acc_words - 1)
+    b.label(f"{p}_d_loop")
+    b.beqz("s0", f"{p}_d_last")
+    b.emit("slli", "t1", "s0", 3)
+    b.emit("add", "t1", "t1", "sp")
+    b.emit("ld", "a2", "t1", prod_offset)
+    b.bnez("a2", f"{p}_d_found")
+    b.emit("addi", "s0", "s0", -1)
+    b.j(f"{p}_d_loop")
+    b.label(f"{p}_d_last")
+    b.emit("ld", "a2", "sp", prod_offset)
+    b.label(f"{p}_d_found")
+    b.jal("ra", f"{p}_nibcount")
+    b.emit("slli", "t0", "s0", 4)
+    b.emit("add", "s9", "a2", "t0")
+
+    # drop = max(0, D - precision, etiny - e0)
+    b.emit("addi", "s8", "s9", -precision)
+    b.li("t0", layout.etiny)
+    b.emit("sub", "t0", "t0", "s2")
+    b.branch("bge", "s8", "t0", f"{p}_m_drop1")
+    b.mv("s8", "t0")
+    b.label(f"{p}_m_drop1")
+    b.bgtz("s8", f"{p}_m_need_round")
+    b.li("s8", 0)
+    b.emit("ld", "s5", "sp", prod_offset)
+    b.emit("ld", "s6", "sp", prod_offset + 8)
+    b.emit("ld", "s7", "sp", prod_offset + 16)
+    b.j(f"{p}_m_after_round")
+
+    b.label(f"{p}_m_need_round")
+    b.branch("blt", "s8", "s9", f"{p}_m_general")
+    b.j(f"{p}_m_all_dropped")
+
+    # General case: 1 <= drop < D.  Build the quotient digit by digit from
+    # nibble (drop + precision - 1) down to nibble (drop).
+    b.label(f"{p}_m_general")
+    b.li("s5", 0)
+    b.li("s6", 0)
+    b.li("s7", 0)
+    b.emit("addi", "s0", "s8", precision - 1)
+    b.li("s10", precision)
+    b.label(f"{p}_mq_loop")
+    b.mv("a2", "s0")
+    b.jal("ra", f"{p}_nibble_at")
+    b.emit("slli", "s7", "s7", 4)
+    b.emit("srli", "t0", "s6", 60)
+    b.emit("or", "s7", "s7", "t0")
+    b.emit("slli", "s6", "s6", 4)
+    b.emit("srli", "t0", "s5", 60)
+    b.emit("or", "s6", "s6", "t0")
+    b.emit("slli", "s5", "s5", 4)
+    b.emit("or", "s5", "s5", "a2")
+    b.emit("addi", "s0", "s0", -1)
+    b.emit("addi", "s10", "s10", -1)
+    b.bnez("s10", f"{p}_mq_loop")
+    # Rounding digit (position drop-1) and sticky digits below it.
+    b.emit("addi", "a2", "s8", -1)
+    b.jal("ra", f"{p}_nibble_at")
+    b.mv("a3", "a2")
+    b.emit("addi", "t0", "s8", -1)
+    b.emit("srli", "t1", "t0", 4)             # product word of the digit
+    b.emit("andi", "t2", "t0", 15)
+    b.emit("slli", "t2", "t2", 2)
+    b.emit("slli", "t3", "t1", 3)
+    b.emit("add", "t3", "t3", "sp")
+    b.emit("ld", "t4", "t3", prod_offset)
+    b.li("t5", 1)
+    b.emit("sll", "t5", "t5", "t2")
+    b.emit("addi", "t5", "t5", -1)
+    b.emit("and", "a4", "t4", "t5")           # sticky within the word
+    b.label(f"{p}_m_sticky_loop")
+    b.beqz("t1", f"{p}_m_sticky_done")
+    b.emit("addi", "t1", "t1", -1)
+    b.emit("slli", "t3", "t1", 3)
+    b.emit("add", "t3", "t3", "sp")
+    b.emit("ld", "t4", "t3", prod_offset)
+    b.emit("or", "a4", "a4", "t4")
+    b.j(f"{p}_m_sticky_loop")
+    b.label(f"{p}_m_sticky_done")
+    # Round-half-even decision (a3 = digit, a4 = sticky).
+    b.li("t0", 5)
+    b.branch("blt", "t0", "a3", f"{p}_m_round_up")
+    b.branch("bne", "a3", "t0", f"{p}_m_after_incr")
+    b.bnez("a4", f"{p}_m_round_up")
+    b.emit("andi", "t2", "s5", 1)
+    b.bnez("t2", f"{p}_m_round_up")
+    b.j(f"{p}_m_after_incr")
+    b.label(f"{p}_m_round_up")
+    hw_bcd_increment(("s5", "s6", "s7"))
+    # All-nines quotient carried out to 10**precision: fold back to
+    # 10**(precision-1), exponent + 1.  Nibble ``precision`` lands in the
+    # high word at (precision % 16); nibble precision-1 one position lower.
+    b.li("t0", 1 << (4 * (precision % 16)))
+    b.branch("bne", "s7", "t0", f"{p}_m_after_incr")
+    b.li("s5", 0)
+    b.li("s6", 0)
+    b.li("s7", 1 << (4 * ((precision - 1) % 16)))
+    b.emit("addi", "s8", "s8", 1)
+    b.label(f"{p}_m_after_incr")
+    b.j(f"{p}_m_after_round")
+
+    # Everything dropped (deep underflow): result is 0 or 1 ulp.
+    b.label(f"{p}_m_all_dropped")
+    b.li("s5", 0)
+    b.li("s6", 0)
+    b.li("s7", 0)
+    b.branch("bne", "s8", "s9", f"{p}_m_after_round")
+    b.emit("addi", "a2", "s9", -1)            # most significant digit
+    b.jal("ra", f"{p}_nibble_at")
+    b.mv("a3", "a2")
+    b.emit("addi", "t0", "s9", -1)
+    b.emit("srli", "t1", "t0", 4)
+    b.emit("andi", "t2", "t0", 15)
+    b.emit("slli", "t2", "t2", 2)
+    b.emit("slli", "t3", "t1", 3)
+    b.emit("add", "t3", "t3", "sp")
+    b.emit("ld", "t4", "t3", prod_offset)
+    b.li("t5", 1)
+    b.emit("sll", "t5", "t5", "t2")
+    b.emit("addi", "t5", "t5", -1)
+    b.emit("and", "a4", "t4", "t5")
+    b.label(f"{p}_m_ad_sticky_loop")
+    b.beqz("t1", f"{p}_m_ad_sticky_done")
+    b.emit("addi", "t1", "t1", -1)
+    b.emit("slli", "t3", "t1", 3)
+    b.emit("add", "t3", "t3", "sp")
+    b.emit("ld", "t4", "t3", prod_offset)
+    b.emit("or", "a4", "a4", "t4")
+    b.j(f"{p}_m_ad_sticky_loop")
+    b.label(f"{p}_m_ad_sticky_done")
+    b.li("t0", 5)
+    b.branch("blt", "t0", "a3", f"{p}_m_ad_one")
+    b.branch("bne", "a3", "t0", f"{p}_m_after_round")
+    b.beqz("a4", f"{p}_m_after_round")
+    b.label(f"{p}_m_ad_one")
+    b.li("s5", 1)
+    b.label(f"{p}_m_after_round")
+
+    # ----- exponent, overflow, clamp, re-encode --------------------------------
+    b.emit("add", "s2", "s2", "s8")
+    b.emit("or", "t0", "s5", "s6")
+    b.emit("or", "t0", "t0", "s7")
+    b.beqz("t0", f"{p}_zero_result")
+    b.beqz("s7", f"{p}_mq_cnt_mid")
+    b.mv("a2", "s7")
+    b.jal("ra", f"{p}_nibcount")
+    b.emit("addi", "a6", "a2", 32)
+    b.j(f"{p}_mq_cnt_done")
+    b.label(f"{p}_mq_cnt_mid")
+    b.beqz("s6", f"{p}_mq_cnt_lo")
+    b.mv("a2", "s6")
+    b.jal("ra", f"{p}_nibcount")
+    b.emit("addi", "a6", "a2", 16)
+    b.j(f"{p}_mq_cnt_done")
+    b.label(f"{p}_mq_cnt_lo")
+    b.mv("a2", "s5")
+    b.jal("ra", f"{p}_nibcount")
+    b.mv("a6", "a2")
+    b.label(f"{p}_mq_cnt_done")
+    b.emit("add", "t0", "s2", "a6")
+    b.emit("addi", "t0", "t0", -1)
+    b.li("t1", layout.emax)
+    b.branch("bge", "t1", "t0", f"{p}_m_no_ovf")
+    b.j(f"{p}_m_overflow")
+    b.label(f"{p}_m_no_ovf")
+    b.li("t1", layout.etop)
+    b.branch("bge", "t1", "s2", f"{p}_m_no_clamp")
+    b.emit("sub", "t2", "s2", "t1")           # pad digits
+    b.mv("s2", "t1")
+    b.label(f"{p}_m_clamp_loop")
+    b.beqz("t2", f"{p}_m_no_clamp")
+    b.emit("slli", "s7", "s7", 4)
+    b.emit("srli", "t3", "s6", 60)
+    b.emit("or", "s7", "s7", "t3")
+    b.emit("slli", "s6", "s6", 4)
+    b.emit("srli", "t3", "s5", 60)
+    b.emit("or", "s6", "s6", "t3")
+    b.emit("slli", "s5", "s5", 4)
+    b.emit("addi", "t2", "t2", -1)
+    b.j(f"{p}_m_clamp_loop")
+    b.label(f"{p}_m_no_clamp")
+    # BCD -> DPD via the reverse table; 12-bit chunks at nibble offset 3d.
+    b.la("t0", TABLE_SYMBOLS["bcd2dpd"])
+    b.li("t5", 0xFFF)
+    b.li("a2", 0)                             # continuation, low word
+    b.li("a4", 0)                             # continuation, high word
+    bcd_regs = ("s5", "s6", "s7")
+    for declet in range(layout.declets):
+        bit = 12 * declet
+        word, word_bit = divmod(bit, 64)
+        if word_bit + 12 <= 64:
+            b.emit("srli", "t2", bcd_regs[word], word_bit)
+        else:
+            b.emit("srli", "t2", bcd_regs[word], word_bit)
+            b.emit("slli", "t6", bcd_regs[word + 1], 64 - word_bit)
+            b.emit("or", "t2", "t2", "t6")
+        b.emit("and", "t2", "t2", "t5")
+        b.emit("slli", "t2", "t2", 1)
+        b.emit("add", "t2", "t2", "t0")
+        b.emit("lhu", "t3", "t2", 0)
+        emit_place_declet(b, layout, declet, src="t3",
+                          lo_acc="a2", hi_acc="a4", tmp="t6")
+    # Most significant digit: nibble precision-1 of the BCD value.
+    b.emit("srli", "t6", bcd_regs[(precision - 1) // 16],
+           4 * ((precision - 1) % 16))
+    b.emit("andi", "t6", "t6", 0xF)
+    b.li("t4", layout.bias)
+    b.emit("add", "a3", "s2", "t4")
+    emit_wide_encode_result(
+        b, layout, f"{p}_fin", sign="s1", bexp="a3", msd="t6",
+        cont_lo="a2", cont_hi="a4", out_lo="a0", out_hi="a1",
+        tmp1="t1", tmp2="t2",
+    )
+    b.j(f"{p}_m_epilogue")
+
+    # Zero result (either operand zero, or the product rounded to zero).
+    b.label(f"{p}_zero_result")
+    emit_wide_clamp_exponent(b, layout, f"{p}_z", "s2", "t0")
+    b.li("t4", layout.bias)
+    b.emit("add", "a3", "s2", "t4")
+    emit_wide_encode_result(
+        b, layout, f"{p}_zenc", sign="s1", bexp="a3", msd="zero",
+        cont_lo="zero", cont_hi="zero", out_lo="a0", out_hi="a1",
+        tmp1="t1", tmp2="t2",
+    )
+    b.j(f"{p}_m_epilogue")
+
+    # Overflow to infinity.
+    b.label(f"{p}_m_overflow")
+    b.emit("slli", "t5", "s1", layout.sign_shift)
+    b.li("t6", 0b11110)
+    b.emit("slli", "t6", "t6", layout.comb_shift)
+    b.emit("or", "a1", "t5", "t6")
+    b.li("a0", 0)
+    b.j(f"{p}_m_epilogue")
+
+    b.label(f"{p}_m_epilogue")
+    for index, reg in enumerate(_SAVED):
+        b.emit("ld", reg, "sp", 8 * index)
+    b.emit("addi", "sp", "sp", frame)
+    b.ret()
+
+    # ----- local subroutines, dummies, special path -----------------------------
+    _emit_unpack_bcd_subroutine(b, layout, p)
+    _emit_nibcount_subroutine(b, p)
+    _emit_nibble_at_subroutine(b, p, prod_offset)
+    if not use_accelerator:
+        _emit_dummy_functions(b, p)
+    emit_wide_special_path(b, layout, p)
+    return p
+
+
+def _emit_unpack_bcd_subroutine(b, layout: WideLayout, p: str) -> None:
+    """Local subroutine: a2/a3 = wide word pair -> a2/a3/a6 = BCD coefficient
+    words (low/mid/high), a4 = sign, a5 = biased exponent.  Clobbers t0-t6
+    and a7."""
+    b.label(f"{p}_unpack_bcd")
+    emit_wide_unpack_fields(
+        b, layout, f"{p}_ub", lo="a2", hi="a3", out_sign="a4", out_bexp="a5",
+        out_cont_hi="t3", out_msd="t4", tmp1="t0", tmp2="t1",
+    )
+    b.la("t0", TABLE_SYMBOLS["dpd2bcd"])
+    b.li("t6", 0)                    # BCD low word accumulator
+    b.li("a6", 0)                    # BCD mid word accumulator
+    b.li("a7", 0)                    # BCD high word accumulator
+    accs = ("t6", "a6", "a7")
+    for declet in range(layout.declets):
+        emit_extract_declet(b, layout, declet, lo="a2", hi="t3", out="t1", tmp="t5")
+        b.emit("slli", "t1", "t1", 1)
+        b.emit("add", "t1", "t1", "t0")
+        b.emit("lhu", "t1", "t1", 0)
+        bit = 12 * declet
+        word, word_bit = divmod(bit, 64)
+        if word_bit + 12 <= 64:
+            if word_bit:
+                b.emit("slli", "t5", "t1", word_bit)
+                b.emit("or", accs[word], accs[word], "t5")
+            else:
+                b.emit("or", accs[word], accs[word], "t1")
+        else:
+            lo_bits = 64 - word_bit
+            b.emit("andi", "t5", "t1", (1 << lo_bits) - 1)
+            b.emit("slli", "t5", "t5", word_bit)
+            b.emit("or", accs[word], accs[word], "t5")
+            b.emit("srli", "t5", "t1", lo_bits)
+            b.emit("or", accs[word + 1], accs[word + 1], "t5")
+    # The MSD occupies nibble precision-1.
+    msd_word, msd_nibble = divmod(layout.precision - 1, 16)
+    b.emit("slli", "t5", "t4", 4 * msd_nibble)
+    b.emit("or", accs[msd_word], accs[msd_word], "t5")
+    b.mv("a2", "t6")
+    b.mv("a3", "a6")
+    b.mv("a6", "a7")
+    b.ret()
+
+
+def _emit_nibcount_subroutine(b, p: str) -> None:
+    """Local subroutine: a2 = packed BCD word -> a2 = significant nibbles.
+
+    Clobbers t0.  Returns 0 for a zero input (callers exclude that case).
+    """
+    b.label(f"{p}_nibcount")
+    b.li("t0", 0)
+    b.label(f"{p}_nibcount_loop")
+    b.beqz("a2", f"{p}_nibcount_done")
+    b.emit("srli", "a2", "a2", 4)
+    b.emit("addi", "t0", "t0", 1)
+    b.j(f"{p}_nibcount_loop")
+    b.label(f"{p}_nibcount_done")
+    b.mv("a2", "t0")
+    b.ret()
+
+
+def _emit_nibble_at_subroutine(b, p: str, prod_offset: int) -> None:
+    """Local subroutine: a2 = nibble index -> a2 = product nibble value.
+
+    Indexes the product buffer in the caller's frame (sp-relative).
+    Clobbers t0-t2.
+    """
+    b.label(f"{p}_nibble_at")
+    b.emit("srli", "t0", "a2", 4)
+    b.emit("slli", "t0", "t0", 3)
+    b.emit("add", "t0", "t0", "sp")
+    b.emit("ld", "t1", "t0", prod_offset)
+    b.emit("andi", "t2", "a2", 15)
+    b.emit("slli", "t2", "t2", 2)
+    b.emit("srl", "t1", "t1", "t2")
+    b.emit("andi", "a2", "t1", 0xF)
+    b.ret()

@@ -30,18 +30,51 @@ from repro.rocc.fsm import FsmState, InterfaceFsm
 from repro.rocc.interface import Accelerator, RoccCommand, RoccResult
 from repro.rocc.regfile import AcceleratorRegisterFile
 
-#: RD selector values above the register file: the two accumulator halves and
-#: the status register.
+#: RD selector values above the register file: the two low accumulator words
+#: and the status register (the original decimal64 read surface).
 ACC_LO_SELECTOR = 16
 ACC_HI_SELECTOR = 17
 STATUS_SELECTOR = 18
+
+#: RD selectors for accumulator words beyond the first two (wider formats):
+#: word k of the accumulator reads through ``ACC_WORD_SELECTORS[k]``.  The
+#: low two words keep their historic selector values so decimal64 kernels
+#: are unchanged; words 2+ continue after the status register.
+ACC_WORD_SELECTORS = (ACC_LO_SELECTOR, ACC_HI_SELECTOR, 19, 20, 21, 22)
+
+#: RD selectors for word lanes of wide register-file registers.  These do
+#: not fit the 5-bit rs2 field, so kernels pass them by value (``xs2=1``):
+#: ``selector = REGFILE_WORD_SELECTOR_BASE + 4 * register + lane``.
+REGFILE_WORD_SELECTOR_BASE = 64
+REGFILE_WORD_LANES = 4
+
+
+def acc_word_selector(word: int) -> int:
+    """RD selector for accumulator word ``word`` (64 bits each)."""
+    if not 0 <= word < len(ACC_WORD_SELECTORS):
+        raise AcceleratorError(f"no RD selector for accumulator word {word}")
+    return ACC_WORD_SELECTORS[word]
+
+
+def regfile_word_selector(register: int, word: int) -> int:
+    """RD selector (passed by value) for one word lane of a wide register."""
+    if not 0 <= word < REGFILE_WORD_LANES:
+        raise AcceleratorError(f"register word lane out of range: {word}")
+    return REGFILE_WORD_SELECTOR_BASE + REGFILE_WORD_LANES * register + word
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
 
 @dataclass(frozen=True)
 class DecimalAcceleratorConfig:
-    """Datapath configuration (the co-design knobs a framework user can turn)."""
+    """Datapath configuration (the co-design knobs a framework user can turn).
+
+    ``digits`` is the operand digit width the datapath is sized for — the
+    coefficient precision of the interchange format the accelerator serves
+    (16 for decimal64, 34 for decimal128).  Register width, accumulator
+    width and adder pass counts all follow from it; use :meth:`for_format`
+    to derive the whole configuration from a format spec.
+    """
 
     num_registers: int = 16
     register_width_digits: int = 20
@@ -50,17 +83,92 @@ class DecimalAcceleratorConfig:
     adder_latency_cycles: int = 1
     include_multiplier: bool = False
     include_converter: bool = True
+    digits: int = 16
 
     def __post_init__(self) -> None:
-        if self.register_width_digits < 17:
-            # Multiples of a 16-digit coefficient reach 17 digits.
+        if self.digits < 1:
+            raise AcceleratorError("operand digit width must be positive")
+        if self.register_width_digits < self.digits + 1:
+            # Multiples of a ``digits``-digit coefficient reach digits + 1.
             raise AcceleratorError(
-                "register width must hold at least 17 digits for decimal64"
+                f"register width must hold at least {self.digits + 1} digits "
+                f"for {self.digits}-digit operands"
             )
-        if self.accumulator_digits < 32:
+        if self.accumulator_digits < 2 * self.digits:
             raise AcceleratorError(
-                "the accumulator must hold a full 32-digit decimal64 product"
+                f"the accumulator must hold a full {2 * self.digits}-digit "
+                f"product of {self.digits}-digit operands"
             )
+
+    @classmethod
+    def for_format(cls, fmt, **overrides) -> "DecimalAcceleratorConfig":
+        """Datapath sized for an interchange format (spec or name).
+
+        The decimal64 result is exactly the historical default
+        configuration (16-digit operands, 20-digit registers, 32-digit
+        accumulator, 20-digit adder); wider formats scale the same shape.
+        """
+        from repro.decnumber.formats import get_format
+
+        spec = get_format(fmt)
+        params = dict(
+            digits=spec.precision,
+            register_width_digits=spec.precision + 4,
+            accumulator_digits=spec.product_digits,
+            adder_width_digits=spec.precision + 4,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @property
+    def accumulator_words(self) -> int:
+        """64-bit words needed to read the full accumulator back."""
+        return -(-(4 * self.accumulator_digits) // 64)
+
+    @property
+    def register_words(self) -> int:
+        """64-bit word lanes of one register-file register."""
+        return -(-(4 * self.register_width_digits) // 64)
+
+    def area_report(self) -> AreaReport:
+        """Hardware overhead of this configuration (no accelerator needed).
+
+        This is the single area model: :meth:`DecimalAccelerator.
+        area_report` delegates here, and solution-level overhead queries
+        (:meth:`repro.core.solution.CoDesignSolution.hardware_overhead`)
+        read it straight off the config instead of instantiating a full
+        accelerator.
+        """
+        report = AreaReport()
+        report.add(
+            AcceleratorRegisterFile(
+                num_registers=self.num_registers,
+                width_bits=4 * self.register_width_digits,
+            ).cost()
+        )
+        report.add(
+            register_cost(
+                f"accumulator ({self.accumulator_digits} digits)",
+                4 * self.accumulator_digits,
+            )
+        )
+        hardware_adder = BcdCarryLookaheadAdder(
+            width_digits=self.adder_width_digits,
+            latency_cycles=self.adder_latency_cycles,
+        )
+        report.add(hardware_adder.cost())
+        report.add(GateCost("decode + interface FSM", 350.0, 4, flip_flops=18))
+        report.add(GateCost("operand multiplexers", 4.0 * 2 * self.accumulator_digits, 2))
+        if self.include_multiplier:
+            for component in BcdMultiplier(operand_digits=self.digits).cost().components:
+                report.add(component)
+        if self.include_converter:
+            converter = BinaryToBcdConverter(
+                input_bits=64, output_digits=self.register_width_digits
+            )
+            for component in converter.cost().components:
+                report.add(component)
+        return report
 
 
 class DecimalAccelerator(Accelerator):
@@ -83,7 +191,9 @@ class DecimalAccelerator(Accelerator):
             latency_cycles=self.config.adder_latency_cycles,
         )
         self.multiplier = (
-            BcdMultiplier(operand_digits=16) if self.config.include_multiplier else None
+            BcdMultiplier(operand_digits=self.config.digits)
+            if self.config.include_multiplier
+            else None
         )
         self.converter = (
             BinaryToBcdConverter(input_bits=64, output_digits=self.config.register_width_digits)
@@ -141,10 +251,17 @@ class DecimalAccelerator(Accelerator):
         raise AcceleratorError(f"unknown accelerator function funct7={funct:#04x}")
 
     # WR: move a core register value into the accelerator register set.
+    # The rd field selects the destination *word lane* for registers wider
+    # than one machine word: lane 0 (the decimal64 kernels' encoding)
+    # replaces the whole register, lane k > 0 merges bits [64k, 64k+64).
     def _cmd_write(self, command: RoccCommand) -> RoccResult:
         self.require(command.xs1, "WR needs the operand value from the core (xs1)")
-        destination = command.rs2_value if command.xs2 else command.rs2
-        self.regfile.write(int(destination) % self.config.num_registers, command.rs1_value)
+        destination = int(command.rs2_value if command.xs2 else command.rs2)
+        index = destination % self.config.num_registers
+        if command.rd:
+            self.regfile.write_word(index, command.rd, command.rs1_value)
+        else:
+            self.regfile.write(index, command.rs1_value)
         busy = self.fsm.run_command(FsmState.WRITE, respond=False, busy_cycles=1)
         return RoccResult(has_response=False, value=0, busy_cycles=busy)
 
@@ -153,12 +270,17 @@ class DecimalAccelerator(Accelerator):
         self.require(command.xd, "RD must write a core register (xd)")
         selector = command.rs2_value if command.xs2 else command.rs2
         selector = int(selector)
-        if selector == ACC_LO_SELECTOR:
-            value = self.accumulator & _MASK64
-        elif selector == ACC_HI_SELECTOR:
-            value = (self.accumulator >> 64) & _MASK64
-        elif selector == STATUS_SELECTOR:
+        if selector == STATUS_SELECTOR:
             value = self.status
+        elif selector in ACC_WORD_SELECTORS:
+            word = ACC_WORD_SELECTORS.index(selector)
+            value = (self.accumulator >> (64 * word)) & _MASK64
+        elif selector >= REGFILE_WORD_SELECTOR_BASE:
+            offset = selector - REGFILE_WORD_SELECTOR_BASE
+            index, word = divmod(offset, REGFILE_WORD_LANES)
+            value = self.regfile.read_word(
+                index % self.config.num_registers, word
+            )
         else:
             value = self.regfile.read(selector % self.config.num_registers) & _MASK64
         busy = self.fsm.run_command(FsmState.READ, respond=True, busy_cycles=1)
@@ -295,26 +417,9 @@ class DecimalAccelerator(Accelerator):
 
     # -------------------------------------------------------------------- cost
     def area_report(self) -> AreaReport:
-        """Hardware overhead of this accelerator configuration."""
-        report = AreaReport()
-        report.add(self.regfile.cost())
-        report.add(
-            register_cost(
-                f"accumulator ({self.config.accumulator_digits} digits)",
-                4 * self.config.accumulator_digits,
-            )
-        )
-        hardware_adder = BcdCarryLookaheadAdder(
-            width_digits=self.config.adder_width_digits,
-            latency_cycles=self.config.adder_latency_cycles,
-        )
-        report.add(hardware_adder.cost())
-        report.add(GateCost("decode + interface FSM", 350.0, 4, flip_flops=18))
-        report.add(GateCost("operand multiplexers", 4.0 * 2 * self.config.accumulator_digits, 2))
-        if self.multiplier is not None:
-            for component in self.multiplier.cost().components:
-                report.add(component)
-        if self.converter is not None:
-            for component in self.converter.cost().components:
-                report.add(component)
-        return report
+        """Hardware overhead of this accelerator configuration.
+
+        Pure function of the configuration — see
+        :meth:`DecimalAcceleratorConfig.area_report`.
+        """
+        return self.config.area_report()

@@ -31,6 +31,36 @@ class AcceleratorRegisterFile:
         self.writes += 1
         self._values[index] = value & self._mask
 
+    def write_word(self, index: int, word: int, value: int) -> None:
+        """Merge a 64-bit ``value`` into word lane ``word`` of a register.
+
+        Word 0 covers bits [0, 64), word 1 bits [64, 128) and so on; other
+        lanes are preserved.  Registers wider than 64 bits are written by
+        the core one word lane at a time (the RoCC operand channel is one
+        machine word wide).
+        """
+        if not 0 <= index < self.num_registers:
+            raise AcceleratorError(f"register index out of range: {index}")
+        if word < 0 or 64 * word >= self.width_bits:
+            raise AcceleratorError(
+                f"word lane {word} out of range for a "
+                f"{self.width_bits}-bit register"
+            )
+        self.writes += 1
+        shift = 64 * word
+        lane_mask = 0xFFFFFFFFFFFFFFFF << shift
+        merged = (self._values[index] & ~lane_mask) | ((value & 0xFFFFFFFFFFFFFFFF) << shift)
+        self._values[index] = merged & self._mask
+
+    def read_word(self, index: int, word: int) -> int:
+        """One 64-bit word lane of a (possibly wider) register."""
+        if word < 0 or 64 * word >= self.width_bits:
+            raise AcceleratorError(
+                f"word lane {word} out of range for a "
+                f"{self.width_bits}-bit register"
+            )
+        return (self.read(index) >> (64 * word)) & 0xFFFFFFFFFFFFFFFF
+
     def clear_all(self) -> None:
         """The CLR_ALL instruction: zero every register."""
         self._values = [0] * self.num_registers

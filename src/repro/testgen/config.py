@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.decnumber.formats import PRECISION_BY_FORMAT, get_format
 from repro.errors import ConfigurationError
 from repro.verification.database import OperandClass
 
@@ -44,12 +45,6 @@ class TestProgramConfig:
             raise ConfigurationError(f"unknown solution: {self.solution!r}")
         if self.precision not in ("double", "quad"):
             raise ConfigurationError(f"unknown precision: {self.precision!r}")
-        if self.precision == "quad":
-            raise ConfigurationError(
-                "quad (decimal128) kernels are not generated; the software "
-                "library supports decimal128 but the evaluated kernels are "
-                "decimal64, as in the paper's experiments"
-            )
         if self.operation != "multiply":
             raise ConfigurationError(
                 f"unsupported operation {self.operation!r}: the evaluated "
@@ -68,6 +63,21 @@ class TestProgramConfig:
     @property
     def uses_accelerator(self) -> bool:
         return self.solution == SolutionKind.METHOD1
+
+    @property
+    def fmt(self) -> str:
+        """Canonical interchange-format name of this configuration."""
+        return "decimal64" if self.precision == "double" else "decimal128"
+
+    @property
+    def format_spec(self):
+        """The :class:`~repro.decnumber.formats.InterchangeFormat` in use."""
+        return get_format(self.fmt)
+
+    @classmethod
+    def precision_for_format(cls, fmt) -> str:
+        """Map a format name/spec onto the config's precision vocabulary."""
+        return PRECISION_BY_FORMAT[get_format(fmt).name]
 
     def with_overrides(self, **overrides) -> "TestProgramConfig":
         from dataclasses import replace

@@ -33,10 +33,21 @@ HARNESS_SYMBOLS = {
     "num_samples": "num_samples",
 }
 
+#: Kernel entry labels per (format, solution).  The decimal64 kernels are
+#: the paper's hand-tuned single-word emitters; wider formats use the
+#: spec-driven wide emitters (:mod:`repro.kernels.wide_mul` /
+#: :mod:`repro.kernels.wide_method1`).
 _KERNEL_LABELS = {
-    SolutionKind.SOFTWARE: "dec64_mul_sw",
-    SolutionKind.METHOD1: "dec64_mul_m1",
-    SolutionKind.METHOD1_DUMMY: "dec64_mul_m1d",
+    "decimal64": {
+        SolutionKind.SOFTWARE: "dec64_mul_sw",
+        SolutionKind.METHOD1: "dec64_mul_m1",
+        SolutionKind.METHOD1_DUMMY: "dec64_mul_m1d",
+    },
+    "decimal128": {
+        SolutionKind.SOFTWARE: "dec128_mul_sw",
+        SolutionKind.METHOD1: "dec128_mul_m1",
+        SolutionKind.METHOD1_DUMMY: "dec128_mul_m1d",
+    },
 }
 
 
@@ -54,9 +65,27 @@ class GeneratedProgram:
     def num_samples(self) -> int:
         return len(self.vectors)
 
+    @property
+    def words_per_value(self) -> int:
+        """64-bit memory words per encoded operand/result."""
+        return self.config.format_spec.words_per_value
+
     def read_results(self, result) -> list:
-        """Per-sample result words from a finished simulation."""
-        return result.read_dwords(HARNESS_SYMBOLS["results"], self.num_samples)
+        """Per-sample result words from a finished simulation.
+
+        Multi-word formats store results least-significant word first; each
+        entry of the returned list is the full encoded integer.
+        """
+        words = self.words_per_value
+        raw = result.read_dwords(
+            HARNESS_SYMBOLS["results"], self.num_samples * words
+        )
+        if words == 1:
+            return raw
+        return [
+            sum(raw[base + i] << (64 * i) for i in range(words))
+            for base in range(0, len(raw), words)
+        ]
 
     def read_cycle_samples(self, result) -> list:
         """Per-sample cycle counts (RDCYCLE deltas) from a finished simulation."""
@@ -67,16 +96,30 @@ class GeneratedProgram:
 
 
 def _emit_kernel(builder: AsmBuilder, config: TestProgramConfig) -> str:
-    label = _KERNEL_LABELS[config.solution]
-    if config.solution == SolutionKind.SOFTWARE:
-        return emit_software_mul_kernel(builder, label=label)
+    label = _KERNEL_LABELS[config.fmt][config.solution]
     use_accelerator = config.solution == SolutionKind.METHOD1
-    return emit_method1_kernel(builder, label=label, use_accelerator=use_accelerator)
+    if config.fmt == "decimal64":
+        if config.solution == SolutionKind.SOFTWARE:
+            return emit_software_mul_kernel(builder, label=label)
+        return emit_method1_kernel(
+            builder, label=label, use_accelerator=use_accelerator
+        )
+    from repro.kernels.wide_method1 import emit_wide_method1_kernel
+    from repro.kernels.wide_mul import emit_wide_software_mul_kernel
+
+    spec = config.format_spec
+    if config.solution == SolutionKind.SOFTWARE:
+        return emit_wide_software_mul_kernel(builder, spec, label=label)
+    return emit_wide_method1_kernel(
+        builder, spec, label=label, use_accelerator=use_accelerator
+    )
 
 
 def _emit_harness(builder: AsmBuilder, kernel_label: str, num_samples: int,
-                  repetitions: int) -> None:
+                  repetitions: int, words_per_value: int = 1) -> None:
     b = builder
+    operand_stride = 16 * words_per_value
+    result_stride = 8 * words_per_value
     b.text()
     b.label("_start")
     b.la("s0", HARNESS_SYMBOLS["operands"])
@@ -87,23 +130,43 @@ def _emit_harness(builder: AsmBuilder, kernel_label: str, num_samples: int,
     b.li("s5", 0)          # total cycles
     b.beqz("s3", "harness_done")
     b.label("harness_loop")
-    b.emit("ld", "s8", "s0", 0)   # X
-    b.emit("ld", "s9", "s0", 8)   # Y
-    b.li("s10", repetitions)
+    if words_per_value == 1:
+        b.emit("ld", "s8", "s0", 0)   # X
+        b.emit("ld", "s9", "s0", 8)   # Y
+        b.li("s10", repetitions)
+    else:
+        b.emit("ld", "s8", "s0", 0)    # X low
+        b.emit("ld", "s9", "s0", 8)    # X high
+        b.emit("ld", "s10", "s0", 16)  # Y low
+        b.emit("ld", "s11", "s0", 24)  # Y high
+        # All of s0-s11 carry live harness state for two-word operands, so
+        # the repetition count lives in gp (never touched by the kernels).
+        b.li("gp", repetitions)
     b.rdcycle("s6")
     b.label("harness_repeat")
-    b.mv("a0", "s8")
-    b.mv("a1", "s9")
-    b.call(kernel_label)
-    b.emit("addi", "s10", "s10", -1)
-    b.bnez("s10", "harness_repeat")
+    if words_per_value == 1:
+        b.mv("a0", "s8")
+        b.mv("a1", "s9")
+        b.call(kernel_label)
+        b.emit("addi", "s10", "s10", -1)
+        b.bnez("s10", "harness_repeat")
+    else:
+        b.mv("a0", "s8")
+        b.mv("a1", "s9")
+        b.mv("a2", "s10")
+        b.mv("a3", "s11")
+        b.call(kernel_label)
+        b.emit("addi", "gp", "gp", -1)
+        b.bnez("gp", "harness_repeat")
     b.rdcycle("s7")
     b.emit("sub", "s7", "s7", "s6")
     b.emit("sd", "a0", "s1", 0)
+    if words_per_value > 1:
+        b.emit("sd", "a1", "s1", 8)
     b.emit("sd", "s7", "s2", 0)
     b.emit("add", "s5", "s5", "s7")
-    b.emit("addi", "s0", "s0", 16)
-    b.emit("addi", "s1", "s1", 8)
+    b.emit("addi", "s0", "s0", operand_stride)
+    b.emit("addi", "s1", "s1", result_stride)
     b.emit("addi", "s2", "s2", 8)
     b.emit("addi", "s4", "s4", 1)
     b.branch("bne", "s4", "s3", "harness_loop")
@@ -123,6 +186,7 @@ def draw_vectors(
     operand_classes=None,
     workload: str = None,
     database: VerificationDatabase = None,
+    fmt: str = "decimal64",
 ) -> list:
     """The one vector-source branch every evaluation layer shares.
 
@@ -132,13 +196,17 @@ def draw_vectors(
     ``paper-uniform`` workload reproduces that path bit for bit.
     ``EvaluationFramework``, ``CampaignCell`` and :func:`generate_vectors`
     all delegate here so the serial and sharded paths cannot drift apart.
+
+    ``fmt`` selects the interchange format the vectors are sized for; the
+    workload path checks the workload's declared format support first
+    (see :attr:`repro.workloads.Workload.formats`).
     """
     if workload is not None:
-        from repro.workloads import get_workload
+        from repro.workloads import get_workload, workload_vectors
 
-        return get_workload(workload).vectors(num_samples, seed)
+        return workload_vectors(get_workload(workload), num_samples, seed, fmt)
     if database is None:
-        database = VerificationDatabase(seed)
+        database = VerificationDatabase(seed, fmt=fmt)
     if operand_classes is None:
         return database.generate_mix(num_samples)
     return database.generate_mix(num_samples, operand_classes)
@@ -153,6 +221,7 @@ def generate_vectors(config: TestProgramConfig,
         operand_classes=config.operand_classes,
         workload=config.workload,
         database=database,
+        fmt=config.fmt,
     )
 
 
@@ -177,8 +246,11 @@ def build_test_program(
 
     reference = GoldenReference(operation=config.operation, precision=config.precision)
     builder = AsmBuilder()
+    words_per_value = config.format_spec.words_per_value
+    mask64 = (1 << 64) - 1
 
-    # Data: lookup tables, operands, result/cycle buffers.
+    # Data: lookup tables, operands, result/cycle buffers.  Multi-word
+    # encodings are stored least-significant word first.
     emit_tables(builder)
     builder.data()
     builder.align(8)
@@ -188,9 +260,12 @@ def build_test_program(
         x_word = reference.encode_operand(vector.x)
         y_word = reference.encode_operand(vector.y)
         operand_words.append((x_word, y_word))
-        builder.dword(x_word, y_word)
+        for value in (x_word, y_word):
+            builder.dword(
+                *((value >> (64 * i)) & mask64 for i in range(words_per_value))
+            )
     builder.label(HARNESS_SYMBOLS["results"])
-    builder.space(8 * len(vectors))
+    builder.space(8 * len(vectors) * words_per_value)
     builder.label(HARNESS_SYMBOLS["cycle_samples"])
     builder.space(8 * len(vectors))
     builder.label(HARNESS_SYMBOLS["total_cycles"])
@@ -199,8 +274,9 @@ def build_test_program(
     builder.dword(len(vectors))
 
     # Text: harness first (entry point), then the kernel.
-    _emit_harness(builder, _KERNEL_LABELS[config.solution], len(vectors),
-                  config.repetitions)
+    _emit_harness(builder, _KERNEL_LABELS[config.fmt][config.solution],
+                  len(vectors), config.repetitions,
+                  words_per_value=words_per_value)
     kernel_label = _emit_kernel(builder, config)
 
     image = builder.link(entry_symbol="_start")

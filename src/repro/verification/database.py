@@ -1,10 +1,17 @@
-"""Constrained-random operand database for decimal64 multiplication.
+"""Constrained-random operand database for decimal multiplication.
 
 The paper evaluates with "8,000 sample inputs including overflow, underflow,
 normal, rounding, and clamping cases".  This module generates exactly those
 classes (plus special values and exact/zero corner cases) deterministically
 from a seed, so every simulator sees the same vectors and results are
 reproducible.
+
+The class distributions are defined **per interchange format**: the same
+eight operand classes exist for decimal64 and decimal128, with digit counts
+and exponent ranges sized to the format's precision and exponent envelope
+(:data:`CLASS_PARAMS`).  The decimal64 parameters are the original, pinned
+stream — campaign digests depend on them — so they are spelled out as
+literals rather than derived.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.decnumber.formats import resolve_format_name
 from repro.decnumber.number import DecNumber
 from repro.errors import ConfigurationError
 
@@ -36,6 +44,54 @@ class OperandClass:
     TABLE_IV_MIX = (NORMAL, ROUNDING, OVERFLOW, UNDERFLOW, CLAMPING)
 
 
+#: Per-format class-generator parameters.  Every entry is sized so the class
+#: semantics hold under that format's context: normal products stay normal,
+#: overflow pairs (statistically) overflow, the subnormal half of the
+#: underflow toggle lands between etiny and emin, clamping pairs exceed etop
+#: without exceeding emax, and zeros/finites stay exactly encodable.
+CLASS_PARAMS = {
+    # decimal64: precision 16, emax 384, emin -383, etiny -398, etop 369.
+    # These literals ARE the pinned pre-format-axis stream; do not derive.
+    "decimal64": {
+        "precision": 16,
+        "normal_exponent": (-150, 150),
+        "rounding_digits": (15, 16),
+        "rounding_exponent": (-100, 100),
+        "overflow_digits": (10, 16),
+        "overflow_exponent": (180, 369),
+        "underflow_subnormal_exponent": (-212, -208),
+        "underflow_zero_digits": (8, 16),
+        "underflow_zero_exponent": (-398, -280),
+        "clamping_target_exponent": (371, 379),
+        "clamping_x_exponent": (182, 189),
+        "zero_exponent": (-398, 369),
+        "exact_digits": (1, 8),
+        "exact_exponent": (-100, 100),
+        "special_payload": (0, 999),
+        "special_finite_exponent": (-200, 200),
+    },
+    # decimal128: precision 34, emax 6144, emin -6143, etiny -6176, etop 6111.
+    "decimal128": {
+        "precision": 34,
+        "normal_exponent": (-2400, 2400),
+        "rounding_digits": (33, 34),
+        "rounding_exponent": (-1600, 1600),
+        "overflow_digits": (20, 34),
+        "overflow_exponent": (3000, 6111),
+        "underflow_subnormal_exponent": (-3118, -3108),
+        "underflow_zero_digits": (8, 34),
+        "underflow_zero_exponent": (-6176, -4500),
+        "clamping_target_exponent": (6113, 6121),
+        "clamping_x_exponent": (3000, 3050),
+        "zero_exponent": (-6176, 6111),
+        "exact_digits": (1, 16),
+        "exact_exponent": (-1600, 1600),
+        "special_payload": (0, 999),
+        "special_finite_exponent": (-3200, 3200),
+    },
+}
+
+
 @dataclass(frozen=True)
 class VerificationVector:
     """One operand pair plus the class it was drawn from."""
@@ -47,10 +103,18 @@ class VerificationVector:
 
 
 class VerificationDatabase:
-    """Seeded generator of decimal64 operand pairs by class."""
+    """Seeded generator of decimal operand pairs by class.
 
-    def __init__(self, seed: int = 2018) -> None:
+    ``fmt`` selects the interchange format whose :data:`CLASS_PARAMS` entry
+    sizes the distributions (default decimal64 — the paper's evaluation and
+    the pinned legacy stream).  Same seed + same format ⇒ same vectors on
+    every host and in every worker process.
+    """
+
+    def __init__(self, seed: int = 2018, fmt: str = "decimal64") -> None:
         self.seed = seed
+        self.fmt = resolve_format_name(fmt)
+        self._params = CLASS_PARAMS[self.fmt]
         self._rng = random.Random(seed)
         self._underflow_toggle = False
 
@@ -102,79 +166,103 @@ class VerificationDatabase:
         return DecNumber(rng.randint(0, 1), coefficient, exponent)
 
     def _normal(self) -> tuple:
+        params = self._params
         return (
-            self._finite((1, 16), (-150, 150)),
-            self._finite((1, 16), (-150, 150)),
+            self._finite((1, params["precision"]), params["normal_exponent"]),
+            self._finite((1, params["precision"]), params["normal_exponent"]),
         )
 
     def _rounding(self) -> tuple:
-        # Full-precision coefficients: the product has ~32 digits and is
-        # almost always inexact, exercising the rounding path.
+        # Full-precision coefficients: the product has ~2x precision digits
+        # and is almost always inexact, exercising the rounding path.
+        params = self._params
         return (
-            self._finite((15, 16), (-100, 100)),
-            self._finite((15, 16), (-100, 100)),
+            self._finite(params["rounding_digits"], params["rounding_exponent"]),
+            self._finite(params["rounding_digits"], params["rounding_exponent"]),
         )
 
     def _overflow(self) -> tuple:
+        params = self._params
         return (
-            self._finite((10, 16), (180, 369)),
-            self._finite((10, 16), (180, 369)),
+            self._finite(params["overflow_digits"], params["overflow_exponent"]),
+            self._finite(params["overflow_digits"], params["overflow_exponent"]),
         )
 
     def _underflow(self) -> tuple:
         # Alternate between products that stay *subnormal* (nonzero, adjusted
         # exponent between etiny and emin) and products that underflow all the
         # way to zero, so both conditions are always exercised.
+        params = self._params
+        precision = params["precision"]
         self._underflow_toggle = not self._underflow_toggle
         if self._underflow_toggle:
             return (
-                self._finite((16, 16), (-212, -208)),
-                self._finite((16, 16), (-212, -208)),
+                self._finite(
+                    (precision, precision),
+                    params["underflow_subnormal_exponent"],
+                ),
+                self._finite(
+                    (precision, precision),
+                    params["underflow_subnormal_exponent"],
+                ),
             )
         return (
-            self._finite((8, 16), (-398, -280)),
-            self._finite((8, 16), (-398, -280)),
+            self._finite(
+                params["underflow_zero_digits"], params["underflow_zero_exponent"]
+            ),
+            self._finite(
+                params["underflow_zero_digits"], params["underflow_zero_exponent"]
+            ),
         )
 
     def _clamping(self) -> tuple:
         # Few significant digits with large exponents: the preferred exponent
-        # of the product exceeds etop (369) while the adjusted exponent stays
-        # below emax (384), forcing the fold-down clamp rather than overflow.
+        # of the product exceeds etop while the adjusted exponent stays below
+        # emax, forcing the fold-down clamp rather than overflow.
+        params = self._params
         rng = self._rng
-        target_exponent = rng.randint(371, 379)
-        x_exponent = rng.randint(182, 189)
+        target_exponent = rng.randint(*params["clamping_target_exponent"])
+        x_exponent = rng.randint(*params["clamping_x_exponent"])
         return (
             self._finite((1, 2), (x_exponent, x_exponent)),
             self._finite((1, 2), (target_exponent - x_exponent, target_exponent - x_exponent)),
         )
 
     def _zero(self) -> tuple:
+        params = self._params
         rng = self._rng
-        zero = DecNumber(rng.randint(0, 1), 0, rng.randint(-398, 369))
-        other = self._finite((1, 16), (-200, 200))
+        zero = DecNumber(rng.randint(0, 1), 0, rng.randint(*params["zero_exponent"]))
+        other = self._finite(
+            (1, params["precision"]), params["special_finite_exponent"]
+        )
         return (zero, other) if rng.random() < 0.5 else (other, zero)
 
     def _exact(self) -> tuple:
-        # Small coefficients whose product stays within 16 digits: exact result.
+        # Coefficients small enough that their product stays within the
+        # format's precision: exact result.
+        params = self._params
         return (
-            self._finite((1, 8), (-100, 100)),
-            self._finite((1, 8), (-100, 100)),
+            self._finite(params["exact_digits"], params["exact_exponent"]),
+            self._finite(params["exact_digits"], params["exact_exponent"]),
         )
 
     def _special(self) -> tuple:
+        params = self._params
         rng = self._rng
         specials = [
             DecNumber.infinity(0),
             DecNumber.infinity(1),
-            DecNumber.qnan(rng.randint(0, 999)),
-            DecNumber.snan(rng.randint(0, 999)),
+            DecNumber.qnan(rng.randint(*params["special_payload"])),
+            DecNumber.snan(rng.randint(*params["special_payload"])),
             DecNumber(rng.randint(0, 1), 0, 0),
         ]
         x = rng.choice(specials)
         y = (
             rng.choice(specials)
             if rng.random() < 0.4
-            else self._finite((1, 16), (-200, 200))
+            else self._finite(
+                (1, params["precision"]), params["special_finite_exponent"]
+            )
         )
         if rng.random() < 0.5:
             x, y = y, x

@@ -61,9 +61,11 @@ class StdlibDecimalReference:
     The stdlib module implements the same General Decimal Arithmetic
     specification as decNumber but shares no code with our port, which makes
     it a genuinely independent second opinion.  Results are computed under
-    the decimal64 context (16 digits, emax 384, clamp) and re-encoded
-    through the same interchange encoder the primary reference uses, so the
-    two oracles are compared bit-for-bit.
+    the context matching ``precision`` — the decimal64 context (16 digits,
+    emax 384, clamp) or the decimal128 one (34 digits, emax 6144) — and
+    re-encoded through the same interchange encoder the primary reference
+    uses, so the two oracles are compared bit-for-bit.  ``precision``
+    accepts "double"/"quad" or the canonical format names.
     """
 
     def __init__(self, operation: str = "multiply", precision: str = "double") -> None:
@@ -158,13 +160,18 @@ class DualOracleChecker(ResultChecker):
     stdlib-decimal reference.  Kernel-vs-primary mismatches are recorded as
     ordinary :class:`CheckFailure`; primary-vs-secondary mismatches become
     :class:`OracleDisagreement` entries, a separate failure class that fails
-    the run on its own.
+    the run on its own.  ``fmt`` selects the interchange format both
+    default oracles compute under.
     """
 
-    def __init__(self, primary=None, secondary=None) -> None:
-        super().__init__(primary if primary is not None else GoldenReference())
+    def __init__(self, primary=None, secondary=None, fmt: str = "decimal64") -> None:
+        super().__init__(
+            primary if primary is not None else GoldenReference(precision=fmt)
+        )
         self.secondary = (
-            secondary if secondary is not None else StdlibDecimalReference()
+            secondary
+            if secondary is not None
+            else StdlibDecimalReference(precision=fmt)
         )
 
     def _new_report(self) -> DualCheckReport:
@@ -187,7 +194,7 @@ class DualOracleChecker(ResultChecker):
             )
 
 
-def dual_checker_for_workload(workload: str = None) -> ResultChecker:
+def dual_checker_for_workload(workload: str = None, fmt: str = "decimal64") -> ResultChecker:
     """The differential-mode checker for a (possibly workload-scoped) run.
 
     Mirrors :func:`repro.core.evaluation.checker_for_workload`: a resolvable
@@ -208,11 +215,11 @@ def dual_checker_for_workload(workload: str = None) -> ResultChecker:
             resolved = None
         if resolved is not None:
             if type(resolved).expected is not Workload.expected:
-                return resolved.make_checker()
+                return resolved.make_checker(fmt)
             return DualOracleChecker(
-                primary=resolved.make_checker().reference
+                primary=resolved.make_checker(fmt).reference, fmt=fmt
             )
-    return DualOracleChecker()
+    return DualOracleChecker(fmt=fmt)
 
 
 # ---------------------------------------------------------------- co-simulation
@@ -306,6 +313,7 @@ class DivergenceReport:
     runs: dict = field(default_factory=dict)       # model -> ModelRun
     check_report: object = None                    # DualCheckReport or None
     workload: str = None
+    fmt: str = "decimal64"
 
     @property
     def all_agree(self) -> bool:
@@ -346,6 +354,7 @@ class DivergenceReport:
         lines = [
             f"differential: {self.total} vectors x {len(self.models)} models "
             f"({', '.join(self.models)}), solution {self.solution_kind}"
+            + (f", format {self.fmt}" if self.fmt != "decimal64" else "")
             + (f", workload {self.workload}" if self.workload else "")
         ]
         cycles = self.cycle_summary()
@@ -390,8 +399,10 @@ class CoSimulator:
         checker=None,
         workload: str = None,
         verify: bool = True,
+        fmt: str = "decimal64",
     ) -> None:
         from repro.core.solution import standard_solutions
+        from repro.decnumber.formats import resolve_format_name
         from repro.testgen.config import SolutionKind
 
         if solution is None:
@@ -418,14 +429,15 @@ class CoSimulator:
         self.gem5_config = gem5_config
         self.workload = workload
         self.verify = verify
+        self.fmt = resolve_format_name(fmt)
         if checker is None and verify and solution.verifiable:
-            checker = dual_checker_for_workload(workload)
+            checker = dual_checker_for_workload(workload, self.fmt)
         self.checker = checker
 
     # ------------------------------------------------------------- model runs
     def run_model(self, model: str, program) -> ModelRun:
         """Run ``program`` on one model and capture its architectural output."""
-        accelerator = self.solution.make_accelerator()
+        accelerator = self.solution.make_accelerator(self.fmt)
         if model == "spike":
             from repro.sim.spike import SpikeSimulator
 
@@ -478,6 +490,7 @@ class CoSimulator:
         vectors = list(vectors)
         config = TestProgramConfig(
             solution=self.solution.kind,
+            precision=TestProgramConfig.precision_for_format(self.fmt),
             num_samples=len(vectors),
             repetitions=repetitions,
             seed=seed,
@@ -495,10 +508,12 @@ class CoSimulator:
             total=program.num_samples,
             runs=runs,
             workload=self.workload,
+            fmt=self.fmt,
         )
         report.divergences = diff_result_words(
             program.vectors,
             {model: run.result_words for model, run in runs.items()},
+            decode=GoldenReference(precision=self.fmt).decode,
         )
         if self.checker is not None and self.verify and self.solution.verifiable:
             reference_model = self.models[0]

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.decnumber import decimal64, decimal128
 from repro.decnumber.arith import add, multiply, subtract
 from repro.decnumber.context import Context
+from repro.decnumber.formats import DECIMAL64, DECIMAL128
 from repro.decnumber.number import DecNumber
 from repro.errors import ConfigurationError
 
@@ -16,9 +16,15 @@ _OPERATIONS = {
     "subtract": subtract,
 }
 
+#: ``precision`` accepts the paper's double/quad terminology and the
+#: canonical interchange-format names interchangeably; either way the
+#: reference computes through the :class:`~repro.decnumber.formats.
+#: InterchangeFormat` spec (the single source of truth for widths).
 _FORMATS = {
-    "double": decimal64,
-    "quad": decimal128,
+    "double": DECIMAL64,
+    "quad": DECIMAL128,
+    "decimal64": DECIMAL64,
+    "decimal128": DECIMAL128,
 }
 
 
@@ -42,6 +48,16 @@ class GoldenReference:
         self.operation = operation
         self.precision = precision
         self._format_module = _FORMATS[precision]
+
+    @property
+    def spec(self):
+        """The :class:`~repro.decnumber.formats.InterchangeFormat` in use."""
+        return self._format_module
+
+    @property
+    def format_name(self) -> str:
+        """Canonical interchange-format name ("decimal64"/"decimal128")."""
+        return self._format_module.name
 
     def context(self) -> Context:
         return self._format_module.context()

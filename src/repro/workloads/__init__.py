@@ -25,6 +25,8 @@ from repro.workloads.registry import (
     registered_workloads,
     unregister,
     workload_names,
+    workload_vectors,
+    workloads_for_format,
 )
 
 for _workload in BUILTIN_WORKLOADS:
@@ -46,4 +48,6 @@ __all__ = [
     "registered_workloads",
     "unregister",
     "workload_names",
+    "workload_vectors",
+    "workloads_for_format",
 ]

@@ -50,11 +50,18 @@ class Workload:
         listings and docs).
     ``tags``
         Free-form trait strings (``"financial"``, ``"stress"``, …).
+    ``formats``
+        Interchange formats the workload can generate for.  The default is
+        decimal64 only — the pre-format-axis contract — so third-party
+        workloads are never silently run under a wider format they were not
+        written for; declare ``("decimal64", "decimal128")`` (and accept the
+        ``fmt`` argument in :meth:`vectors`) to opt in.
     """
 
     name: str = ""
     description: str = ""
     tags: tuple = ()
+    formats: tuple = ("decimal64",)
 
     # ------------------------------------------------------------- generation
     def pair(self, rng: random.Random, index: int):
@@ -63,24 +70,46 @@ class Workload:
             f"workload {self.name!r} must implement pair() or override vectors()"
         )
 
-    def vectors(self, count: int, seed: int = 2018) -> list:
+    def pair_for_format(self, rng: random.Random, index: int, spec):
+        """Format-aware drawing hook: one pair sized for ``spec``.
+
+        The default ignores the spec and delegates to :meth:`pair` — any
+        decimal64-encodable operand is exactly encodable in decimal128
+        too, and the per-format oracle context is applied at verification
+        time.  Workloads whose *distribution* should scale with the
+        format override this (see ``carry-stress``/``special-values``);
+        overrides must keep the decimal64 draw stream unchanged.
+        """
+        return self.pair(rng, index)
+
+    def vectors(self, count: int, seed: int = 2018, fmt: str = "decimal64") -> list:
         """``count`` :class:`VerificationVector` drawn deterministically."""
+        from repro.decnumber.formats import get_format
+
+        spec = get_format(fmt)
         rng = random.Random(seed)
         return [
-            VerificationVector(*self.pair(rng, index), operand_class=self.name,
-                               index=index)
+            VerificationVector(*self.pair_for_format(rng, index, spec),
+                               operand_class=self.name, index=index)
             for index in range(count)
         ]
 
+    def supports_format(self, fmt) -> bool:
+        """Whether this workload declares support for ``fmt``."""
+        from repro.decnumber.formats import resolve_format_name
+
+        return resolve_format_name(fmt) in self.formats
+
     # ------------------------------------------------------------ oracle hook
-    def expected(self, x, y):
+    def expected(self, x, y, fmt: str = "decimal64"):
         """Expected result for one pair (the workload's oracle).
 
         Functional verification checks kernel output against this, via
         :meth:`make_checker`.  The default oracle is the decNumber-style
-        golden library; scenario packages with a domain-specific notion of
-        correctness (e.g. a regulatory rounding table) override it.
-        Returns a :class:`~repro.verification.reference.GoldenResult`.
+        golden library under ``fmt``'s arithmetic context; scenario
+        packages with a domain-specific notion of correctness (e.g. a
+        regulatory rounding table) override it.  Returns a
+        :class:`~repro.verification.reference.GoldenResult`.
 
         A custom oracle is resolved through the registry in the process
         doing the verification: with the ``spawn``/``forkserver``
@@ -88,20 +117,27 @@ class Workload:
         time of a module the workers also import, or the check falls back
         to the golden default.
         """
-        return self._reference().compute(x, y)
+        return self._reference(fmt).compute(x, y)
 
-    def make_checker(self):
+    def make_checker(self, fmt: str = "decimal64"):
         """A :class:`~repro.verification.checker.ResultChecker` that judges
-        results with this workload's :meth:`expected` oracle."""
+        results with this workload's :meth:`expected` oracle under ``fmt``."""
         from repro.verification.checker import ResultChecker
 
-        return ResultChecker(_OracleReference(self))
+        return ResultChecker(_OracleReference(self, fmt))
 
-    def _reference(self) -> GoldenReference:
-        reference = getattr(self, "_golden", None)
+    def _reference(self, fmt: str = "decimal64") -> GoldenReference:
+        from repro.decnumber.formats import resolve_format_name
+
+        fmt = resolve_format_name(fmt)
+        cache = getattr(self, "_golden_by_format", None)
+        if cache is None:
+            cache = {}
+            self._golden_by_format = cache
+        reference = cache.get(fmt)
         if reference is None:
-            reference = GoldenReference()
-            self._golden = reference
+            reference = GoldenReference(precision=fmt)
+            cache[fmt] = reference
         return reference
 
     # --------------------------------------------------------------- metadata
@@ -111,6 +147,7 @@ class Workload:
             "name": self.name,
             "description": self.description,
             "tags": list(self.tags),
+            "formats": list(self.formats),
         }
 
     def __repr__(self) -> str:
@@ -118,16 +155,25 @@ class Workload:
 
 
 class _OracleReference:
-    """Adapter presenting a workload's oracle as the checker's reference."""
+    """Adapter presenting a workload's oracle as the checker's reference.
 
-    def __init__(self, workload: Workload) -> None:
+    ``fmt`` is forwarded to format-aware ``expected`` implementations;
+    legacy two-argument overrides (pre-format-axis custom oracles) are
+    called without it — they only ever run under decimal64, which the
+    registry-side format gating guarantees.
+    """
+
+    def __init__(self, workload: Workload, fmt: str = "decimal64") -> None:
         self._workload = workload
+        self._fmt = fmt
 
     def compute(self, x, y):
-        return self._workload.expected(x, y)
+        if self._fmt == "decimal64":
+            return self._workload.expected(x, y)
+        return self._workload.expected(x, y, fmt=self._fmt)
 
     def decode(self, word):
-        return self._workload._reference().decode(word)
+        return self._workload._reference(self._fmt).decode(word)
 
     def encode_operand(self, value):
-        return self._workload._reference().encode_operand(value)
+        return self._workload._reference(self._fmt).encode_operand(value)

@@ -13,6 +13,7 @@ does.
 
 from __future__ import annotations
 
+from repro.decnumber.formats import get_format
 from repro.decnumber.number import DecNumber
 from repro.verification.database import OperandClass, VerificationDatabase
 from repro.workloads.base import Workload
@@ -33,7 +34,8 @@ class PaperUniform(Workload):
     Delegates to the legacy :class:`VerificationDatabase` stream (same seed
     ⇒ same vectors, same per-class tags), so evaluations naming this
     workload merge to exactly the numbers the pre-registry default path
-    produced.
+    produced.  Under wider formats the database's per-format class
+    parameters size the same mix to that format's envelope.
     """
 
     name = "paper-uniform"
@@ -42,10 +44,11 @@ class PaperUniform(Workload):
         "uniform round-robin (bit-identical to the legacy testgen path)"
     )
     tags = ("paper", "reference")
+    formats = ("decimal64", "decimal128")
     classes = OperandClass.TABLE_IV_MIX
 
-    def vectors(self, count: int, seed: int = 2018) -> list:
-        return VerificationDatabase(seed).generate_mix(count, self.classes)
+    def vectors(self, count: int, seed: int = 2018, fmt: str = "decimal64") -> list:
+        return VerificationDatabase(seed, fmt=fmt).generate_mix(count, self.classes)
 
 
 class TelcoBilling(Workload):
@@ -57,6 +60,7 @@ class TelcoBilling(Workload):
         "significant-digit tariffs at 1e-7 $/s"
     )
     tags = ("financial",)
+    formats = ("decimal64", "decimal128")
 
     def pair(self, rng, index):
         duration = DecNumber(0, rng.randint(1, 720_000), -2)   # up to 2 hours
@@ -73,6 +77,7 @@ class CurrencyFx(Workload):
         "rates (products need rounding almost every time)"
     )
     tags = ("financial", "rounding")
+    formats = ("decimal64", "decimal128")
 
     def pair(self, rng, index):
         amount = _finite(rng, (1, 13), (-2, -2), signed=False)
@@ -91,6 +96,7 @@ class TaxLadder(Workload):
         "1.0000-1.1999 step factors (inexact at nearly every rung)"
     )
     tags = ("financial", "rounding")
+    formats = ("decimal64", "decimal128")
 
     def pair(self, rng, index):
         # The amount's precision grows along a ladder; model rungs by cycling
@@ -110,6 +116,7 @@ class SparseDigits(Workload):
         "products, exponent/clamp logic dominates"
     )
     tags = ("exponent",)
+    formats = ("decimal64", "decimal128")
 
     def pair(self, rng, index):
         return (
@@ -119,24 +126,33 @@ class SparseDigits(Workload):
 
 
 class CarryStress(Workload):
-    """Maximal BCD carry chains: all-nines coefficients of varying width."""
+    """Maximal BCD carry chains: all-nines coefficients of varying width.
+
+    The digit range tops out at the format's full precision (16 for
+    decimal64, 34 for decimal128), so every format gets its own worst-case
+    carry chains; the decimal64 stream is unchanged.
+    """
 
     name = "carry-stress"
     description = (
-        "all-nines coefficients (8-16 digits): every partial-product digit "
-        "carries, the worst case for the BCD adder tree"
+        "all-nines coefficients (8 digits up to full precision): every "
+        "partial-product digit carries, the worst case for the BCD adder tree"
     )
     tags = ("stress",)
+    formats = ("decimal64", "decimal128")
 
-    def pair(self, rng, index):
+    def pair(self, rng, index, precision: int = 16):
         def nines():
             return DecNumber(
                 rng.randint(0, 1),
-                10 ** rng.randint(8, 16) - 1,
+                10 ** rng.randint(8, precision) - 1,
                 rng.randint(-10, 10),
             )
 
         return nines(), nines()
+
+    def pair_for_format(self, rng, index, spec):
+        return self.pair(rng, index, precision=spec.precision)
 
 
 class SpecialValues(Workload):
@@ -148,8 +164,9 @@ class SpecialValues(Workload):
         "territory finite pairs (underflow to subnormal or zero)"
     )
     tags = ("special", "stress")
+    formats = ("decimal64", "decimal128")
 
-    def _special(self, rng):
+    def _special(self, rng, spec):
         choice = rng.randint(0, 3)
         if choice == 0:
             return DecNumber.infinity(rng.randint(0, 1))
@@ -157,23 +174,28 @@ class SpecialValues(Workload):
             return DecNumber.qnan(rng.randint(0, 999))
         if choice == 2:
             return DecNumber.snan(rng.randint(0, 999))
-        return DecNumber(rng.randint(0, 1), 0, rng.randint(-398, 369))
+        return DecNumber(rng.randint(0, 1), 0, rng.randint(spec.etiny, spec.etop))
 
-    def pair(self, rng, index):
+    def pair(self, rng, index, spec=None):
+        spec = spec if spec is not None else get_format("decimal64")
         if rng.random() < 0.4:
-            x = self._special(rng)
+            x = self._special(rng, spec)
             y = (
-                self._special(rng)
+                self._special(rng, spec)
                 if rng.random() < 0.5
-                else _finite(rng, (1, 16), (-200, 200))
+                else _finite(rng, (1, spec.precision),
+                             (-spec.precision * 12 - 8, spec.precision * 12 + 8))
             )
             return (x, y) if rng.random() < 0.5 else (y, x)
         # Subnormal-dense: products land between etiny and emin, or flush
         # to zero — the underflow/clamp corner of the rounding code.
         return (
-            _finite(rng, (1, 8), (-398, -380)),
-            _finite(rng, (1, 8), (-398, -380)),
+            _finite(rng, (1, 8), (spec.etiny, spec.etiny + 18)),
+            _finite(rng, (1, 8), (spec.etiny, spec.etiny + 18)),
         )
+
+    def pair_for_format(self, rng, index, spec):
+        return self.pair(rng, index, spec=spec)
 
 
 #: Instances in registration order (paper mix first).

@@ -71,3 +71,35 @@ def workload_names() -> tuple:
 def registered_workloads() -> dict:
     """A name -> Workload snapshot of the registry."""
     return dict(_REGISTRY)
+
+
+def workloads_for_format(fmt) -> dict:
+    """Registered workloads that declare support for format ``fmt``."""
+    return {
+        name: workload
+        for name, workload in _REGISTRY.items()
+        if workload.supports_format(fmt)
+    }
+
+
+def workload_vectors(workload: Workload, count: int, seed: int,
+                     fmt: str = "decimal64") -> list:
+    """Draw ``count`` vectors from ``workload`` for format ``fmt``.
+
+    The single call site the rest of the stack uses: it enforces the
+    workload's declared format support and keeps the decimal64 call shape
+    identical to the pre-format-axis one (so third-party ``vectors``
+    overrides without the ``fmt`` parameter keep working for decimal64).
+    """
+    from repro.decnumber.formats import resolve_format_name
+
+    fmt = resolve_format_name(fmt)
+    if fmt == "decimal64":
+        return workload.vectors(count, seed)
+    if not workload.supports_format(fmt):
+        raise ConfigurationError(
+            f"workload {workload.name!r} does not support format {fmt!r} "
+            f"(declares {workload.formats}); see docs/formats.md for the "
+            "opt-in recipe"
+        )
+    return workload.vectors(count, seed, fmt=fmt)

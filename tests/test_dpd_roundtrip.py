@@ -1,0 +1,142 @@
+"""DPD declet codec round-trips, shared across both interchange formats.
+
+The declet codec is the one piece every layer of the decimal pipeline leans
+on — the golden encoders, the embedded kernel lookup tables, and both
+interchange formats.  These tests pin its full behaviour: every 3-digit
+value round-trips through its canonical declet, all 1024 bit patterns
+decode (the standard's 24 non-canonical patterns alias canonical values),
+and both decimal64 and decimal128 accept non-canonical declets inside
+encoded words, decoding them to the same value as their canonical form.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.decnumber import dpd
+from repro.decnumber.formats import DECIMAL64, DECIMAL128, FORMATS
+from repro.decnumber.number import DecNumber
+from repro.errors import DecimalError
+
+SPECS = tuple(FORMATS.values())
+
+
+# ------------------------------------------------------------------- declets
+def test_all_1000_values_round_trip_canonically():
+    for value in range(1000):
+        declet = dpd.encode_declet(value)
+        assert 0 <= declet <= 0x3FF
+        assert dpd.decode_declet(declet) == value
+
+
+def test_all_1024_declets_decode_and_realias():
+    """Every bit pattern decodes; re-encoding yields the canonical alias
+    that decodes to the same value (non-canonical acceptance)."""
+    non_canonical = 0
+    for declet in range(1024):
+        value = dpd.decode_declet(declet)
+        assert 0 <= value <= 999
+        canonical = dpd.encode_declet(value)
+        assert dpd.decode_declet(canonical) == value
+        if canonical != declet:
+            non_canonical += 1
+    # The standard's count: 24 non-canonical declets (aliases of values
+    # with two or three large digits).
+    assert non_canonical == 24
+
+
+def test_non_canonical_declets_all_alias_large_digit_values():
+    for declet in range(1024):
+        if dpd.encode_declet(dpd.decode_declet(declet)) == declet:
+            continue
+        digits = [int(d) for d in f"{dpd.decode_declet(declet):03d}"]
+        assert sum(1 for digit in digits if digit >= 8) >= 2
+
+
+def test_declet_range_checks():
+    with pytest.raises(DecimalError):
+        dpd.decode_declet(1024)
+    with pytest.raises(DecimalError):
+        dpd.encode_declet(1000)
+    with pytest.raises(DecimalError):
+        dpd.encode_coefficient(1, 4)     # not a multiple of 3 digits
+    with pytest.raises(DecimalError):
+        dpd.encode_coefficient(10 ** 15, 15)  # does not fit
+
+
+# ------------------------------------------------- coefficient continuations
+@pytest.mark.parametrize("spec", SPECS, ids=lambda spec: spec.name)
+def test_coefficient_fields_round_trip_per_format(spec):
+    digits = spec.coefficient_continuation_digits
+    rng = random.Random(spec.total_bits)
+    values = [0, 1, 10 ** digits - 1] + [
+        rng.randrange(10 ** digits) for _ in range(500)
+    ]
+    for value in values:
+        field = dpd.encode_coefficient(value, digits)
+        assert field < (1 << spec.coefficient_continuation_bits)
+        assert dpd.decode_coefficient(field, digits) == value
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda spec: spec.name)
+def test_non_canonical_declets_accepted_in_encoded_words(spec):
+    """Replacing the low declet of an encoded word with a non-canonical
+    alias must decode to the same value (IEEE 754-2008 acceptance rule)."""
+    aliases = {
+        dpd.decode_declet(declet): declet
+        for declet in range(1024)
+        if dpd.encode_declet(dpd.decode_declet(declet)) != declet
+    }
+    assert aliases
+    rng = random.Random(spec.precision)
+    checked = 0
+    for value, alias in sorted(aliases.items()):
+        coefficient = rng.randrange(10 ** (spec.precision - 3)) * 1000 + value
+        word = spec.encode(DecNumber(0, coefficient, 0))
+        canonical_low = word & 0x3FF
+        assert dpd.decode_declet(canonical_low) == value
+        patched = (word & ~0x3FF) | alias
+        assert patched != word
+        decoded = spec.decode(patched)
+        reference = spec.decode(word)
+        assert (decoded.sign, decoded.coefficient, decoded.exponent) == (
+            reference.sign, reference.coefficient, reference.exponent,
+        )
+        checked += 1
+    assert checked == len(aliases)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda spec: spec.name)
+def test_kernel_tables_agree_with_codec(spec):
+    """The embedded DPD<->BCD tables are exact codec mirrors per format."""
+    bcd_table = dpd.declet_table_bcd()
+    rev_table = dpd.bcd_to_declet_table()
+    for declet in range(1024):
+        value = dpd.decode_declet(declet)
+        bcd = bcd_table[declet]
+        assert (bcd >> 8, (bcd >> 4) & 0xF, bcd & 0xF) == (
+            value // 100, (value // 10) % 10, value % 10
+        )
+        assert rev_table[bcd] == dpd.encode_declet(value)
+    # Spot-check: the full continuation of each format decodes declet by
+    # declet exactly the way the tables would.
+    rng = random.Random(99 + spec.precision)
+    for _ in range(50):
+        coefficient = rng.randrange(10 ** spec.coefficient_continuation_digits)
+        field = dpd.encode_coefficient(
+            coefficient, spec.coefficient_continuation_digits
+        )
+        rebuilt = 0
+        for index in reversed(range(spec.declets)):
+            declet = (field >> (10 * index)) & 0x3FF
+            rebuilt = rebuilt * 1000 + dpd.decode_declet(declet)
+        assert rebuilt == coefficient
+
+
+def test_format_declet_counts():
+    assert DECIMAL64.declets == 5
+    assert DECIMAL128.declets == 11
+    assert DECIMAL64.words_per_value == 1
+    assert DECIMAL128.words_per_value == 2

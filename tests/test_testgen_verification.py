@@ -22,7 +22,6 @@ class TestConfig:
     @pytest.mark.parametrize("kwargs", [
         dict(solution="hardware_only"),
         dict(precision="single"),
-        dict(precision="quad"),
         dict(operation="divide"),
         dict(num_samples=0),
         dict(repetitions=0),
@@ -32,6 +31,13 @@ class TestConfig:
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             TestProgramConfig(**kwargs)
+
+    def test_quad_precision_is_first_class(self):
+        config = TestProgramConfig(precision="quad")
+        assert config.fmt == "decimal128"
+        assert config.format_spec.precision == 34
+        assert TestProgramConfig().fmt == "decimal64"
+        assert TestProgramConfig.precision_for_format("decimal128") == "quad"
 
     def test_with_overrides(self):
         config = TestProgramConfig().with_overrides(num_samples=7)
