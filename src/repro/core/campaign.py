@@ -141,6 +141,24 @@ def plan_shards(num_samples: int, shards: int) -> list:
     return plan
 
 
+#: Per-process warm-simulator cache (see :mod:`repro.sim.batch`).  Pool
+#: workers live across many shard tasks, so shards sharing a program shape
+#: (same solution x format x shard size) reuse one warm executor — tier-2
+#: compiled superblocks, promotion heat and speculation state carry over
+#: instead of being rebuilt per shard.  Batch mode is bit-identical to the
+#: cold path, so the engine's determinism guarantees are unchanged.
+_SHARD_RUNNER = None
+
+
+def _shard_runner():
+    global _SHARD_RUNNER
+    if _SHARD_RUNNER is None:
+        from repro.sim.batch import BatchRunner
+
+        _SHARD_RUNNER = BatchRunner()
+    return _SHARD_RUNNER
+
+
 def _run_shard_task(task):
     """Worker entry point: run one shard and return its picklable report."""
     cell_id, shard_index, start, stop, cell, vectors = task
@@ -157,6 +175,7 @@ def _run_shard_task(task):
         workload=cell.workload,
         differential=cell.differential,
         fmt=cell.fmt,
+        runner=_shard_runner(),
     )
     return cell_id, outcome.shard_report
 

@@ -95,6 +95,7 @@ def run_solution_shard(
     workload: str = None,
     differential: bool = False,
     fmt: str = "decimal64",
+    runner=None,
 ) -> ShardRunOutcome:
     """Build, verify and measure one solution over one slice of vectors.
 
@@ -113,6 +114,14 @@ def run_solution_shard(
     the shard report (instead of raising), so a sharded campaign can merge
     and render them; host-side golden condition coverage of the shard's
     vectors is recorded alongside.
+
+    ``runner`` may pass a :class:`repro.sim.batch.BatchRunner`: the shard's
+    program is then rebound onto a cached template (no re-assemble/re-link)
+    and the functional run reuses that runner's warm executor — tier-2
+    compiled superblocks and promotion state carry over between shards of
+    the same shape.  Batch mode is bit-identical to the cold path (same
+    image bytes, same results, same retire counts); the campaign engine
+    turns it on per worker process.
     """
     vectors = list(vectors)
     config = TestProgramConfig(
@@ -125,7 +134,11 @@ def run_solution_shard(
         workload=workload,
     )
     fmt = config.fmt  # canonical name
-    program = build_test_program(config, vectors=vectors)
+    if runner is not None:
+        program, warm_simulator = runner.acquire(solution, config, vectors)
+    else:
+        program = build_test_program(config, vectors=vectors)
+        warm_simulator = None
     outcome = ShardRunOutcome(
         program=program,
         shard_report=ShardCycleReport(
@@ -139,9 +152,12 @@ def run_solution_shard(
     spike_words = None
     run_spike = (verify_functionally and solution.verifiable) or differential
     if run_spike:
-        simulator = SpikeSimulator(
-            program.image, accelerator=solution.make_accelerator(fmt)
-        )
+        if warm_simulator is not None:
+            simulator = warm_simulator
+        else:
+            simulator = SpikeSimulator(
+                program.image, accelerator=solution.make_accelerator(fmt)
+            )
         started = time.perf_counter()
         functional = simulator.run()
         report.sim_wall_seconds += time.perf_counter() - started

@@ -23,11 +23,13 @@ from repro.sim.executor import (
     TC_ROCC,
 )
 from repro.sim.spike import SimulationResult, SpikeSimulator
+from repro.sim.batch import BatchRunner
 
 __all__ = [
     "SparseMemory",
     "Hart",
     "Htif",
+    "BatchRunner",
     "ExecInfo",
     "Executor",
     "SimulationResult",

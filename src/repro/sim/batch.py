@@ -1,0 +1,120 @@
+"""Batch-vector execution: one warm simulator amortized over many vector sets.
+
+Building a test program (assemble + link), constructing a ``SpikeSimulator``
+and re-decoding/re-promoting its hot loops costs far more than actually
+running a small vector shard — at campaign scale most host time used to go
+to this per-shard cold start.  ``BatchRunner`` keeps one live simulator per
+*program shape* (solution x format x sample count x repetitions: everything
+that determines the generated text) and runs each new vector set through it:
+
+* the operand words are re-encoded and patched into the cached program's
+  image (:meth:`~repro.testgen.generator.GeneratedProgram.rebind`) **and**
+  written into the warm simulator's memory — page-view aliasing keeps the
+  tier-2 compiled memory lanes coherent, since pages are mutated in place,
+  never replaced;
+* the result / cycle-sample / total-cycles buffers are zeroed, restoring
+  exactly the freshly-loaded data segment;
+* :meth:`~repro.sim.spike.SpikeSimulator.reset` rewinds registers (in
+  place — compiled code binds the register list), pc, HTIF and accelerator
+  state while keeping everything the executor learned: decoded
+  instructions, tier-1 superblocks, tier-2 compiled code, promotion heat
+  and speculation bans.
+
+Bit-identity with the cold path is a hard invariant, not a best effort: the
+patched image is byte-identical to a fresh build over the same vectors, the
+warm memory matches a fresh load of that image, and the tier-2 engine's
+correctness protocol (entry guards + deopt) makes compiled-state reuse
+architecturally invisible.  ``tests/test_tier2.py`` locks this down against
+the cold path sample by sample.
+
+The runner is deliberately executor-level machinery: the cycle-accurate
+Rocket measurement must start cold (cold caches are part of the paper's
+measurement), so callers hand Rocket the *rebound image* — amortizing only
+the build/link — and keep the warm executor for the functional runs.
+"""
+
+from __future__ import annotations
+
+from repro.sim.spike import SpikeSimulator
+
+#: Default cap on live cached simulators; beyond it the least recently used
+#: entry (and its memory image) is dropped.  A Table IV campaign needs three
+#: (one per solution kind); format/workload sweeps need one per (kind x
+#: format x shard shape).
+DEFAULT_MAX_ENTRIES = 8
+
+
+class BatchRunner:
+    """Warm-simulator cache keyed by program shape (see module docs)."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self._entries = {}
+        self.max_entries = max_entries
+        #: Cache statistics (exposed for benchmarks and tests).
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(solution, config) -> tuple:
+        # Everything that determines the generated text + the simulator
+        # construction: the vectors themselves are the only thing that may
+        # differ between runs sharing a key.
+        return (
+            solution.name,
+            solution.kind,
+            config.fmt,
+            config.num_samples,
+            config.repetitions,
+        )
+
+    def acquire(self, solution, config, vectors) -> tuple:
+        """``(program, simulator)`` ready to run ``vectors``.
+
+        On a cache miss the program is built and linked and a fresh
+        simulator constructed (exactly the cold path).  On a hit, the cached
+        template is rebound to the new vectors and the warm simulator's
+        memory and architectural state are restored; the returned program's
+        image is byte-identical to a cold build over ``vectors``.
+        """
+        from repro.testgen.generator import build_test_program
+
+        key = self._key(solution, config)
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            self.misses += 1
+            program = build_test_program(config, vectors=vectors)
+            simulator = SpikeSimulator(
+                program.image, accelerator=solution.make_accelerator(config.fmt)
+            )
+            entry = (program, simulator)
+        else:
+            self.hits += 1
+            template, simulator = entry
+            encoded = template.encode_operands(vectors)
+            program = template.rebind(vectors, encoded=encoded)
+            memory = simulator.memory
+            memory.write_bytes(
+                program.image.symbol("operands"), encoded[1]
+            )
+            start, size = template.scratch_span()
+            memory.write_bytes(start, b"\x00" * size)
+            simulator.reset()
+            entry = (template, simulator)
+        # Reinsert (LRU: dicts iterate in insertion order) and evict.
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        return program, simulator
+
+    def run_functional(self, solution, config, vectors) -> tuple:
+        """``(program, SimulationResult)`` for one batch of vectors.
+
+        Convenience wrapper over :meth:`acquire` + ``simulator.run()`` for
+        callers that only need the functional result (benchmarks, tests).
+        """
+        program, simulator = self.acquire(solution, config, vectors)
+        return program, simulator.run()
+
+    def clear(self) -> None:
+        """Drop every cached simulator."""
+        self._entries.clear()

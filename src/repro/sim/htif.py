@@ -31,6 +31,12 @@ class Htif:
         """Register the ``tohost`` write hook on a :class:`SparseMemory`."""
         memory.add_write_hook(self.tohost_address, self._on_tohost_write)
 
+    def reset(self) -> None:
+        """Clear exit/console state for another run (hooks stay registered)."""
+        self.exited = False
+        self.exit_code = 0
+        self.console.clear()
+
     def _on_tohost_write(self, value: int, size: int) -> None:
         if value & 1:
             self.exited = True

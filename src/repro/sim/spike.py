@@ -69,6 +69,7 @@ class SpikeSimulator:
         self.htif = Htif()
         self.htif.attach(self.memory)
         self.hart = Hart(pc=image.entry, stack_pointer=stack_top)
+        self.stack_top = stack_top
         self.max_instructions = max_instructions
         self.instructions_retired = 0
         self.accelerator = accelerator
@@ -78,6 +79,12 @@ class SpikeSimulator:
             self.memory,
             csr_provider=self._read_counter,
             rocc=rocc_adapter,
+            # _read_counter returns the retire count for every one of these,
+            # so tier-2 may inline rdcycle/rdinstret brackets (see Executor).
+            counter_csrs=(
+                csrdefs.CYCLE, csrdefs.MCYCLE, csrdefs.TIME,
+                csrdefs.INSTRET, csrdefs.MINSTRET,
+            ),
         )
         # Stop a batched Executor.run on the instruction that writes tohost.
         self.htif.on_exit = self.executor.request_halt
@@ -90,6 +97,38 @@ class SpikeSimulator:
         if address in (csrdefs.INSTRET, csrdefs.MINSTRET):
             return self.executor.retired
         return 0
+
+    # ------------------------------------------------------------------- reset
+    def reset(self) -> None:
+        """Rewind architectural state for another run, keeping the engine warm.
+
+        Everything the executor *learned* survives: decoded instructions,
+        tier-1 superblocks, tier-2 compiled code, promotion heat and the
+        speculation bans accumulated by deopts.  Everything architectural is
+        rewound to construction state: registers (mutated in place — the
+        compiled code binds the register list by object identity), pc, HTIF
+        exit/console state, the executor's halt flags and retire counter,
+        and the accelerator's architectural state.
+
+        Memory contents are *not* touched; callers running new operand
+        vectors must rewrite the operand region and zero the result buffers
+        first (see :class:`repro.sim.batch.BatchRunner`, which owns that
+        protocol).
+        """
+        hart = self.hart
+        regs = hart.regs
+        regs[:] = [0] * len(regs)
+        regs[2] = self.stack_top
+        hart.pc = self.image.entry
+        self.htif.reset()
+        executor = self.executor
+        executor.stop = False
+        executor.exit_requested = False
+        executor.exit_code = 0
+        executor.retired = 0
+        self.instructions_retired = 0
+        if self.accelerator is not None:
+            self.accelerator.reset()
 
     # --------------------------------------------------------------------- run
     def run(self) -> SimulationResult:

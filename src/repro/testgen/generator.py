@@ -12,7 +12,8 @@ The generated program contains (Fig. 2's "Test Program" box):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import struct
+from dataclasses import dataclass, field, replace
 
 from repro.asm.builder import AsmBuilder
 from repro.asm.program import TOHOST_ADDRESS
@@ -93,6 +94,80 @@ class GeneratedProgram:
 
     def read_total_cycles(self, result) -> int:
         return result.read_dword(HARNESS_SYMBOLS["total_cycles"])
+
+    # ------------------------------------------------------- batch re-binding
+    def encode_operands(self, vectors) -> tuple:
+        """``(operand_words, blob)`` for ``vectors`` under this program's format.
+
+        ``blob`` is byte-identical to the operand region a fresh
+        :func:`build_test_program` over the same vectors would emit, so a
+        warm simulator (or a patched image) loaded with it is
+        indistinguishable from a cold build.
+        """
+        reference = GoldenReference(
+            operation=self.config.operation, precision=self.config.precision
+        )
+        words_per_value = self.words_per_value
+        mask64 = (1 << 64) - 1
+        operand_words = []
+        blob = bytearray()
+        for vector in vectors:
+            x_word = reference.encode_operand(vector.x)
+            y_word = reference.encode_operand(vector.y)
+            operand_words.append((x_word, y_word))
+            for value in (x_word, y_word):
+                for i in range(words_per_value):
+                    blob += struct.pack("<Q", (value >> (64 * i)) & mask64)
+        return operand_words, bytes(blob)
+
+    def rebind(self, vectors, encoded=None) -> "GeneratedProgram":
+        """This program over a new same-shape vector set, without re-linking.
+
+        Returns a new :class:`GeneratedProgram` whose image shares the text
+        segment, symbol table and layout of this one; only the operand words
+        in the data segment are replaced (``encoded`` may pass a precomputed
+        :meth:`encode_operands` result to avoid encoding twice).  Byte-for-
+        byte identical to re-running the full generate/assemble/link pipeline
+        over the new vectors — that is the invariant batch mode rests on.
+        """
+        vectors = list(vectors)
+        if len(vectors) != self.num_samples:
+            raise ConfigurationError(
+                f"rebind vector count {len(vectors)} != program num_samples "
+                f"{self.num_samples}"
+            )
+        operand_words, blob = (
+            encoded if encoded is not None else self.encode_operands(vectors)
+        )
+        address = self.image.symbol(HARNESS_SYMBOLS["operands"])
+        segments = dict(self.image.segments)
+        for name, (base, data) in segments.items():
+            offset = address - base
+            if 0 <= offset and offset + len(blob) <= len(data):
+                segments[name] = (
+                    base, data[:offset] + blob + data[offset + len(blob):]
+                )
+                image = type(self.image)(
+                    segments=segments,
+                    symbols=self.image.symbols,
+                    entry=self.image.entry,
+                )
+                return replace(
+                    self, image=image, vectors=vectors,
+                    operand_words=operand_words,
+                )
+        raise ConfigurationError("operand region not found in any image segment")
+
+    def scratch_span(self) -> tuple:
+        """``(address, size)`` of the result buffers a warm rerun must zero.
+
+        Covers the contiguous ``results`` / ``cycle_samples`` /
+        ``total_cycles`` region (``num_samples`` stays — it is layout, not
+        output).
+        """
+        start = self.image.symbol(HARNESS_SYMBOLS["results"])
+        stop = self.image.symbol(HARNESS_SYMBOLS["total_cycles"]) + 8
+        return start, stop - start
 
 
 def _emit_kernel(builder: AsmBuilder, config: TestProgramConfig) -> str:

@@ -1,0 +1,557 @@
+"""Tier-2 compiled-superblock engine and batch-vector execution tests.
+
+Locks down the contract of the exec-compiled tier (see docs/simulator.md):
+
+* tier-2 execution is bit-identical to the tier-1 threaded-code engine on
+  RV64IM edge semantics (lockstep runs over the same programs),
+* speculation (exact-value, range, pinned-base, hook-set) deoptimizes
+  safely — entry-guard failure falls back to tier 1, pruning lets the head
+  re-promote against the live values, and results never change,
+* self-modifying code de-promotes compiled superblocks,
+* ``run``/``step`` and cold/warm (batch-mode) execution agree exactly,
+* :class:`~repro.sim.batch.BatchRunner` and the campaign engine's warm
+  workers reproduce the cold path sample for sample.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrapError
+from repro.isa.encoder import encode_instruction
+from repro.sim.batch import BatchRunner
+from repro.sim.executor import Executor
+from repro.sim.hart import Hart
+from repro.sim.memory import SparseMemory
+from repro.sim.spike import SpikeSimulator
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+BASE = 0x1000
+DATA = 0x8000
+INT64_MIN = 1 << 63
+
+
+def make_executor(words, regs=None, threshold=64, **kwargs):
+    """Encoded words at ``BASE``; returns (executor, hart, memory)."""
+    memory = SparseMemory()
+    for index, word in enumerate(words):
+        memory.write(BASE + 4 * index, 4, word)
+    hart = Hart(pc=BASE)
+    for reg, value in (regs or {}).items():
+        hart.regs[reg] = value & MASK64
+    return Executor(hart, memory, promote_threshold=threshold, **kwargs), hart, memory
+
+
+def run_to_trap(executor, budget=1_000_000):
+    """Run until the final ``ebreak`` traps; returns instructions retired."""
+    with pytest.raises(TrapError):
+        executor.run(budget)
+    return executor.retired
+
+
+def final_state(words, regs, threshold, data=None, data_words=16, **kwargs):
+    """Run to the trap and return (regs, retired, data words) for comparison."""
+    executor, hart, memory = make_executor(
+        words, regs=regs, threshold=threshold, **kwargs
+    )
+    for offset, value in (data or {}).items():
+        memory.write(DATA + offset, 8, value)
+    run_to_trap(executor)
+    return (
+        list(hart.regs),
+        executor.retired,
+        [memory.read(DATA + 8 * i, 8) for i in range(data_words)],
+        executor,
+    )
+
+
+def assert_lockstep(words, regs, data=None):
+    """Tier-1-only and tier-2-forced runs must agree bit for bit."""
+    r1, n1, m1, ex1 = final_state(words, regs, threshold=0, data=data, tier2=False)
+    r2, n2, m2, ex2 = final_state(words, regs, threshold=32, data=data)
+    assert ex1.tier2_blocks == 0
+    assert ex2.tier2_blocks > 0, "tier 2 never engaged — test is vacuous"
+    assert r1 == r2
+    assert n1 == n2
+    assert m1 == m2
+
+
+class TestTierLockstep:
+    def test_rv64im_edge_alu_loop(self):
+        # A hot loop over RV64IM edge semantics: shift-amount masking,
+        # signed-overflow division, remainder by zero, 32-bit op sign
+        # extension — accumulated so any divergence sticks.
+        words = [
+            encode_instruction("sll", 6, 20, 21),    # shamt 0x43 -> 3
+            encode_instruction("sra", 7, 22, 21),    # arithmetic on INT64_MIN
+            encode_instruction("div", 8, 22, 23),    # INT64_MIN / -1 overflow
+            encode_instruction("rem", 9, 20, 0),     # remainder by zero -> rs1
+            encode_instruction("mulw", 10, 22, 24),  # 32-bit product, sext
+            encode_instruction("sraw", 11, 24, 21),  # 32-bit shift, masked
+            encode_instruction("add", 28, 28, 6),
+            encode_instruction("add", 28, 28, 7),
+            encode_instruction("add", 28, 28, 8),
+            encode_instruction("add", 28, 28, 9),
+            encode_instruction("add", 28, 28, 10),
+            encode_instruction("add", 28, 28, 11),
+            encode_instruction("addi", 5, 5, -1),
+            encode_instruction("bne", 5, 0, -52),
+            encode_instruction("ebreak"),
+        ]
+        regs = {5: 300, 20: 0xABCD, 21: 0x43, 22: INT64_MIN,
+                23: MASK64, 24: 0x80000001}
+        assert_lockstep(words, regs)
+
+    def test_mask_elision_bounds(self):
+        # Values hovering at the 2^63 / 2^64 wrap: the compiled trace elides
+        # 64-bit masks only where a bound proof holds, so accumulate sums
+        # that cross both boundaries every iteration.
+        words = [
+            encode_instruction("add", 6, 20, 21),     # wraps past 2^64
+            encode_instruction("addi", 7, 6, 2047),
+            encode_instruction("sub", 8, 0, 7),       # negation wrap
+            encode_instruction("add", 28, 28, 8),
+            encode_instruction("addi", 5, 5, -1),
+            encode_instruction("bne", 5, 0, -16),
+            encode_instruction("ebreak"),
+        ]
+        regs = {5: 300, 20: MASK64 - 3, 21: (1 << 63) + 5}
+        assert_lockstep(words, regs)
+
+    def test_memory_lanes_all_widths(self):
+        # Loads/stores of every width through a loop-invariant base: the
+        # compiled page-view lanes (8/4/2/1 bytes, signed and unsigned
+        # loads) must match the scalar memory path exactly.
+        words = [
+            encode_instruction("ld", 6, 21, 0),
+            encode_instruction("lw", 7, 21, 8),      # sign-extends
+            encode_instruction("lwu", 8, 21, 8),
+            encode_instruction("lh", 9, 21, 16),
+            encode_instruction("lhu", 10, 21, 16),
+            encode_instruction("lb", 11, 21, 24),
+            encode_instruction("lbu", 12, 21, 24),
+            encode_instruction("add", 13, 6, 7),
+            encode_instruction("add", 13, 13, 9),
+            encode_instruction("add", 13, 13, 11),
+            encode_instruction("sd", 13, 21, 32),
+            encode_instruction("sw", 13, 21, 40),
+            encode_instruction("sh", 13, 21, 48),
+            encode_instruction("sb", 13, 21, 56),
+            encode_instruction("add", 28, 28, 13),
+            encode_instruction("add", 28, 28, 8),
+            encode_instruction("add", 28, 28, 10),
+            encode_instruction("add", 28, 28, 12),
+            encode_instruction("addi", 5, 5, -1),
+            encode_instruction("bne", 5, 0, -76),
+            encode_instruction("ebreak"),
+        ]
+        regs = {5: 300, 21: DATA}
+        data = {0: 0x8000_0000_0000_0001, 8: 0xFFFF_FFFF_8000_0001,
+                16: 0x8001, 24: 0x81}
+        assert_lockstep(words, regs, data=data)
+
+    def test_page_crossing_base_walk(self):
+        # The base register walks across a page boundary, so the compiled
+        # pinned-base lane must take its page-crossing slow path mid-run.
+        words = [
+            encode_instruction("ld", 6, 21, 0),
+            encode_instruction("add", 28, 28, 6),
+            encode_instruction("sd", 28, 21, 8),
+            encode_instruction("addi", 21, 21, 64),
+            encode_instruction("addi", 5, 5, -1),
+            encode_instruction("bne", 5, 0, -20),
+            encode_instruction("ebreak"),
+        ]
+        # 300 iterations x 64 bytes ~ 19 KiB: crosses several 4 KiB pages.
+        regs = {5: 300, 21: DATA}
+        assert_lockstep(words, regs, data={0: 12345})
+
+    def test_jalr_target_changes_between_iterations(self):
+        # jalr alternates between two targets each iteration (held in x30
+        # and x31 — addi immediates cannot encode absolute addresses);
+        # tier-2 jalr target speculation must check the live value.
+        words = [
+            encode_instruction("jalr", 1, 20, 0),       # 0x00 computed jump
+            encode_instruction("ebreak"),               # 0x04
+            encode_instruction("addi", 28, 28, 1),      # 0x08 target A
+            encode_instruction("addi", 20, 31, 0),      # 0x0c next -> B
+            encode_instruction("addi", 5, 5, -1),       # 0x10
+            encode_instruction("bne", 5, 0, -20),       # 0x14 -> 0x00
+            encode_instruction("ebreak"),               # 0x18
+            encode_instruction("addi", 28, 28, 100),    # 0x1c target B
+            encode_instruction("addi", 20, 30, 0),      # 0x20 next -> A
+            encode_instruction("addi", 5, 5, -1),       # 0x24
+            encode_instruction("bne", 5, 0, -40),       # 0x28 -> 0x00
+            encode_instruction("ebreak"),               # 0x2c
+        ]
+        regs = {5: 400, 20: BASE + 0x08, 30: BASE + 0x08, 31: BASE + 0x1C}
+        assert_lockstep(words, regs)
+
+    def test_counter_csr_inlined_brackets(self):
+        # rdcycle-style brackets (csrrs rd, 0xC00, x0) inside a hot loop:
+        # with the counter-CSR contract the tier-2 trace inlines them as
+        # retire-count arithmetic; deltas must equal the tier-1 engine's.
+        words = [
+            encode_instruction("csrrs", 6, 0xC02, 0),   # instret, pure read
+            encode_instruction("add", 8, 20, 21),
+            encode_instruction("add", 8, 8, 8),
+            encode_instruction("csrrs", 7, 0xC02, 0),
+            encode_instruction("sub", 9, 7, 6),          # bracket delta
+            encode_instruction("add", 28, 28, 9),
+            encode_instruction("addi", 5, 5, -1),
+            encode_instruction("bne", 5, 0, -24),
+            encode_instruction("ebreak"),
+        ]
+        regs = {5: 300, 20: 7, 21: 9}
+        results = []
+        for threshold, tier2 in ((0, False), (32, True)):
+            memory = SparseMemory()
+            for index, word in enumerate(words):
+                memory.write(BASE + 4 * index, 4, word)
+            hart = Hart(pc=BASE)
+            for reg, value in regs.items():
+                hart.regs[reg] = value
+            executor = Executor(
+                hart, memory, promote_threshold=threshold, tier2=tier2,
+                counter_csrs=(0xC00, 0xC02),
+            )
+            executor.csr_provider = lambda addr, e=executor: e.retired
+            run_to_trap(executor)
+            results.append((list(hart.regs), executor.retired))
+            if tier2:
+                assert executor.tier2_blocks > 0
+        assert results[0] == results[1]
+
+
+class TestDeopt:
+    #: countdown loop whose body folds x20 (never written) and loads
+    #: through x21 — promotion speculates on both.
+    WORDS = [
+        encode_instruction("addi", 6, 20, 1),
+        encode_instruction("ld", 7, 21, 0),
+        encode_instruction("add", 8, 6, 7),
+        encode_instruction("sd", 8, 21, 8),
+        encode_instruction("addi", 5, 5, -1),
+        encode_instruction("bne", 5, 0, -20),
+        encode_instruction("ebreak"),
+    ]
+
+    def _promoted(self):
+        executor, hart, memory = make_executor(
+            self.WORDS, regs={5: 400, 20: 0x123, 21: DATA}, threshold=64
+        )
+        memory.write(DATA, 8, 777)
+        run_to_trap(executor)
+        assert executor.tier2_blocks > 0
+        assert executor._t2_spec, "promotion did not speculate — vacuous"
+        return executor, hart, memory
+
+    def test_exact_value_deopt_prunes_and_stays_correct(self):
+        executor, hart, memory = self._promoted()
+        deopts_before = executor.tier2_deopts
+        hart.pc = BASE
+        hart.regs[5] = 400
+        hart.regs[20] = 0x999          # violates the pinned exact value
+        run_to_trap(executor)
+        assert executor.tier2_deopts > deopts_before
+        assert 20 in executor._t2_nospec.get(BASE, set())
+        assert hart.regs[8] == 0x999 + 1 + 777
+        assert memory.read(DATA + 8, 8) == 0x999 + 1 + 777
+
+    def test_repromotion_after_pruning_converges(self):
+        executor, hart, memory = self._promoted()
+        # Alternate the speculated value; after pruning, re-promotion must
+        # stop guarding on x20 and the deopt count must stop growing.
+        for value in (0x999, 0x123, 0x999, 0x123, 0x999, 0x123):
+            hart.pc = BASE
+            hart.regs[5] = 400
+            hart.regs[20] = value
+            run_to_trap(executor)
+            assert hart.regs[8] == value + 1 + 777
+        settled = executor.tier2_deopts
+        for value in (0x123, 0x999, 0x123):
+            hart.pc = BASE
+            hart.regs[5] = 400
+            hart.regs[20] = value
+            run_to_trap(executor)
+        assert executor.tier2_deopts == settled, \
+            "deopts kept firing: pruning did not converge"
+
+    def test_hook_registration_deopts_compiled_lanes(self):
+        executor, hart, memory = self._promoted()
+        deopts_before = executor.tier2_deopts
+        # A new MMIO hook anywhere invalidates the compile-time "no hook at
+        # this address" proof; the hook-generation entry guard must fire.
+        seen = []
+        memory.add_read_hook(0x4000_1000, lambda size: seen.append(size) or 0)
+        hart.pc = BASE
+        hart.regs[5] = 400
+        run_to_trap(executor)
+        assert executor.tier2_deopts > deopts_before
+        assert hart.regs[8] == 0x123 + 1 + 777
+
+    def test_tier1_fallback_result_is_exact_on_guard_failure(self):
+        # The deopt must happen *before* any state change: a run entered
+        # with violating values retires exactly as many instructions as a
+        # fresh executor would.
+        executor, hart, memory = self._promoted()
+        hart.pc = BASE
+        hart.regs[5] = 400
+        hart.regs[20] = 0x999
+        base_retired = executor.retired
+        run_to_trap(executor)
+        warm_retired = executor.retired - base_retired
+
+        fresh, fresh_hart, fresh_memory = make_executor(
+            self.WORDS, regs={5: 400, 20: 0x999, 21: DATA}, threshold=64
+        )
+        fresh_memory.write(DATA, 8, 777)
+        run_to_trap(fresh)
+        assert warm_retired == fresh.retired
+        assert list(hart.regs) == list(fresh_hart.regs)
+
+
+class TestSelfModifyingCode:
+    def test_store_into_promoted_block_depromotes(self):
+        # Loop stores a new opcode into its own body mid-run: the compiled
+        # superblock must be dropped and the new semantics take effect.
+        addi_x28_1 = encode_instruction("addi", 28, 28, 1)
+        addi_x28_7 = encode_instruction("addi", 28, 28, 7)
+        words = [
+            addi_x28_1,                                # patched mid-run
+            encode_instruction("addi", 5, 5, -1),
+            encode_instruction("bne", 5, 0, -8),
+            encode_instruction("ebreak"),
+        ]
+        executor, hart, memory = make_executor(
+            words, regs={5: 300, 20: addi_x28_7, 21: BASE}, threshold=64
+        )
+        run_to_trap(executor)
+        assert executor.tier2_blocks > 0
+        assert hart.regs[28] == 300
+        # Second phase: a store rewrites the loop body, then reruns it.
+        patch = [
+            encode_instruction("sw", 20, 21, 0),       # code store
+            encode_instruction("jalr", 0, 22, 0),      # jump back to loop
+        ]
+        for index, word in enumerate(patch):
+            memory.write(BASE + 0x100 + 4 * index, 4, word)
+        hart.pc = BASE + 0x100
+        hart.regs[5] = 10
+        hart.regs[22] = BASE
+        hart.regs[28] = 0
+        run_to_trap(executor)
+        assert not executor._tier2, "stale compiled superblock survived SMC"
+        assert hart.regs[28] == 70  # 10 iterations of the *new* body
+
+    def test_smc_then_reheat_repromotes_new_code(self):
+        words = [
+            encode_instruction("addi", 28, 28, 1),
+            encode_instruction("addi", 5, 5, -1),
+            encode_instruction("bne", 5, 0, -8),
+            encode_instruction("ebreak"),
+        ]
+        executor, hart, memory = make_executor(
+            words, regs={5: 300}, threshold=64
+        )
+        run_to_trap(executor)
+        assert executor.tier2_blocks > 0
+        blocks_before = executor.tier2_blocks
+        patch = [
+            encode_instruction("sw", 20, 21, 0),
+            encode_instruction("jalr", 0, 22, 0),
+        ]
+        for index, word in enumerate(patch):
+            memory.write(BASE + 0x100 + 4 * index, 4, word)
+        hart.pc = BASE + 0x100
+        hart.regs[5] = 300
+        hart.regs[20] = encode_instruction("addi", 28, 28, 2)
+        hart.regs[21] = BASE
+        hart.regs[22] = BASE
+        hart.regs[28] = 0
+        run_to_trap(executor)
+        assert hart.regs[28] == 600
+        assert executor.tier2_blocks > blocks_before, \
+            "rewritten loop never re-promoted"
+
+
+class TestRunStepEquivalence:
+    def test_run_matches_step_with_tier2(self):
+        words = [
+            encode_instruction("add", 6, 20, 21),
+            encode_instruction("sll", 7, 6, 22),
+            encode_instruction("sd", 7, 23, 0),
+            encode_instruction("ld", 8, 23, 0),
+            encode_instruction("add", 28, 28, 8),
+            encode_instruction("addi", 5, 5, -1),
+            encode_instruction("bne", 5, 0, -24),
+            encode_instruction("ebreak"),
+        ]
+        regs = {5: 200, 20: 5, 21: 9, 22: 3, 23: DATA}
+
+        run_ex, run_hart, _ = make_executor(words, regs=regs, threshold=32)
+        run_to_trap(run_ex)
+        assert run_ex.tier2_blocks > 0
+
+        step_ex, step_hart, _ = make_executor(words, regs=regs, threshold=32)
+        with pytest.raises(TrapError):
+            while True:
+                step_ex.step()
+        assert list(run_hart.regs) == list(step_hart.regs)
+        assert run_ex.retired == step_ex.retired
+
+
+def _build(kind, num_samples, seed, vectors=None):
+    from repro.testgen.config import TestProgramConfig
+    from repro.testgen.generator import build_test_program
+
+    config = TestProgramConfig(solution=kind, num_samples=num_samples, seed=seed)
+    return config, build_test_program(config, vectors=vectors)
+
+
+class TestBatchRunner:
+    def test_batch_200_sample_bit_identity(self):
+        # The acceptance case: 200 software-kernel samples through a warm
+        # runner (second acquire = warm hit) must match a cold build+run
+        # sample for sample, including retire counts and cycle samples.
+        from repro.core.solution import standard_solutions
+        from repro.testgen.config import SolutionKind
+        from repro.testgen.generator import draw_vectors
+
+        solution = standard_solutions()[SolutionKind.SOFTWARE]
+        runner = BatchRunner()
+        for seed in (2018, 31337):
+            vectors = draw_vectors(200, seed)
+            config, cold_program = _build(
+                SolutionKind.SOFTWARE, 200, seed, vectors=vectors
+            )
+            cold_sim = SpikeSimulator(cold_program.image)
+            cold = cold_sim.run()
+            program, warm = runner.run_functional(solution, config, vectors)
+            assert cold_program.read_results(cold) == program.read_results(warm)
+            assert (cold_program.read_cycle_samples(cold)
+                    == program.read_cycle_samples(warm))
+            assert cold.instructions_retired == warm.instructions_retired
+            assert cold.exit_code == warm.exit_code
+        assert runner.hits == 1 and runner.misses == 1
+
+    def test_warm_acquire_image_matches_fresh_build(self):
+        from repro.core.solution import standard_solutions
+        from repro.testgen.config import SolutionKind
+        from repro.testgen.generator import draw_vectors
+
+        solution = standard_solutions()[SolutionKind.METHOD1]
+        runner = BatchRunner()
+        for seed in (1, 2):
+            vectors = draw_vectors(25, seed)
+            config, fresh = _build(SolutionKind.METHOD1, 25, seed, vectors=vectors)
+            program, _ = runner.acquire(solution, config, vectors)
+            assert fresh.image.symbols == program.image.symbols
+            for name, (base, data) in fresh.image.segments.items():
+                warm_base, warm_data = program.image.segments[name]
+                assert warm_base == base
+                assert bytes(warm_data) == bytes(data), f"{name} segment differs"
+            assert fresh.operand_words == program.operand_words
+
+    def test_rebind_rejects_wrong_shape(self):
+        from repro.errors import ConfigurationError
+        from repro.testgen.config import SolutionKind
+        from repro.testgen.generator import draw_vectors
+
+        _, program = _build(SolutionKind.SOFTWARE, 10, 2018)
+        with pytest.raises(ConfigurationError):
+            program.rebind(draw_vectors(11, 2018))
+
+    def test_scratch_span_covers_result_buffers(self):
+        from repro.testgen.config import SolutionKind
+
+        _, program = _build(SolutionKind.SOFTWARE, 10, 2018)
+        start, size = program.scratch_span()
+        symbols = program.image.symbols
+        assert start == symbols["results"]
+        assert start + size == symbols["total_cycles"] + 8
+        assert symbols["cycle_samples"] in range(start, start + size)
+        assert symbols["num_samples"] >= start + size
+
+    def test_spike_reset_rerun_is_identical(self):
+        from repro.testgen.config import SolutionKind
+
+        _, program = _build(SolutionKind.SOFTWARE, 30, 2018)
+        simulator = SpikeSimulator(program.image)
+        first = simulator.run()
+        first_words = program.read_results(first)
+        first_retired = first.instructions_retired
+        for _ in range(2):
+            simulator.reset()
+            again = simulator.run()
+            assert program.read_results(again) == first_words
+            assert again.instructions_retired == first_retired
+            assert again.exit_code == first.exit_code
+
+    def test_eviction_caps_live_simulators(self):
+        from repro.core.solution import standard_solutions
+        from repro.testgen.config import SolutionKind
+        from repro.testgen.generator import draw_vectors
+
+        solution = standard_solutions()[SolutionKind.SOFTWARE]
+        runner = BatchRunner(max_entries=2)
+        for samples in (3, 4, 5, 6):
+            vectors = draw_vectors(samples, 2018)
+            config, _ = _build(SolutionKind.SOFTWARE, samples, 2018,
+                               vectors=vectors)
+            runner.run_functional(solution, config, vectors)
+        assert len(runner._entries) == 2
+        assert runner.misses == 4
+
+
+class TestCampaignWarmWorkers:
+    def test_workers_with_warm_runners_match_cold_serial(self):
+        # The campaign engine hands every worker a per-process BatchRunner;
+        # the merged report must still equal the cold serial path exactly.
+        from repro.core.campaign import run_campaign, table_iv_cells
+        from repro.core.evaluation import run_solution_shard
+        from repro.core.results import merge_shard_reports
+
+        cells = table_iv_cells(num_samples=12)
+        cold = []
+        for cell in cells:
+            outcome = run_solution_shard(
+                cell.solution,
+                cell.generate_vectors(),
+                operand_classes=cell.operand_classes,
+                seed=cell.seed,
+                rocket_config=cell.rocket_config,
+                workload=cell.workload,
+                fmt=cell.fmt,
+            )
+            cold.append(merge_shard_reports(
+                solution_name=cell.solution.name,
+                solution_kind=cell.solution.kind,
+                shards=[outcome.shard_report],
+                repetitions=cell.repetitions,
+            ))
+        result = run_campaign(table_iv_cells(num_samples=12), workers=2)
+        for cold_report, warm_report in zip(cold, result.reports):
+            assert cold_report.per_sample_cycles == warm_report.per_sample_cycles
+            assert (cold_report.instructions_retired
+                    == warm_report.instructions_retired)
+            assert cold_report.avg_total_cycles == warm_report.avg_total_cycles
+            assert cold_report.rocc_commands == warm_report.rocc_commands
+
+    def test_sharded_cell_reuses_runner_within_worker(self):
+        # Serial in-process campaign: every shard goes through the same
+        # module-level runner, so same-shape shards hit the warm cache.
+        import repro.core.campaign as campaign_mod
+        from repro.core.campaign import run_campaign, table_iv_cells
+
+        campaign_mod._SHARD_RUNNER = None
+        try:
+            run_campaign(table_iv_cells(num_samples=8,
+                                        kinds=("software",)),
+                         workers=1, shards_per_cell=2)
+            runner = campaign_mod._SHARD_RUNNER
+            assert runner is not None
+            assert runner.hits + runner.misses == 2
+            assert runner.hits >= 1, "same-shape shards did not reuse the cache"
+        finally:
+            campaign_mod._SHARD_RUNNER = None
