@@ -10,7 +10,12 @@ merged reports; the benchmark asserts that before recording.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_campaign.py [--samples N]
-        [--workers N] [--shards-per-cell N] [--out PATH]
+        [--workers N] [--shards-per-cell N] [--op mul,add,fma] [--out PATH]
+
+``--op`` switches the measured evaluation to the operation axis
+(docs/operations.md): the same serial-vs-sharded comparison over
+``run_operation_campaign``, with per-operation throughput
+(samples per simulator-wall second) recorded beside the scaling numbers.
 
 The paper-scale acceptance run is ``--samples 8000`` on a >= 4-core host;
 ``cpu_count`` is recorded with every entry because the achievable speedup is
@@ -30,7 +35,10 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
-from repro.core.campaign import run_table_iv_campaign  # noqa: E402
+from repro.core.campaign import (  # noqa: E402
+    run_operation_campaign,
+    run_table_iv_campaign,
+)
 
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_campaign.json")
 
@@ -45,12 +53,42 @@ def _reports_identical(a, b) -> bool:
     )
 
 
+def _per_operation_stats(result) -> dict:
+    """Per-operation sample throughput over the simulator wall clock."""
+    stats = {}
+    for report in result.reports:
+        entry = stats.setdefault(report.operation, {
+            "samples": 0, "sim_wall_seconds": 0.0,
+        })
+        entry["samples"] += report.num_samples
+        entry["sim_wall_seconds"] += report.sim_wall_seconds
+    for entry in stats.values():
+        wall = entry["sim_wall_seconds"]
+        entry["sim_wall_seconds"] = round(wall, 3)
+        entry["samples_per_second"] = (
+            round(entry["samples"] / wall, 1) if wall else None
+        )
+    return stats
+
+
 def run_benchmark(samples: int, workers: int, shards_per_cell: int,
-                  workload: str = None) -> dict:
-    kwargs = dict(num_samples=samples, shards_per_cell=shards_per_cell,
-                  workload=workload)
-    serial = run_table_iv_campaign(workers=1, **kwargs)
-    parallel = run_table_iv_campaign(workers=workers, **kwargs)
+                  workload: str = None, operations=None) -> dict:
+    if operations:
+        def run(workers):
+            return run_operation_campaign(
+                operations, num_samples=samples,
+                shards_per_cell=shards_per_cell,
+                workloads=(workload,) if workload else None,
+                workers=workers,
+            )
+    else:
+        def run(workers):
+            return run_table_iv_campaign(
+                num_samples=samples, shards_per_cell=shards_per_cell,
+                workload=workload, workers=workers,
+            )
+    serial = run(workers=1)
+    parallel = run(workers=workers)
     if not _reports_identical(serial, parallel):
         raise AssertionError(
             "merged campaign reports diverged between the serial and "
@@ -59,7 +97,7 @@ def run_benchmark(samples: int, workers: int, shards_per_cell: int,
     speedup = (
         serial.wall_seconds / parallel.wall_seconds if parallel.wall_seconds else 0.0
     )
-    return {
+    record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "samples": samples,
         "workload": workload,
@@ -72,8 +110,18 @@ def run_benchmark(samples: int, workers: int, shards_per_cell: int,
         "speedup": round(speedup, 2),
         "sim_wall_seconds": round(parallel.total_sim_wall_seconds, 3),
         "bit_identical_to_serial": _reports_identical(serial, parallel),
-        "table_iv_rows": parallel.table_iv().rows(),
     }
+    if operations:
+        record["operations"] = [str(op) for op in operations]
+        record["per_operation"] = _per_operation_stats(parallel)
+        record["table_iv_rows"] = {
+            f"{op}/{fmt}/{wl or 'default'}": table.rows()
+            for (op, fmt, wl), table in
+            parallel.table_iv_by_operation().items()
+        }
+    else:
+        record["table_iv_rows"] = parallel.table_iv().rows()
+    return record
 
 
 def persist(record: dict, path: str) -> dict:
@@ -116,13 +164,26 @@ def main(argv=None) -> int:
              "(default: the legacy Table IV class mix)",
     )
     parser.add_argument(
+        "--op", default=None, metavar="NAME[,NAME...]", dest="operations",
+        help="comma-separated operations to evaluate instead of the "
+             "multiply-only Table IV (multiply/add/subtract/fma, aliases "
+             "mul/sub/mac; docs/operations.md)",
+    )
+    parser.add_argument(
         "--out", default=DEFAULT_OUT, help="benchmark history JSON path"
     )
     args = parser.parse_args(argv)
     shards = args.shards_per_cell if args.shards_per_cell else max(1, args.workers)
 
+    operations = None
+    if args.operations:
+        from repro.decnumber.operations import resolve_operation_name
+        operations = tuple(
+            resolve_operation_name(part)
+            for part in args.operations.split(",") if part.strip()
+        )
     record = run_benchmark(args.samples, args.workers, shards,
-                           workload=args.workload)
+                           workload=args.workload, operations=operations)
     persist(record, args.out)
 
     print(f"campaign scaling, {record['samples']} samples/cell, "
@@ -132,6 +193,10 @@ def main(argv=None) -> int:
           f"{record['parallel_wall_seconds']:>8.2f} s")
     print(f"  speedup: {record['speedup']:.2f}x  "
           f"(merged reports identical: {record['bit_identical_to_serial']})")
+    for op, stats in record.get("per_operation", {}).items():
+        print(f"  {op}: {stats['samples']} samples in "
+          f"{stats['sim_wall_seconds']} s sim wall "
+          f"({stats['samples_per_second']} samples/s)")
     print(f"history -> {os.path.abspath(args.out)}")
     return 0
 

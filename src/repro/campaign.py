@@ -27,6 +27,15 @@ is co-simulated across spike/rocket/gem5 under each format::
 
     PYTHONPATH=src python -m repro.campaign --samples 200 --workers 4 \\
         --format decimal64,decimal128 --differential
+
+``--op NAME[,NAME...]`` adds the operation axis (docs/operations.md):
+every requested decimal operation (multiply/add/subtract/fma, aliases
+mul/sub/mac) is measured — and, with ``--differential``, co-simulated and
+dual-oracle checked — per format, rendered as one speedup table per
+(operation, format) group plus a cross-operation comparison::
+
+    PYTHONPATH=src python -m repro.campaign --samples 200 --workers 4 \\
+        --op mul,add,fma --format decimal64,decimal128 --differential
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ import sys
 from repro.core import reporting
 from repro.core.campaign import (
     run_format_campaign,
+    run_operation_campaign,
     run_table_iv_campaign,
     run_workload_campaign,
 )
@@ -88,6 +98,29 @@ def _parse_formats(text: str):
     if duplicates:
         raise argparse.ArgumentTypeError(
             f"duplicate format name(s): {', '.join(sorted(duplicates))}"
+        )
+    return tuple(names)
+
+
+def _parse_operations(text: str):
+    from repro.decnumber.operations import resolve_operation_name
+    from repro.errors import DecimalError
+
+    names = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            names.append(resolve_operation_name(part))
+        except DecimalError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+    if not names:
+        raise argparse.ArgumentTypeError("--op needs at least one operation name")
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise argparse.ArgumentTypeError(
+            f"duplicate operation name(s): {', '.join(sorted(duplicates))}"
         )
     return tuple(names)
 
@@ -168,6 +201,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--op", type=_parse_operations, default=None, metavar="NAME[,NAME...]",
+        dest="operations",
+        help=(
+            "decimal operation(s) to evaluate: multiply, add, subtract "
+            "and/or fma (aliases mul/sub/mac; docs/operations.md); fans "
+            "(operation x format x solution) cells and renders one speedup "
+            "table per (operation, format) group plus a cross-operation "
+            "comparison.  Defaults to the paper's multiply-only campaign"
+        ),
+    )
+    parser.add_argument(
         "--differential", action="store_true",
         help=(
             "cross-model differential mode: co-simulate every cell on "
@@ -211,7 +255,28 @@ def main(argv=None) -> int:
         mp_start_method=args.mp_start_method,
         differential=args.differential,
     )
-    if args.formats is not None:
+    if args.operations is not None:
+        # Operation axis: one cell group per (operation x format x
+        # workload-or-mix x solution), rendered as per-operation speedup
+        # tables.  Kinds default to the two verifiable Table IV rows — the
+        # dummy row measures multiply-shaped stub traffic and contributes
+        # nothing to a per-operation comparison.
+        result = run_operation_campaign(
+            args.operations,
+            formats=args.formats or ("decimal64",),
+            operand_classes=(
+                args.classes if args.classes is not None
+                else OperandClass.TABLE_IV_MIX
+            ),
+            workloads=args.workload,
+            **common,
+        )
+        tables = result.table_iv_by_operation()
+        print(reporting.render_operation_tables(result, tables=tables))
+        if len(tables) > 1:
+            print()
+            print(reporting.render_operation_matrix(result, tables=tables))
+    elif args.formats is not None:
         # Explicit format axis: one cell group per (format x workload-or-mix
         # x solution), rendered as per-format speedup tables.  In
         # differential mode with no explicit workload list, every
@@ -274,7 +339,12 @@ def main(argv=None) -> int:
     print(reporting.render_campaign(result))
     if args.json:
         summary = result.to_summary()
-        if args.formats is not None:
+        if args.operations is not None:
+            summary["table_iv_rows"] = {
+                f"{op}/{fmt}/{workload or 'default'}": table.rows()
+                for (op, fmt, workload), table in tables.items()
+            }
+        elif args.formats is not None:
             summary["table_iv_rows"] = {
                 f"{fmt}/{workload or 'default'}": table.rows()
                 for (fmt, workload), table in tables.items()

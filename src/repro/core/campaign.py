@@ -78,15 +78,21 @@ class CampaignCell:
     #: selects the kernels, accelerator sizing, operand distributions and
     #: oracle contexts — see docs/formats.md).
     fmt: str = "decimal64"
+    #: Decimal operation the cell evaluates (the second first-class sweep
+    #: axis: selects the kernels, the vector shape — pairs vs fma triples —
+    #: and the oracle operation; see docs/operations.md).
+    op: str = "multiply"
 
     def __post_init__(self) -> None:
         from repro.decnumber.formats import resolve_format_name
+        from repro.decnumber.operations import resolve_operation_name
         from repro.errors import DecimalError
 
         if self.num_samples < 1:
             raise ConfigurationError("cell num_samples must be at least 1")
         try:
             object.__setattr__(self, "fmt", resolve_format_name(self.fmt))
+            object.__setattr__(self, "op", resolve_operation_name(self.op))
         except DecimalError as error:
             raise ConfigurationError(str(error)) from None
         if self.workload is not None:
@@ -98,10 +104,18 @@ class CampaignCell:
                     f"workload {self.workload!r} does not support format "
                     f"{self.fmt!r} (declares {workload.formats})"
                 )
+            if not workload.supports_operation(self.op):
+                raise ConfigurationError(
+                    f"workload {self.workload!r} does not support operation "
+                    f"{self.op!r} (declares {workload.operations}); see "
+                    "docs/operations.md"
+                )
         if not self.label:
             label = self.solution.kind
             if self.workload is not None:
                 label = f"{self.solution.kind} @ {self.workload}"
+            if self.op != "multiply":
+                label = f"{label} ({self.op})"
             if self.fmt != "decimal64":
                 label = f"{label} [{self.fmt}]"
             if self.differential:
@@ -118,6 +132,7 @@ class CampaignCell:
             operand_classes=self.operand_classes,
             workload=self.workload,
             fmt=self.fmt,
+            operation=self.op,
         )
 
 
@@ -175,6 +190,7 @@ def _run_shard_task(task):
         workload=cell.workload,
         differential=cell.differential,
         fmt=cell.fmt,
+        operation=cell.op,
         runner=_shard_runner(),
     )
     return cell_id, outcome.shard_report
@@ -231,30 +247,37 @@ class CampaignResult:
         )
 
     def report_for(self, kind: str, workload: str = None,
-                   fmt: str = None) -> SolutionCycleReport:
-        """The merged report of one solution kind (plus workload/format).
+                   fmt: str = None, op: str = None) -> SolutionCycleReport:
+        """The merged report of one solution kind (plus workload/format/op).
 
-        ``workload=None``/``fmt=None`` mean "unspecified": they match only
-        when the matching cells all share one workload/format, and raise on
-        an ambiguous multi-workload or multi-format campaign rather than
-        silently picking the first.  ``fmt`` accepts aliases ("quad").
+        ``workload=None``/``fmt=None``/``op=None`` mean "unspecified": they
+        match only when the matching cells all share one workload/format/
+        operation, and raise on an ambiguous multi-workload, multi-format
+        or multi-operation campaign rather than silently picking the first.
+        ``fmt`` and ``op`` accept aliases ("quad", "mul", "mac").
         """
         if fmt is not None:
             from repro.decnumber.formats import resolve_format_name
 
             fmt = resolve_format_name(fmt)
+        if op is not None:
+            from repro.decnumber.operations import resolve_operation_name
+
+            op = resolve_operation_name(op)
         matches = [
             (cell, report)
             for cell, report in zip(self.cells, self.reports)
             if cell.solution.kind == kind
             and (workload is None or cell.workload == workload)
             and (fmt is None or cell.fmt == fmt)
+            and (op is None or cell.op == op)
         ]
         if not matches:
             raise ConfigurationError(
                 f"no campaign cell evaluated kind {kind!r}"
                 + (f" with workload {workload!r}" if workload else "")
                 + (f" under format {fmt!r}" if fmt else "")
+                + (f" for operation {op!r}" if op else "")
             )
         if workload is None and len({cell.workload for cell, _ in matches}) > 1:
             raise ConfigurationError(
@@ -267,6 +290,12 @@ class CampaignResult:
                 f"kind {kind!r} was evaluated under several formats "
                 f"({sorted(cell.fmt for cell, _ in matches)}); "
                 "pass report_for(kind, fmt=...)"
+            )
+        if op is None and len({cell.op for cell, _ in matches}) > 1:
+            raise ConfigurationError(
+                f"kind {kind!r} was evaluated under several operations "
+                f"({sorted(cell.op for cell, _ in matches)}); "
+                "pass report_for(kind, op=...)"
             )
         return matches[0][1]
 
@@ -289,6 +318,15 @@ class CampaignResult:
         for cell in self.cells:
             if cell.fmt not in seen:
                 seen.append(cell.fmt)
+        return tuple(seen)
+
+    @property
+    def operations(self) -> tuple:
+        """Distinct decimal operations of the cells, in first-seen order."""
+        seen = []
+        for cell in self.cells:
+            if cell.op not in seen:
+                seen.append(cell.op)
         return tuple(seen)
 
     def table_iv(self, baseline_kind: str = None) -> TableIVReport:
@@ -322,6 +360,11 @@ class CampaignResult:
                 "table_iv_by_workload() is ambiguous over formats "
                 f"{self.formats}; use table_iv_grouped()"
             )
+        if len(self.operations) > 1:
+            raise ConfigurationError(
+                "table_iv_by_workload() is ambiguous over operations "
+                f"{self.operations}; use table_iv_by_operation()"
+            )
         grouped: dict = {}
         for cell, cycle_report in zip(self.cells, self.reports):
             table = grouped.setdefault(
@@ -347,11 +390,47 @@ class CampaignResult:
         first-seen order, each holding that group's solution rows, so a
         ``--format decimal64,decimal128`` campaign renders one speedup
         table per format (per workload) with speedups computed against the
-        group's own baseline run.
+        group's own baseline run.  Raises on multi-operation campaigns —
+        group those with :meth:`table_iv_by_operation` instead (the keys
+        here stay ``(fmt, workload)`` so multiply-only callers are
+        unaffected by the operation axis).
         """
+        if len(self.operations) > 1:
+            raise ConfigurationError(
+                "table_iv_grouped() is ambiguous over operations "
+                f"{self.operations}; use table_iv_by_operation()"
+            )
         grouped: dict = {}
         for cell, cycle_report in zip(self.cells, self.reports):
             key = (cell.fmt, cell.workload)
+            table = grouped.setdefault(
+                key,
+                TableIVReport(
+                    num_samples=cell.num_samples,
+                    baseline_kind=baseline_kind or self.baseline_kind,
+                ),
+            )
+            if cell.solution.kind in table.reports:
+                raise ConfigurationError(
+                    f"cell group {key!r} has duplicate cells for kind "
+                    f"{cell.solution.kind!r}"
+                )
+            table.reports[cell.solution.kind] = cycle_report
+            table.num_samples = max(table.num_samples, cell.num_samples)
+        return grouped
+
+    def table_iv_by_operation(self, baseline_kind: str = None) -> dict:
+        """One Table IV report per (operation, format, workload) cell group.
+
+        The operation-axis grouping behind ``python -m repro.campaign
+        --op mul,add,fma``: keys are ``(op, fmt, workload)`` tuples in
+        first-seen order, each holding that group's solution rows, so every
+        operation renders its own speedup table (per format, per workload)
+        against the group's own baseline run.
+        """
+        grouped: dict = {}
+        for cell, cycle_report in zip(self.cells, self.reports):
+            key = (cell.op, cell.fmt, cell.workload)
             table = grouped.setdefault(
                 key,
                 TableIVReport(
@@ -383,6 +462,7 @@ class CampaignResult:
                     "kind": cell.solution.kind,
                     "workload": cell.workload,
                     "fmt": cell.fmt,
+                    "op": cell.op,
                     "solution": report.solution_name,
                     "samples": report.num_samples,
                     "shards": report.num_shards,
@@ -499,6 +579,7 @@ def table_iv_cells(
     workload: str = None,
     differential: bool = False,
     fmt: str = "decimal64",
+    op: str = "multiply",
 ) -> list:
     """One campaign cell per Table IV solution kind."""
     kinds = kinds or (
@@ -521,6 +602,7 @@ def table_iv_cells(
             workload=workload,
             differential=differential,
             fmt=fmt,
+            op=op,
         )
         for kind in kinds
     ]
@@ -537,6 +619,7 @@ def workload_cells(
     solutions: dict = None,
     differential: bool = False,
     fmt: str = "decimal64",
+    op: str = "multiply",
 ) -> list:
     """One campaign cell per (solution kind × workload name).
 
@@ -563,6 +646,7 @@ def workload_cells(
                 workload=workload,
                 differential=differential,
                 fmt=fmt,
+                op=op,
             )
         )
     return cells
@@ -580,6 +664,7 @@ def format_cells(
     solutions: dict = None,
     workloads=None,
     differential: bool = False,
+    op: str = "multiply",
 ) -> list:
     """One campaign cell per (format × workload-or-mix × solution kind).
 
@@ -622,6 +707,7 @@ def format_cells(
                         workload=name,
                         differential=differential,
                         fmt=fmt,
+                        op=op,
                     )
                 )
         else:
@@ -637,6 +723,7 @@ def format_cells(
                     solutions=solutions,
                     differential=differential,
                     fmt=fmt,
+                    op=op,
                 )
             )
     return cells
@@ -657,10 +744,162 @@ def run_format_campaign(
     shards_per_cell: int = 1,
     mp_start_method: str = None,
     differential: bool = False,
+    op: str = "multiply",
 ) -> CampaignResult:
     """Fan (format × workload × solution) cells over the campaign engine."""
     cells = format_cells(
         formats,
+        num_samples=num_samples,
+        kinds=kinds,
+        repetitions=repetitions,
+        seed=seed,
+        operand_classes=operand_classes,
+        rocket_config=rocket_config,
+        verify_functionally=verify_functionally,
+        solutions=solutions,
+        workloads=workloads,
+        differential=differential,
+        op=op,
+    )
+    return run_campaign(
+        cells,
+        workers=workers,
+        shards_per_cell=shards_per_cell,
+        mp_start_method=mp_start_method,
+    )
+
+
+def operation_cells(
+    operations,
+    formats=("decimal64",),
+    num_samples: int = 100,
+    kinds=None,
+    repetitions: int = 1,
+    seed: int = 2018,
+    operand_classes=OperandClass.TABLE_IV_MIX,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    solutions: dict = None,
+    workloads=None,
+    differential: bool = False,
+) -> list:
+    """One campaign cell per (operation × format × workload-or-mix × kind).
+
+    The cell grid behind ``python -m repro.campaign --op mul,add,fma``:
+    every requested decimal operation is evaluated with every solution kind
+    under every requested format, optionally crossed with a workload list.
+    ``kinds`` defaults to the two *verifiable* Table IV kinds (method1 and
+    the software baseline) — the dummy row measures multiply-shaped stub
+    traffic and contributes nothing to a per-operation speedup comparison,
+    but can be requested explicitly.  Workload entries not supporting an
+    (operation, format) pair are skipped for that pair; a workload
+    supported by *no* requested combination raises.
+    """
+    from repro.decnumber.operations import resolve_operation_name
+    from repro.errors import DecimalError
+
+    operations = list(operations)
+    if not operations:
+        raise ConfigurationError("operation_cells needs at least one operation")
+    try:
+        operations = [resolve_operation_name(name) for name in operations]
+    except DecimalError as error:
+        raise ConfigurationError(str(error)) from None
+    formats = list(formats)
+    if not formats:
+        raise ConfigurationError("operation_cells needs at least one format")
+    kinds = kinds or (SolutionKind.METHOD1, SolutionKind.SOFTWARE)
+    cells = []
+    if workloads:
+        from repro.workloads import get_workload
+
+        workloads = list(workloads)
+        for name in workloads:
+            workload = get_workload(name)
+            if not any(
+                workload.supports_format(fmt) and workload.supports_operation(op)
+                for fmt in formats
+                for op in operations
+            ):
+                raise ConfigurationError(
+                    f"workload {name!r} supports none of the requested "
+                    f"(operation, format) combinations "
+                    f"({operations} x {formats}; declares "
+                    f"{workload.operations} x {workload.formats})"
+                )
+        for op in operations:
+            for fmt in formats:
+                for name in workloads:
+                    workload = get_workload(name)
+                    if not (
+                        workload.supports_format(fmt)
+                        and workload.supports_operation(op)
+                    ):
+                        continue
+                    cells.extend(
+                        table_iv_cells(
+                            num_samples=num_samples,
+                            kinds=kinds,
+                            repetitions=repetitions,
+                            seed=seed,
+                            rocket_config=rocket_config,
+                            verify_functionally=verify_functionally,
+                            solutions=solutions,
+                            workload=name,
+                            differential=differential,
+                            fmt=fmt,
+                            op=op,
+                        )
+                    )
+        return cells
+    for op in operations:
+        for fmt in formats:
+            cells.extend(
+                table_iv_cells(
+                    num_samples=num_samples,
+                    kinds=kinds,
+                    repetitions=repetitions,
+                    seed=seed,
+                    operand_classes=operand_classes,
+                    rocket_config=rocket_config,
+                    verify_functionally=verify_functionally,
+                    solutions=solutions,
+                    differential=differential,
+                    fmt=fmt,
+                    op=op,
+                )
+            )
+    return cells
+
+
+def run_operation_campaign(
+    operations,
+    formats=("decimal64",),
+    num_samples: int = 100,
+    kinds=None,
+    repetitions: int = 1,
+    seed: int = 2018,
+    operand_classes=OperandClass.TABLE_IV_MIX,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    solutions: dict = None,
+    workloads=None,
+    workers: int = 1,
+    shards_per_cell: int = 1,
+    mp_start_method: str = None,
+    differential: bool = False,
+) -> CampaignResult:
+    """Fan (operation × format × workload × solution) cells over the engine.
+
+    The default grid of ``--op mul,add,fma --format decimal64,decimal128
+    --differential`` is 3 operations × 2 formats × 2 verifiable kinds =
+    12 differential cells, each dual-oracle checked and cross-model
+    diffed; :meth:`CampaignResult.table_iv_by_operation` then renders one
+    speedup table per (operation, format) group.
+    """
+    cells = operation_cells(
+        operations,
+        formats=formats,
         num_samples=num_samples,
         kinds=kinds,
         repetitions=repetitions,
@@ -694,6 +933,7 @@ def run_workload_campaign(
     mp_start_method: str = None,
     differential: bool = False,
     fmt: str = "decimal64",
+    op: str = "multiply",
 ) -> CampaignResult:
     """Fan (solution × workload) cells over the sharded campaign engine."""
     cells = workload_cells(
@@ -707,6 +947,7 @@ def run_workload_campaign(
         solutions=solutions,
         differential=differential,
         fmt=fmt,
+        op=op,
     )
     return run_campaign(
         cells,
@@ -731,6 +972,7 @@ def run_table_iv_campaign(
     workload: str = None,
     differential: bool = False,
     fmt: str = "decimal64",
+    op: str = "multiply",
 ) -> CampaignResult:
     """Convenience wrapper: plan, run and merge a Table IV campaign."""
     cells = table_iv_cells(
@@ -745,6 +987,7 @@ def run_table_iv_campaign(
         workload=workload,
         differential=differential,
         fmt=fmt,
+        op=op,
     )
     return run_campaign(
         cells,

@@ -46,7 +46,8 @@ from repro.verification.database import OperandClass, VerificationDatabase
 from repro.verification.reference import GoldenReference
 
 
-def checker_for_workload(workload: str = None, fmt: str = "decimal64") -> ResultChecker:
+def checker_for_workload(workload: str = None, fmt: str = "decimal64",
+                         operation: str = "multiply") -> ResultChecker:
     """The functional checker for a run.
 
     When ``workload`` resolves in this process's registry the checker
@@ -55,7 +56,8 @@ def checker_for_workload(workload: str = None, fmt: str = "decimal64") -> Result
     spawn-started worker never imported — the vectors themselves always
     come from the parent) it falls back to the golden-library default,
     which is also what the base oracle delegates to.  ``fmt`` selects the
-    interchange format the oracle computes under.
+    interchange format and ``operation`` the arithmetic operation the
+    oracle computes under.
     """
     if workload is not None:
         from repro.workloads import get_workload
@@ -65,8 +67,8 @@ def checker_for_workload(workload: str = None, fmt: str = "decimal64") -> Result
         except ConfigurationError:
             resolved = None  # only the unknown-name case may fall back
         if resolved is not None:
-            return resolved.make_checker(fmt)
-    return ResultChecker(GoldenReference(precision=fmt))
+            return resolved.make_checker(fmt, operation)
+    return ResultChecker(GoldenReference(operation=operation, precision=fmt))
 
 
 @dataclass
@@ -95,6 +97,7 @@ def run_solution_shard(
     workload: str = None,
     differential: bool = False,
     fmt: str = "decimal64",
+    operation: str = "multiply",
     runner=None,
 ) -> ShardRunOutcome:
     """Build, verify and measure one solution over one slice of vectors.
@@ -132,8 +135,10 @@ def run_solution_shard(
         operand_classes=operand_classes,
         seed=seed,
         workload=workload,
+        operation=operation,
     )
     fmt = config.fmt  # canonical name
+    operation = config.operation  # canonical name
     if runner is not None:
         program, warm_simulator = runner.acquire(solution, config, vectors)
     else:
@@ -148,6 +153,7 @@ def run_solution_shard(
     report = outcome.shard_report
     report.differential = differential
     report.fmt = fmt
+    report.operation = operation
 
     spike_words = None
     run_spike = (verify_functionally and solution.verifiable) or differential
@@ -171,9 +177,9 @@ def run_solution_shard(
                     dual_checker_for_workload,
                 )
 
-                checker = dual_checker_for_workload(workload, fmt)
+                checker = dual_checker_for_workload(workload, fmt, operation)
             else:
-                checker = checker_for_workload(workload, fmt)
+                checker = checker_for_workload(workload, fmt, operation)
         outcome.check_report = checker.check_run(vectors, spike_words)
         report.verified = True
         report.check_total = outcome.check_report.total
@@ -234,11 +240,14 @@ def run_solution_shard(
         divergences = diff_result_words(
             vectors, words_by_model,
             decode=GoldenReference(precision=fmt).decode,
+            operation=operation,
         )
         report.divergences = len(divergences)
         if divergences:
             report.first_divergence = divergences[0].describe()
-        tracker = CoverageTracker(GoldenReference(precision=fmt))
+        tracker = CoverageTracker(
+            GoldenReference(operation=operation, precision=fmt)
+        )
         tracker.record_all(vectors)
         report.condition_coverage = dict(tracker.condition_counts)
     return outcome
@@ -288,14 +297,19 @@ class EvaluationFramework:
     workload: str = None
     #: Interchange format the whole evaluation runs under.
     fmt: str = "decimal64"
+    #: Decimal operation the whole evaluation measures (multiply/add/
+    #: subtract/fma): selects the kernels, the vector shape and the oracles.
+    operation: str = "multiply"
 
     def __post_init__(self) -> None:
         from repro.decnumber.formats import resolve_format_name
+        from repro.decnumber.operations import resolve_operation_name
         from repro.errors import DecimalError
         from repro.testgen.generator import draw_vectors
 
         try:
             self.fmt = resolve_format_name(self.fmt)
+            self.operation = resolve_operation_name(self.operation)
         except DecimalError as error:
             raise ConfigurationError(str(error)) from None
         self.database = VerificationDatabase(self.seed, fmt=self.fmt)
@@ -306,9 +320,14 @@ class EvaluationFramework:
             workload=self.workload,
             database=self.database,
             fmt=self.fmt,
+            operation=self.operation,
         )
-        self.reference = GoldenReference(precision=self.fmt)
-        self.checker = checker_for_workload(self.workload, self.fmt)
+        self.reference = GoldenReference(
+            operation=self.operation, precision=self.fmt
+        )
+        self.checker = checker_for_workload(
+            self.workload, self.fmt, self.operation
+        )
 
     # ----------------------------------------------------------------- building
     def _config_for(self, kind: str) -> TestProgramConfig:
@@ -320,6 +339,7 @@ class EvaluationFramework:
             operand_classes=self.operand_classes,
             seed=self.seed,
             workload=self.workload,
+            operation=self.operation,
         )
 
     def build_program(self, kind: str):
@@ -361,6 +381,7 @@ class EvaluationFramework:
             checker=self.checker,
             workload=self.workload,
             fmt=self.fmt,
+            operation=self.operation,
         )
         run = EvaluationRun(
             solution=solution,
@@ -410,6 +431,7 @@ class EvaluationFramework:
                 shards_per_cell=shards_per_cell,
                 workload=self.workload,
                 fmt=self.fmt,
+                op=self.operation,
             ).table_iv()
         report = TableIVReport(
             num_samples=self.num_samples, baseline_kind=SolutionKind.SOFTWARE

@@ -279,6 +279,80 @@ def render_format_matrix(result, baseline_kind: str = None,
     return "\n".join(lines)
 
 
+def render_operation_tables(result, tables: dict = None) -> str:
+    """One Table IV-style block per (operation, format, workload) group.
+
+    The renderer behind ``python -m repro.campaign --op mul,add,fma``:
+    every decimal operation gets its own table (per format, per workload
+    when the campaign crossed axes), with speedups against that group's
+    own baseline.  The paper only published multiply numbers, so its rows
+    render exclusively under (multiply, decimal64) with the default mix or
+    the ``paper-uniform`` workload — other operations show measured data
+    alone.
+    """
+    blocks = []
+    if tables is None:
+        tables = result.table_iv_by_operation()
+    for (op, fmt, workload), table in tables.items():
+        title = f"Operation: {op} · format: {fmt}"
+        if workload is not None:
+            title += f" · workload: {workload}"
+        include_paper = (
+            op == "multiply"
+            and fmt == "decimal64"
+            and workload in (None, "paper-uniform")
+        )
+        blocks.append("\n".join([title, "=" * len(title),
+                                 render_table_iv(table, include_paper)]))
+    return "\n\n".join(blocks)
+
+
+def render_operation_matrix(result, baseline_kind: str = None,
+                            tables: dict = None) -> str:
+    """Cross-operation comparison: per-solution cycles and speedups.
+
+    One row per (operation, format, workload) group — the operation-axis
+    analogue of :func:`render_workload_matrix`, answering "how does the
+    co-design's advantage change with the arithmetic operation?" at a
+    glance.
+    """
+    grouped = (
+        tables
+        if tables is not None
+        else result.table_iv_by_operation(baseline_kind=baseline_kind)
+    )
+    kinds = []
+    for table in grouped.values():
+        for kind in table.reports:
+            if kind not in kinds:
+                kinds.append(kind)
+    header = f"{'Operation / format':<34s}" + "".join(
+        f" {kind:>24s}" for kind in kinds
+    )
+    lines = [
+        "Cross-operation comparison (avg cycles, speedup vs baseline)",
+        header,
+        "-" * len(header),
+    ]
+    for (op, fmt, workload), table in grouped.items():
+        speedups = table.speedups()
+        label = f"{op} / {fmt}"
+        if workload is not None:
+            label += f" / {workload}"
+        row = f"{label:<34s}"
+        for kind in kinds:
+            report = table.reports.get(kind)
+            if report is None:
+                row += f" {'-':>24s}"
+                continue
+            cell = f"{report.avg_total_cycles:.0f}"
+            if kind != table.baseline_kind:
+                cell += f" ({_format_speedup(speedups.get(kind))})"
+            row += f" {cell:>24s}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
 def render_workload_tables(result, include_paper: bool = False,
                            tables: dict = None) -> str:
     """One Table IV-style block per workload of a multi-workload campaign.

@@ -62,6 +62,8 @@ class ShardCycleReport:
     sim_wall_seconds: float = 0.0
     #: Interchange format the shard's kernel/operands were generated for.
     fmt: str = "decimal64"
+    #: Decimal operation the shard's kernel computes (multiply/add/…).
+    operation: str = "multiply"
     #: Differential-mode measurements (cross-model co-simulation).  All
     #: plain ints/strings/dicts so shard reports stay picklable.
     differential: bool = False
@@ -107,6 +109,8 @@ class SolutionCycleReport:
     num_shards: int = 1
     #: Interchange format the row was measured under.
     fmt: str = "decimal64"
+    #: Decimal operation the row was measured over (multiply/add/…).
+    operation: str = "multiply"
     #: Differential-mode rollup (zero/empty for plain measurement runs).
     differential: bool = False
     models: tuple = ()
@@ -221,6 +225,7 @@ def merge_shard_reports(
         sim_wall_seconds=sum(shard.sim_wall_seconds for shard in shards),
         num_shards=len(shards),
         fmt=next((shard.fmt for shard in shards), "decimal64"),
+        operation=next((shard.operation for shard in shards), "multiply"),
         differential=any(shard.differential for shard in shards),
         models=tuple(models),
         divergences=sum(shard.divergences for shard in shards),

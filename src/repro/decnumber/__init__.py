@@ -11,7 +11,9 @@ Public surface:
 * :class:`~repro.decnumber.number.DecNumber` — sign / coefficient / exponent
   triple plus special values
 * :mod:`~repro.decnumber.arith` — ``add``, ``subtract``, ``multiply``,
-  ``compare`` under a context
+  ``fma``, ``compare`` under a context
+* :mod:`~repro.decnumber.operations` — the :class:`Operation` registry
+  (mul/add/sub/fma) the evaluation stack dispatches on
 * :mod:`~repro.decnumber.dpd` — densely-packed-decimal declet codec
 * :mod:`~repro.decnumber.decimal64` / :mod:`~repro.decnumber.decimal128` —
   interchange-format pack/unpack
@@ -31,7 +33,14 @@ from repro.decnumber.context import (
     DECIMAL128_CONTEXT,
 )
 from repro.decnumber.number import DecNumber
-from repro.decnumber.arith import add, compare, multiply, subtract
+from repro.decnumber.arith import add, compare, fma, multiply, subtract
+from repro.decnumber.operations import (
+    OPERATIONS,
+    Operation,
+    get_operation,
+    operation_names,
+    resolve_operation_name,
+)
 from repro.decnumber.formats import (
     DECIMAL64,
     DECIMAL128,
@@ -63,9 +72,15 @@ __all__ = [
     "DECIMAL64_CONTEXT",
     "DECIMAL128_CONTEXT",
     "DecNumber",
+    "OPERATIONS",
+    "Operation",
+    "get_operation",
+    "operation_names",
+    "resolve_operation_name",
     "add",
     "subtract",
     "multiply",
+    "fma",
     "compare",
     "dpd",
     "bcd",

@@ -1,4 +1,4 @@
-"""Decimal arithmetic under a context: add, subtract, multiply, compare.
+"""Decimal arithmetic under a context: add, subtract, multiply, fma, compare.
 
 The algorithms follow the General Decimal Arithmetic specification (the one
 decNumber and Python's :mod:`decimal` implement): compute the exact result on
@@ -184,7 +184,18 @@ def multiply(x: DecNumber, y: DecNumber, ctx: Context) -> DecNumber:
 
 
 def add(x: DecNumber, y: DecNumber, ctx: Context) -> DecNumber:
-    """IEEE 754-2008 decimal addition under ``ctx``."""
+    """IEEE 754-2008 decimal addition under ``ctx``.
+
+    Alignment is *bounded* (the decNumber/``_pydecimal`` technique): a naive
+    shift to the common minimum exponent can build integers thousands of
+    digits long (decimal128 exponents span ~12k decimal places, and
+    :func:`fma` feeds exact double-length products through here), yet only
+    about ``prec + 2`` digits plus a sticky residue can ever influence the
+    rounded result.  When the smaller operand lies entirely below every digit
+    that can matter it is replaced by a one-digit sticky proxy just under the
+    bound; the rounded result and the raised flags are identical to the exact
+    computation.
+    """
     if x.is_nan or y.is_nan:
         return _propagate_nan(x, y, ctx)
     if x.is_infinite or y.is_infinite:
@@ -195,8 +206,36 @@ def add(x: DecNumber, y: DecNumber, ctx: Context) -> DecNumber:
         return DecNumber.infinity(sign)
 
     exponent = min(x.exponent, y.exponent)
-    xc = x.coefficient * 10 ** (x.exponent - exponent)
-    yc = y.coefficient * 10 ** (y.exponent - exponent)
+    if x.is_zero or y.is_zero:
+        if x.is_zero and y.is_zero:
+            # Sign of an exact zero sum depends on the rounding direction.
+            sign = 1 if ctx.rounding == ROUND_FLOOR and (x.sign or y.sign) else 0
+            if x.sign == 1 and y.sign == 1:
+                sign = 1
+            return finalize(sign, 0, exponent, ctx)
+        # One exact zero: the sum is the other operand, padded toward the
+        # preferred (minimum) exponent but no further than rounding can see.
+        other = y if x.is_zero else x
+        exponent = max(exponent, other.exponent - ctx.prec - 1)
+        coefficient = other.coefficient * 10 ** (other.exponent - exponent)
+        return finalize(other.sign, coefficient, exponent, ctx)
+
+    # Bounded alignment of two nonzero finite operands: shift the larger-
+    # exponent operand down onto the smaller's exponent, first pulling the
+    # smaller one up to a sticky proxy if it sits entirely below the digits
+    # the rounding step can observe.
+    if x.exponent >= y.exponent:
+        tmp_c, tmp_e, other_c, other_e = x.coefficient, x.exponent, y.coefficient, y.exponent
+        tmp_is_x = True
+    else:
+        tmp_c, tmp_e, other_c, other_e = y.coefficient, y.exponent, x.coefficient, x.exponent
+        tmp_is_x = False
+    bound = tmp_e + min(-1, num_digits(tmp_c) - ctx.prec - 2)
+    if num_digits(other_c) + other_e - 1 < bound:
+        other_c, other_e = 1, bound
+    tmp_c *= 10 ** (tmp_e - other_e)
+    exponent = other_e
+    xc, yc = (tmp_c, other_c) if tmp_is_x else (other_c, tmp_c)
     xs = -xc if x.sign else xc
     ys = -yc if y.sign else yc
     total = xs + ys
@@ -215,6 +254,43 @@ def subtract(x: DecNumber, y: DecNumber, ctx: Context) -> DecNumber:
     if y.is_nan:
         return _propagate_nan(x, y, ctx)
     return add(x, y.copy_negate(), ctx)
+
+
+def fma(x: DecNumber, y: DecNumber, z: DecNumber, ctx: Context) -> DecNumber:
+    """IEEE 754-2008 fused multiply-add: ``x*y + z`` with a single rounding.
+
+    The product is formed exactly (no intermediate rounding) and fed through
+    :func:`add`, whose :func:`finalize` applies the one rounding step.  The
+    special-value ordering follows the specification (and stdlib
+    ``Context.fma``): signaling NaNs in the multiplication raise invalid
+    first, ``Inf * 0`` raises invalid *before* ``z`` is examined (even when
+    ``z`` is a signaling NaN), and a quiet-NaN product defers to the addition
+    step's NaN propagation, so an sNaN ``z`` still signals.
+    """
+    if x.is_special or y.is_special:
+        if x.kind == KIND_SNAN:
+            ctx.flags.invalid = True
+            return DecNumber.qnan(x.coefficient, x.sign)
+        if y.kind == KIND_SNAN:
+            ctx.flags.invalid = True
+            return DecNumber.qnan(y.coefficient, y.sign)
+        if x.kind == KIND_QNAN:
+            product = DecNumber.qnan(x.coefficient, x.sign)
+        elif y.kind == KIND_QNAN:
+            product = DecNumber.qnan(y.coefficient, y.sign)
+        elif x.is_zero or y.is_zero:
+            # Exactly one of x/y is an infinity here, so this is Inf * 0.
+            ctx.flags.invalid = True
+            return DecNumber.qnan()
+        else:
+            product = DecNumber.infinity(x.sign ^ y.sign)
+    else:
+        product = DecNumber(
+            x.sign ^ y.sign,
+            x.coefficient * y.coefficient,
+            x.exponent + y.exponent,
+        )
+    return add(product, z, ctx)
 
 
 def compare(x: DecNumber, y: DecNumber, ctx: Context):

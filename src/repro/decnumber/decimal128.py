@@ -55,7 +55,48 @@ def multiply(x: DecNumber, y: DecNumber, ctx=None) -> DecNumber:
     return _multiply(x, y, ctx if ctx is not None else context())
 
 
+def add(x: DecNumber, y: DecNumber, ctx=None) -> DecNumber:
+    """IEEE 754-2008 decimal128 addition (fresh context by default)."""
+    from repro.decnumber.arith import add as _add
+
+    return _add(x, y, ctx if ctx is not None else context())
+
+
+def subtract(x: DecNumber, y: DecNumber, ctx=None) -> DecNumber:
+    """IEEE 754-2008 decimal128 subtraction (fresh context by default)."""
+    from repro.decnumber.arith import subtract as _subtract
+
+    return _subtract(x, y, ctx if ctx is not None else context())
+
+
+def fma(x: DecNumber, y: DecNumber, z: DecNumber, ctx=None) -> DecNumber:
+    """IEEE 754-2008 decimal128 fused multiply-add (single rounding)."""
+    from repro.decnumber.arith import fma as _fma
+
+    return _fma(x, y, z, ctx if ctx is not None else context())
+
+
 def multiply_encoded(x_word: int, y_word: int) -> int:
     """Multiply two encoded decimal128 words; returns the encoded product."""
     ctx = context()
     return DECIMAL128.encode(multiply(decode(x_word), decode(y_word), ctx), ctx)
+
+
+def add_encoded(x_word: int, y_word: int) -> int:
+    """Add two encoded decimal128 words; returns the encoded sum."""
+    ctx = context()
+    return DECIMAL128.encode(add(decode(x_word), decode(y_word), ctx), ctx)
+
+
+def subtract_encoded(x_word: int, y_word: int) -> int:
+    """Subtract two encoded decimal128 words; returns the encoded difference."""
+    ctx = context()
+    return DECIMAL128.encode(subtract(decode(x_word), decode(y_word), ctx), ctx)
+
+
+def fma_encoded(x_word: int, y_word: int, z_word: int) -> int:
+    """Fused multiply-add on encoded decimal128 words (one rounding)."""
+    ctx = context()
+    return DECIMAL128.encode(
+        fma(decode(x_word), decode(y_word), decode(z_word), ctx), ctx
+    )

@@ -1,0 +1,156 @@
+"""The Operation axis: multiply / add / subtract / fma as registry entries.
+
+The paper evaluates decimal64 *multiplication* only, but every layer of the
+repro stack (kernels, testgen, verification, campaign engine) is shaped like
+a pipeline over an abstract arithmetic operation.  This module lifts that
+implicit "operation = multiply" assumption into a first-class axis, exactly
+as :mod:`repro.decnumber.formats` lifted "format = decimal64" into
+:class:`~repro.decnumber.formats.FormatSpec`: a small frozen descriptor, a
+registry keyed by canonical name, an alias table for the CLI spellings, and
+resolver helpers with did-you-mean suggestions.
+
+Canonical names match the :mod:`repro.decnumber.arith` function names
+(``multiply``/``add``/``subtract``/``fma``) so :meth:`Operation.compute`
+dispatches by name, and match the stdlib :class:`decimal.Context` method
+names so the dual-oracle checker can do the same.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+
+from repro.errors import DecimalError
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One decimal arithmetic operation the stack can evaluate end to end.
+
+    ``name``
+        Canonical registry key; also the :mod:`repro.decnumber.arith` and
+        :class:`decimal.Context` method name.
+    ``mnemonic``
+        Short CLI spelling (``--op mul,add,fma``) and kernel-label infix
+        (``dec64_add_sw``).
+    ``symbol``
+        Infix symbol used when rendering an operand pair (``x * y``); the
+        ternary fma renders functionally via :meth:`render`.
+    ``arity``
+        Operand count (2 for mul/add/sub, 3 for fma).
+    """
+
+    name: str
+    mnemonic: str
+    symbol: str
+    arity: int
+    description: str
+
+    def compute(self, operands, ctx):
+        """Apply this operation to ``operands`` under ``ctx``.
+
+        Dispatches to the same-named :mod:`repro.decnumber.arith` function;
+        ``operands`` must match :attr:`arity`.
+        """
+        from repro.decnumber import arith
+
+        if len(operands) != self.arity:
+            raise DecimalError(
+                f"operation {self.name!r} takes {self.arity} operands, "
+                f"got {len(operands)}"
+            )
+        return getattr(arith, self.name)(*operands, ctx)
+
+    def render(self, *operands) -> str:
+        """Human-readable application, e.g. ``a * b`` or ``fma(a, b, c)``."""
+        if self.arity == 3:
+            return f"{self.name}({', '.join(str(op) for op in operands)})"
+        return f" {self.symbol} ".join(str(op) for op in operands)
+
+    def describe(self) -> dict:
+        """JSON-ready metadata (used by docs tooling and CLI listings)."""
+        return {
+            "name": self.name,
+            "mnemonic": self.mnemonic,
+            "symbol": self.symbol,
+            "arity": self.arity,
+            "description": self.description,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+MULTIPLY = Operation(
+    name="multiply",
+    mnemonic="mul",
+    symbol="*",
+    arity=2,
+    description="decimal multiplication (the operation the paper evaluates)",
+)
+
+ADD = Operation(
+    name="add",
+    mnemonic="add",
+    symbol="+",
+    arity=2,
+    description="decimal addition (alignment, effective-op, cancellation)",
+)
+
+SUBTRACT = Operation(
+    name="subtract",
+    mnemonic="sub",
+    symbol="-",
+    arity=2,
+    description="decimal subtraction (addition with the second sign flipped)",
+)
+
+FMA = Operation(
+    name="fma",
+    mnemonic="fma",
+    symbol="fma",
+    arity=3,
+    description="fused multiply-add: exact product plus addend, one rounding",
+)
+
+#: Registry in definition order (the paper's operation first).
+OPERATIONS = {
+    op.name: op for op in (MULTIPLY, ADD, SUBTRACT, FMA)
+}
+
+#: Accepted aliases: CLI mnemonics plus a few common spellings.
+OPERATION_ALIASES = {
+    "mul": MULTIPLY.name,
+    "sub": SUBTRACT.name,
+    "mac": FMA.name,
+    "multiply-add": FMA.name,
+}
+
+
+def operation_names() -> tuple:
+    """Canonical names of the registered operations, in definition order."""
+    return tuple(OPERATIONS)
+
+
+def resolve_operation_name(name) -> str:
+    """Canonical operation name for ``name`` (accepts aliases and instances)."""
+    if isinstance(name, Operation):
+        return name.name
+    name = str(name).strip().lower()
+    if name in OPERATIONS:
+        return name
+    if name in OPERATION_ALIASES:
+        return OPERATION_ALIASES[name]
+    close = difflib.get_close_matches(
+        name, list(OPERATIONS) + list(OPERATION_ALIASES), n=1
+    )
+    hint = f"; did you mean {close[0]!r}?" if close else ""
+    raise DecimalError(
+        f"unknown decimal operation {name!r} "
+        f"(choose from {', '.join(OPERATIONS)}){hint}"
+    )
+
+
+def get_operation(name) -> Operation:
+    """Look up an operation by canonical name, alias, or instance."""
+    return OPERATIONS[resolve_operation_name(name)]

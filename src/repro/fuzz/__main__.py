@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(mutator bounds, corpus and oracle contexts all follow; "
              "docs/formats.md)",
     )
+    parser.add_argument(
+        "--op", default="multiply", dest="operation", metavar="NAME",
+        help="operation to fuzz: multiply (default), add, subtract or fma "
+             "(aliases mul/sub/mac accepted; kernels, corpus shape and "
+             "oracles all follow; docs/operations.md)",
+    )
     parser.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock cap in seconds (checked between batches)")
     parser.add_argument("--max-failures", type=int, default=3,
@@ -129,6 +135,12 @@ def main(argv=None) -> int:
         fmt = resolve_format_name(args.fmt)
     except DecimalError as error:
         build_parser().error(str(error))
+    from repro.decnumber.operations import resolve_operation_name
+
+    try:
+        operation = resolve_operation_name(args.operation)
+    except DecimalError as error:
+        build_parser().error(str(error))
     if args.workload is not None:
         from repro.workloads import get_workload
 
@@ -137,6 +149,12 @@ def main(argv=None) -> int:
             build_parser().error(
                 f"workload {args.workload!r} does not support format "
                 f"{fmt!r} (declares {workload.formats})"
+            )
+        if not workload.supports_operation(operation):
+            build_parser().error(
+                f"workload {args.workload!r} does not support operation "
+                f"{operation!r} (declares {workload.operations}); see "
+                "docs/operations.md"
             )
     config = FuzzConfig(
         seed=args.seed,
@@ -149,6 +167,7 @@ def main(argv=None) -> int:
         max_failures=args.max_failures,
         time_limit=args.time_limit,
         fmt=fmt,
+        operation=operation,
     )
     report = FuzzCampaign(config).run()
     print(report.describe())

@@ -51,6 +51,10 @@ class DecimalFunct:
     DEC_CNV = 0b0000110   # convert a binary number to BCD
     DEC_MUL = 0b0000111   # multiply two BCD numbers
     DEC_ACCUM = 0b0001000  # accumulate BCD values held in internal registers
+    DEC_ADDSUB = 0b0001001  # BCD subtraction (nines-complement add, borrow out)
+    DEC_FMA_ACC = 0b0001010  # add a shifted register into the wide accumulator
+    DEC_ADDC = 0b0001011   # chunked BCD add, carry chained through status
+    DEC_SUBB = 0b0001100   # chunked BCD subtract, borrow chained through status
 
     #: mnemonic -> funct7 (used by the assembler and the Table II/III bench)
     BY_NAME = {
@@ -63,12 +67,17 @@ class DecimalFunct:
         "DEC_CNV": DEC_CNV,
         "DEC_MUL": DEC_MUL,
         "DEC_ACCUM": DEC_ACCUM,
+        "DEC_ADDSUB": DEC_ADDSUB,
+        "DEC_FMA_ACC": DEC_FMA_ACC,
+        "DEC_ADDC": DEC_ADDC,
+        "DEC_SUBB": DEC_SUBB,
     }
 
     #: funct7 -> mnemonic
     BY_VALUE = {value: name for name, value in BY_NAME.items()}
 
-    #: one-line descriptions, as printed in Table II of the paper.
+    #: one-line descriptions, as printed in Table II of the paper (the two
+    #: rows past DEC_ACCUM are this framework's operation-axis extensions).
     DESCRIPTIONS = {
         "WR": "Write a value to a register in Rocket core",
         "RD": "Read a value from a register in Rocket core",
@@ -79,7 +88,21 @@ class DecimalFunct:
         "DEC_ADD": "Add two BCD numbers",
         "DEC_ACCUM": "Accumulate BCD numbers stored in internal registers",
         "CLR_ALL": "Clear all internal accelerator registers",
+        "DEC_ADDSUB": "Subtract two BCD numbers (borrow out via status)",
+        "DEC_FMA_ACC": "Add a shifted BCD register into the accumulator",
+        "DEC_ADDC": "Add two BCD words with carry chained through status",
+        "DEC_SUBB": "Subtract two BCD words with borrow chained through status",
     }
+
+    @classmethod
+    def name_for(cls, funct7: int) -> str:
+        """Stable symbolic name for any ``funct7`` value.
+
+        Known Table II functions render by mnemonic; everything else gets
+        the deterministic ``FUNCT_n`` spelling, so renderers and traces
+        never assume the Table II set is closed.
+        """
+        return cls.BY_VALUE.get(funct7, f"FUNCT_{funct7}")
 
 
 @dataclass(frozen=True)
@@ -139,7 +162,7 @@ class RoccInstruction:
     @property
     def function_name(self) -> str:
         """Symbolic name of ``funct7`` if it is a known decimal function."""
-        return DecimalFunct.BY_VALUE.get(self.funct7, f"FUNCT_{self.funct7}")
+        return DecimalFunct.name_for(self.funct7)
 
     def hex_word(self) -> str:
         """Hex literal of the encoded word, in the paper's ``0x...`` style."""
@@ -159,7 +182,14 @@ def decimal_instruction(
     """Build a :class:`RoccInstruction` from a Table II mnemonic."""
     key = name.upper()
     if key not in DecimalFunct.BY_NAME:
-        raise EncodingError(f"unknown decimal accelerator function: {name!r}")
+        import difflib
+
+        close = difflib.get_close_matches(key, DecimalFunct.BY_NAME, n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise EncodingError(
+            f"unknown decimal accelerator function: {name!r} "
+            f"(known mnemonics: {', '.join(DecimalFunct.BY_NAME)}){hint}"
+        )
     return RoccInstruction(
         funct7=DecimalFunct.BY_NAME[key],
         rd=rd,

@@ -248,6 +248,14 @@ class DecimalAccelerator(Accelerator):
             return self._cmd_multiply(command)
         if funct == DecimalFunct.DEC_ACCUM:
             return self._cmd_dec_accum(command)
+        if funct == DecimalFunct.DEC_ADDSUB:
+            return self._cmd_dec_addsub(command)
+        if funct == DecimalFunct.DEC_FMA_ACC:
+            return self._cmd_dec_fma_acc(command)
+        if funct == DecimalFunct.DEC_ADDC:
+            return self._cmd_dec_addc(command)
+        if funct == DecimalFunct.DEC_SUBB:
+            return self._cmd_dec_subb(command)
         raise AcceleratorError(f"unknown accelerator function funct7={funct:#04x}")
 
     # WR: move a core register value into the accelerator register set.
@@ -404,6 +412,120 @@ class DecimalAccelerator(Accelerator):
             has_response=has_response,
             value=self.accumulator & _MASK64,
             busy_cycles=busy,
+        )
+
+    # DEC_ADDSUB: BCD subtraction through the adder (nines-complement pass
+    # followed by an add with carry-in, the classic two-pass use of one
+    # BCD-CLA).  result = op1 - op2 mod 10^register_width; status bit 0 is
+    # the borrow (1 when op1 < op2 and the result wrapped).
+    def _cmd_dec_addsub(self, command: RoccCommand) -> RoccResult:
+        op1 = self._operand(command.xs1, command.rs1_value, command.rs1)
+        op2 = self._operand(command.xs2, command.rs2_value, command.rs2)
+        self._require_bcd(op1, "DEC_ADDSUB operand 1")
+        self._require_bcd(op2, "DEC_ADDSUB operand 2")
+        width = self.config.register_width_digits
+        # Digit-wise 9 - d never borrows, so the complement is plain binary.
+        nines = int("9" * width, 16)
+        complement = nines - (op2 & self._reg_mask)
+        result = self.adder.add(op1 & self._reg_mask, complement, carry_in=1)
+        carry = 1 if (result.value >> (4 * width)) or result.carry_out else 0
+        value = result.value & self._reg_mask
+        self.status = (self.status & ~1) | (1 - carry)
+        passes = 2 * self._adder_passes(width)  # complement pass + add pass
+        if command.xd:
+            busy = self.fsm.run_command(
+                FsmState.DEC_ADDSUB, respond=True, busy_cycles=passes
+            )
+            return RoccResult(
+                has_response=True, value=value & _MASK64, busy_cycles=busy
+            )
+        self.regfile.write(command.rd % self.config.num_registers, value)
+        busy = self.fsm.run_command(
+            FsmState.DEC_ADDSUB, respond=False, busy_cycles=passes
+        )
+        return RoccResult(has_response=False, value=0, busy_cycles=busy)
+
+    # DEC_FMA_ACC: accumulator += regfile[k] << shift digits.  The FMA
+    # kernels use it to merge an aligned addend into the accumulated product
+    # without reading the accumulator back first; unlike DEC_ACCUM the
+    # accumulator itself stays in place and the *addend* is shifted.
+    # Status bit 0 latches the carry out of the accumulator width.
+    def _cmd_dec_fma_acc(self, command: RoccCommand) -> RoccResult:
+        index = command.rs1_value if command.xs1 else command.rs1
+        index = int(index) % self.config.num_registers
+        shift_digits = int(command.rs2_value) if command.xs2 else 0
+        if not 0 <= shift_digits <= self.config.accumulator_digits:
+            raise AcceleratorError(f"DEC_FMA_ACC shift out of range: {shift_digits}")
+        addend = self.regfile.read(index)
+        shifted = addend << (4 * shift_digits)
+        if shifted & ~self._acc_mask:
+            self.status |= 0b10  # addend digits shifted past the accumulator
+        result = self.adder.add(self.accumulator, shifted & self._acc_mask)
+        self.accumulator = result.value & self._acc_mask
+        self.status = (self.status & ~1) | result.carry_out
+        passes = self._adder_passes(self.config.accumulator_digits)
+        has_response = bool(command.xd)
+        busy = self.fsm.run_command(
+            FsmState.DEC_FMA_ACC, respond=has_response, busy_cycles=passes
+        )
+        return RoccResult(
+            has_response=has_response,
+            value=self.accumulator & _MASK64,
+            busy_cycles=busy,
+        )
+
+    # DEC_ADDC / DEC_SUBB: the chunked multi-word interface.  The core
+    # streams a long BCD number through the adder one 16-digit machine word
+    # per command; the carry/borrow between words lives in status bit 0
+    # (consumed as carry-in, latched as carry-out) and the result word comes
+    # back on the response channel.  One command per word replaces the
+    # DEC_ADD / carry add / RD / RD sequence the chunked kernels needed with
+    # carry chaining done on the core side.
+    def _cmd_dec_addc(self, command: RoccCommand) -> RoccResult:
+        self.require(
+            command.xs1 and command.xs2,
+            "DEC_ADDC needs both operand words from the core (xs1, xs2)",
+        )
+        self.require(
+            command.xd, "DEC_ADDC returns the result word on the response channel (xd)"
+        )
+        op1 = command.rs1_value & _MASK64
+        op2 = command.rs2_value & _MASK64
+        self._require_bcd(op1, "DEC_ADDC operand 1")
+        self._require_bcd(op2, "DEC_ADDC operand 2")
+        result = self.adder.add(op1, op2, carry_in=self.status & 1)
+        carry = 1 if result.value >> 64 else 0
+        self.status = (self.status & ~1) | carry
+        passes = self._adder_passes(16)
+        busy = self.fsm.run_command(FsmState.DEC_ADDC, respond=True, busy_cycles=passes)
+        return RoccResult(
+            has_response=True, value=result.value & _MASK64, busy_cycles=busy
+        )
+
+    def _cmd_dec_subb(self, command: RoccCommand) -> RoccResult:
+        self.require(
+            command.xs1 and command.xs2,
+            "DEC_SUBB needs both operand words from the core (xs1, xs2)",
+        )
+        self.require(
+            command.xd, "DEC_SUBB returns the result word on the response channel (xd)"
+        )
+        op1 = command.rs1_value & _MASK64
+        op2 = command.rs2_value & _MASK64
+        self._require_bcd(op1, "DEC_SUBB operand 1")
+        self._require_bcd(op2, "DEC_SUBB operand 2")
+        borrow_in = self.status & 1
+        # Digit-wise 9 - d never borrows, so the complement is plain binary;
+        # a carry out of digit 16 means the word did *not* borrow.
+        nines = 0x9999999999999999
+        complement = nines - op2
+        result = self.adder.add(op1, complement, carry_in=1 - borrow_in)
+        carry = 1 if result.value >> 64 else 0
+        self.status = (self.status & ~1) | (1 - carry)
+        passes = 2 * self._adder_passes(16)  # complement pass + add pass
+        busy = self.fsm.run_command(FsmState.DEC_SUBB, respond=True, busy_cycles=passes)
+        return RoccResult(
+            has_response=True, value=result.value & _MASK64, busy_cycles=busy
         )
 
     # ------------------------------------------------------------------- state

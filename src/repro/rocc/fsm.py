@@ -27,6 +27,10 @@ class FsmState:
     DEC_ACCUM = "DEC_ACCUM"
     DEC_CNV = "DEC_CNV"
     DEC_MUL = "DEC_MUL"
+    DEC_ADDSUB = "DEC_ADDSUB"
+    DEC_FMA_ACC = "DEC_FMA_ACC"
+    DEC_ADDC = "DEC_ADDC"
+    DEC_SUBB = "DEC_SUBB"
     ACCUM = "ACCUM"
     LOAD = "LD"
     READ_RESP = "Read Resp"
@@ -41,6 +45,10 @@ class FsmState:
         DEC_ACCUM,
         DEC_CNV,
         DEC_MUL,
+        DEC_ADDSUB,
+        DEC_FMA_ACC,
+        DEC_ADDC,
+        DEC_SUBB,
         ACCUM,
         LOAD,
         READ_RESP,
@@ -57,6 +65,10 @@ _EXECUTE_STATES = {
     FsmState.DEC_ACCUM,
     FsmState.DEC_CNV,
     FsmState.DEC_MUL,
+    FsmState.DEC_ADDSUB,
+    FsmState.DEC_FMA_ACC,
+    FsmState.DEC_ADDC,
+    FsmState.DEC_SUBB,
     FsmState.ACCUM,
     FsmState.LOAD,
 }

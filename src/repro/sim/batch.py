@@ -63,6 +63,7 @@ class BatchRunner:
             solution.name,
             solution.kind,
             config.fmt,
+            config.operation,
             config.num_samples,
             config.repetitions,
         )

@@ -45,10 +45,12 @@ class TestProgramConfig:
             raise ConfigurationError(f"unknown solution: {self.solution!r}")
         if self.precision not in ("double", "quad"):
             raise ConfigurationError(f"unknown precision: {self.precision!r}")
-        if self.operation != "multiply":
+        from repro.decnumber.operations import OPERATIONS
+
+        if self.operation not in OPERATIONS:
             raise ConfigurationError(
-                f"unsupported operation {self.operation!r}: the evaluated "
-                "co-design solution is decimal multiplication"
+                f"unsupported operation {self.operation!r}: known operations "
+                f"are {', '.join(sorted(OPERATIONS))}"
             )
         if self.num_samples < 1:
             raise ConfigurationError("num_samples must be at least 1")

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.asm.builder import AsmBuilder
 from repro.asm.program import TOHOST_ADDRESS
+from repro.decnumber.operations import get_operation
 from repro.errors import ConfigurationError
 from repro.kernels.method1 import emit_method1_kernel
 from repro.kernels.software_mul import emit_software_mul_kernel
@@ -34,22 +35,28 @@ HARNESS_SYMBOLS = {
     "num_samples": "num_samples",
 }
 
-#: Kernel entry labels per (format, solution).  The decimal64 kernels are
-#: the paper's hand-tuned single-word emitters; wider formats use the
-#: spec-driven wide emitters (:mod:`repro.kernels.wide_mul` /
-#: :mod:`repro.kernels.wide_method1`).
-_KERNEL_LABELS = {
-    "decimal64": {
-        SolutionKind.SOFTWARE: "dec64_mul_sw",
-        SolutionKind.METHOD1: "dec64_mul_m1",
-        SolutionKind.METHOD1_DUMMY: "dec64_mul_m1d",
-    },
-    "decimal128": {
-        SolutionKind.SOFTWARE: "dec128_mul_sw",
-        SolutionKind.METHOD1: "dec128_mul_m1",
-        SolutionKind.METHOD1_DUMMY: "dec128_mul_m1d",
-    },
+#: Solution kind -> label suffix (shared with the kernel emitters' default
+#: label vocabulary, e.g. ``dec64_mul_sw`` / ``dec128_fma_m1``).
+_SOLUTION_SUFFIXES = {
+    SolutionKind.SOFTWARE: "sw",
+    SolutionKind.METHOD1: "m1",
+    SolutionKind.METHOD1_DUMMY: "m1d",
 }
+
+
+def kernel_label(fmt: str, operation: str, solution: str) -> str:
+    """Kernel entry label for (format, operation, solution).
+
+    One shared naming scheme across all kernel emitters:
+    ``dec{64,128}_{mul,add,sub,fma}_{sw,m1,m1d}``.  The decimal64 multiply
+    labels are the paper's hand-tuned single-word emitters; everything else
+    is spec-driven.
+    """
+    from repro.decnumber.formats import get_format
+
+    bits = get_format(fmt).total_bits
+    mnemonic = get_operation(operation).mnemonic
+    return f"dec{bits}_{mnemonic}_{_SOLUTION_SUFFIXES[solution]}"
 
 
 @dataclass
@@ -112,10 +119,11 @@ class GeneratedProgram:
         operand_words = []
         blob = bytearray()
         for vector in vectors:
-            x_word = reference.encode_operand(vector.x)
-            y_word = reference.encode_operand(vector.y)
-            operand_words.append((x_word, y_word))
-            for value in (x_word, y_word):
+            words = tuple(
+                reference.encode_operand(operand) for operand in vector.operands
+            )
+            operand_words.append(words)
+            for value in words:
                 for i in range(words_per_value):
                     blob += struct.pack("<Q", (value >> (64 * i)) & mask64)
         return operand_words, bytes(blob)
@@ -171,7 +179,22 @@ class GeneratedProgram:
 
 
 def _emit_kernel(builder: AsmBuilder, config: TestProgramConfig) -> str:
-    label = _KERNEL_LABELS[config.fmt][config.solution]
+    label = kernel_label(config.fmt, config.operation, config.solution)
+    if config.operation != "multiply":
+        from repro.kernels.addsub_fma import emit_addsub_kernel, emit_fma_kernel
+
+        spec = config.format_spec
+        if config.operation == "fma":
+            return emit_fma_kernel(
+                builder, spec, label=label, variant=config.solution
+            )
+        return emit_addsub_kernel(
+            builder,
+            spec,
+            label=label,
+            operation=get_operation(config.operation).mnemonic,
+            variant=config.solution,
+        )
     use_accelerator = config.solution == SolutionKind.METHOD1
     if config.fmt == "decimal64":
         if config.solution == SolutionKind.SOFTWARE:
@@ -191,9 +214,10 @@ def _emit_kernel(builder: AsmBuilder, config: TestProgramConfig) -> str:
 
 
 def _emit_harness(builder: AsmBuilder, kernel_label: str, num_samples: int,
-                  repetitions: int, words_per_value: int = 1) -> None:
+                  repetitions: int, words_per_value: int = 1,
+                  arity: int = 2) -> None:
     b = builder
-    operand_stride = 16 * words_per_value
+    operand_stride = 8 * arity * words_per_value
     result_stride = 8 * words_per_value
     b.text()
     b.label("_start")
@@ -208,7 +232,11 @@ def _emit_harness(builder: AsmBuilder, kernel_label: str, num_samples: int,
     if words_per_value == 1:
         b.emit("ld", "s8", "s0", 0)   # X
         b.emit("ld", "s9", "s0", 8)   # Y
-        b.li("s10", repetitions)
+        if arity == 3:
+            b.emit("ld", "s10", "s0", 16)  # Z
+            b.li("s11", repetitions)
+        else:
+            b.li("s10", repetitions)
     else:
         b.emit("ld", "s8", "s0", 0)    # X low
         b.emit("ld", "s9", "s0", 8)    # X high
@@ -216,20 +244,32 @@ def _emit_harness(builder: AsmBuilder, kernel_label: str, num_samples: int,
         b.emit("ld", "s11", "s0", 24)  # Y high
         # All of s0-s11 carry live harness state for two-word operands, so
         # the repetition count lives in gp (never touched by the kernels).
+        # A two-word third operand has no callee-saved home left at all:
+        # it is reloaded from the operand stream (s0 survives the call)
+        # inside the repeat loop.
         b.li("gp", repetitions)
     b.rdcycle("s6")
     b.label("harness_repeat")
     if words_per_value == 1:
         b.mv("a0", "s8")
         b.mv("a1", "s9")
-        b.call(kernel_label)
-        b.emit("addi", "s10", "s10", -1)
-        b.bnez("s10", "harness_repeat")
+        if arity == 3:
+            b.mv("a2", "s10")
+            b.call(kernel_label)
+            b.emit("addi", "s11", "s11", -1)
+            b.bnez("s11", "harness_repeat")
+        else:
+            b.call(kernel_label)
+            b.emit("addi", "s10", "s10", -1)
+            b.bnez("s10", "harness_repeat")
     else:
         b.mv("a0", "s8")
         b.mv("a1", "s9")
         b.mv("a2", "s10")
         b.mv("a3", "s11")
+        if arity == 3:
+            b.emit("ld", "a4", "s0", 32)  # Z low
+            b.emit("ld", "a5", "s0", 40)  # Z high
         b.call(kernel_label)
         b.emit("addi", "gp", "gp", -1)
         b.bnez("gp", "harness_repeat")
@@ -262,6 +302,7 @@ def draw_vectors(
     workload: str = None,
     database: VerificationDatabase = None,
     fmt: str = "decimal64",
+    operation: str = "multiply",
 ) -> list:
     """The one vector-source branch every evaluation layer shares.
 
@@ -279,12 +320,14 @@ def draw_vectors(
     if workload is not None:
         from repro.workloads import get_workload, workload_vectors
 
-        return workload_vectors(get_workload(workload), num_samples, seed, fmt)
+        return workload_vectors(
+            get_workload(workload), num_samples, seed, fmt, operation
+        )
     if database is None:
         database = VerificationDatabase(seed, fmt=fmt)
     if operand_classes is None:
-        return database.generate_mix(num_samples)
-    return database.generate_mix(num_samples, operand_classes)
+        return database.generate_mix(num_samples, operation=operation)
+    return database.generate_mix(num_samples, operand_classes, operation=operation)
 
 
 def generate_vectors(config: TestProgramConfig,
@@ -297,6 +340,7 @@ def generate_vectors(config: TestProgramConfig,
         workload=config.workload,
         database=database,
         fmt=config.fmt,
+        operation=config.operation,
     )
 
 
@@ -330,12 +374,19 @@ def build_test_program(
     builder.data()
     builder.align(8)
     builder.label(HARNESS_SYMBOLS["operands"])
+    arity = get_operation(config.operation).arity
     operand_words = []
     for vector in vectors:
-        x_word = reference.encode_operand(vector.x)
-        y_word = reference.encode_operand(vector.y)
-        operand_words.append((x_word, y_word))
-        for value in (x_word, y_word):
+        if len(vector.operands) != arity:
+            raise ConfigurationError(
+                f"vector {vector.index} carries {len(vector.operands)} "
+                f"operands but operation {config.operation!r} takes {arity}"
+            )
+        words = tuple(
+            reference.encode_operand(operand) for operand in vector.operands
+        )
+        operand_words.append(words)
+        for value in words:
             builder.dword(
                 *((value >> (64 * i)) & mask64 for i in range(words_per_value))
             )
@@ -349,16 +400,17 @@ def build_test_program(
     builder.dword(len(vectors))
 
     # Text: harness first (entry point), then the kernel.
-    _emit_harness(builder, _KERNEL_LABELS[config.fmt][config.solution],
+    _emit_harness(builder,
+                  kernel_label(config.fmt, config.operation, config.solution),
                   len(vectors), config.repetitions,
-                  words_per_value=words_per_value)
-    kernel_label = _emit_kernel(builder, config)
+                  words_per_value=words_per_value, arity=arity)
+    label = _emit_kernel(builder, config)
 
     image = builder.link(entry_symbol="_start")
     return GeneratedProgram(
         image=image,
         config=config,
         vectors=list(vectors),
-        kernel_label=kernel_label,
+        kernel_label=label,
         operand_words=operand_words,
     )

@@ -9,6 +9,13 @@ from repro.errors import VerificationError
 from repro.verification.reference import GoldenReference
 
 
+def render_application(operation: str, *operands) -> str:
+    """``x * y`` / ``fma(x, y, z)`` — the one place failure text renders ops."""
+    from repro.decnumber.operations import get_operation
+
+    return get_operation(operation).render(*operands)
+
+
 @dataclass(frozen=True)
 class CheckFailure:
     """One mismatching sample."""
@@ -21,11 +28,18 @@ class CheckFailure:
     actual: DecNumber
     expected_bits: int
     actual_bits: int
+    z: DecNumber = None
+    operation: str = "multiply"
+
+    @property
+    def operands(self) -> tuple:
+        return (self.x, self.y) if self.z is None else (self.x, self.y, self.z)
 
     def describe(self) -> str:
         return (
             f"sample {self.index} [{self.operand_class}]: "
-            f"{self.x} * {self.y} -> expected {self.expected} "
+            f"{render_application(self.operation, *self.operands)} -> "
+            f"expected {self.expected} "
             f"(0x{self.expected_bits:016x}), got {self.actual} "
             f"(0x{self.actual_bits:016x})"
         )
@@ -99,7 +113,7 @@ class ResultChecker:
         report = self._new_report()
         for vector, word in zip(vectors, result_words):
             report.total += 1
-            golden = self.reference.compute(vector.x, vector.y)
+            golden = self.reference.compute(*vector.operands)
             self._cross_check(report, vector, golden)
             actual = self.reference.decode(word)
             if self.results_match(golden.value, actual):
@@ -111,6 +125,8 @@ class ResultChecker:
                         operand_class=vector.operand_class,
                         x=vector.x,
                         y=vector.y,
+                        z=getattr(vector, "z", None),
+                        operation=self.reference.operation,
                         expected=golden.value,
                         actual=actual,
                         expected_bits=golden.encoded,

@@ -39,7 +39,8 @@ class CoverageTracker:
 
     def record(self, vector) -> frozenset:
         """Record one vector; returns the set of conditions it produced."""
-        golden = self.reference.compute(vector.x, vector.y)
+        operands = getattr(vector, "operands", (vector.x, vector.y))
+        golden = self.reference.compute(*operands)
         conditions = set(golden.flags)
         if not golden.flags & {"inexact"}:
             conditions.add("exact")

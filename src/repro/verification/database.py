@@ -94,12 +94,34 @@ CLASS_PARAMS = {
 
 @dataclass(frozen=True)
 class VerificationVector:
-    """One operand pair plus the class it was drawn from."""
+    """One operand tuple plus the class it was drawn from.
+
+    Binary operations (multiply/add/subtract) carry ``x`` and ``y``;
+    the ternary fma additionally carries the addend ``z``.
+    """
 
     x: DecNumber
     y: DecNumber
     operand_class: str
     index: int = 0
+    z: DecNumber = None
+
+    @property
+    def operands(self) -> tuple:
+        """The operand tuple in positional order, sized to the operation."""
+        if self.z is None:
+            return (self.x, self.y)
+        return (self.x, self.y, self.z)
+
+
+#: Addend strategies the fma triple generator cycles through: a plain
+#: same-class addend, an addend that dominates the product, a product that
+#: dominates the addend, a near-cancelling addend (z ~ -x*y), and a zero
+#: addend — together they exercise alignment in both directions, the
+#: effective-subtract cancellation path, and the zero-operand special cases.
+FMA_ADDEND_STRATEGIES = (
+    "normal", "z_dominant", "product_dominant", "cancellation", "zero",
+)
 
 
 class VerificationDatabase:
@@ -119,30 +141,97 @@ class VerificationDatabase:
         self._underflow_toggle = False
 
     # ------------------------------------------------------------ class mixes
-    def generate(self, operand_class: str, count: int) -> list:
-        """Generate ``count`` vectors of a single class."""
+    def generate(self, operand_class: str, count: int,
+                 operation: str = "multiply") -> list:
+        """Generate ``count`` vectors of a single class.
+
+        ``operation`` sizes the operand tuple: ternary operations draw an
+        extra fma addend per vector (binary operations consume exactly the
+        pre-operation-axis rng stream, so multiply vectors stay pinned).
+        """
         generator = self._generators().get(operand_class)
         if generator is None:
             raise ConfigurationError(f"unknown operand class: {operand_class!r}")
-        return [
-            VerificationVector(*generator(), operand_class=operand_class, index=i)
-            for i in range(count)
-        ]
+        ternary = self._is_ternary(operation)
+        vectors = []
+        for index in range(count):
+            x, y = generator()
+            z = self._fma_addend(x, y, index) if ternary else None
+            vectors.append(
+                VerificationVector(
+                    x=x, y=y, operand_class=operand_class, index=index, z=z
+                )
+            )
+        return vectors
 
-    def generate_mix(self, count: int, classes=OperandClass.TABLE_IV_MIX) -> list:
+    def generate_mix(self, count: int, classes=OperandClass.TABLE_IV_MIX,
+                     operation: str = "multiply") -> list:
         """Generate ``count`` vectors cycling uniformly through ``classes``."""
         generators = self._generators()
         for name in classes:
             if name not in generators:
                 raise ConfigurationError(f"unknown operand class: {name!r}")
+        ternary = self._is_ternary(operation)
         vectors = []
         for index in range(count):
             name = classes[index % len(classes)]
             x, y = generators[name]()
+            z = self._fma_addend(x, y, index) if ternary else None
             vectors.append(
-                VerificationVector(x=x, y=y, operand_class=name, index=index)
+                VerificationVector(
+                    x=x, y=y, operand_class=name, index=index, z=z
+                )
             )
         return vectors
+
+    @staticmethod
+    def _is_ternary(operation: str) -> bool:
+        from repro.decnumber.operations import get_operation
+
+        return get_operation(operation).arity == 3
+
+    def _fma_addend(self, x: DecNumber, y: DecNumber, index: int) -> DecNumber:
+        """The fma addend for pair ``(x, y)``, cycling the triple strategies."""
+        params = self._params
+        rng = self._rng
+        precision = params["precision"]
+        strategy = FMA_ADDEND_STRATEGIES[index % len(FMA_ADDEND_STRATEGIES)]
+        if strategy == "zero":
+            return DecNumber(
+                rng.randint(0, 1), 0, rng.randint(*params["zero_exponent"])
+            )
+        finite_pair = (
+            x.is_finite and y.is_finite and x.coefficient and y.coefficient
+        )
+        if strategy == "normal" or not finite_pair:
+            return self._finite((1, precision), params["normal_exponent"])
+        product_coefficient = x.coefficient * y.coefficient
+        product_exponent = x.exponent + y.exponent
+        low, high = params["zero_exponent"]        # the [etiny, etop] envelope
+        if strategy == "cancellation":
+            # Negate the product, truncated to format precision so the
+            # addend stays encodable: the leading digits cancel exactly,
+            # exercising the effective-subtract renormalisation path.  The
+            # truncated quantum must stay inside [etiny, etop] — operands
+            # below etiny do not round-trip through the interchange
+            # encoding bit-exactly (drop more digits), and ones above etop
+            # cannot be represented at all (fall back to a plain addend).
+            digits = len(str(product_coefficient))
+            drop = max(0, digits - precision, low - product_exponent)
+            if drop >= digits or product_exponent + drop > high:
+                return self._finite((1, precision), params["normal_exponent"])
+            return DecNumber(
+                1 - (x.sign ^ y.sign),
+                product_coefficient // (10 ** drop),
+                product_exponent + drop,
+            )
+        adjusted = product_exponent + len(str(product_coefficient)) - 1
+        if strategy == "z_dominant":
+            exponent = adjusted + rng.randint(precision + 2, 2 * precision)
+        else:  # product_dominant
+            exponent = adjusted - rng.randint(precision + 2, 2 * precision)
+        exponent = max(low, min(exponent, high))
+        return self._finite((1, precision), (exponent, exponent))
 
     # -------------------------------------------------------------- generators
     def _generators(self) -> dict:

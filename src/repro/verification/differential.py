@@ -79,11 +79,18 @@ class StdlibDecimalReference:
         """The equivalent stdlib :class:`decimal.Context` (fresh flags)."""
         return self._golden.context().to_python_context()
 
-    def compute(self, x: DecNumber, y: DecNumber) -> GoldenResult:
-        """Expected result of ``x op y`` per the stdlib decimal oracle."""
+    def compute(self, *operands: DecNumber) -> GoldenResult:
+        """Expected result of op(operands) per the stdlib decimal oracle.
+
+        The canonical operation names double as :class:`decimal.Context`
+        method names (``multiply``/``add``/``subtract``/``fma``), so the
+        dispatch is a plain ``getattr`` for binary and ternary ops alike.
+        """
         ctx = self.context()
         operation = getattr(ctx, self.operation)
-        value = DecNumber.from_decimal(operation(x.to_decimal(), y.to_decimal()))
+        value = DecNumber.from_decimal(
+            operation(*(operand.to_decimal() for operand in operands))
+        )
         flags = frozenset(
             name
             for name, signal in _PYTHON_SIGNALS.items()
@@ -117,11 +124,20 @@ class OracleDisagreement:
     secondary: DecNumber
     primary_bits: int
     secondary_bits: int
+    z: DecNumber = None
+    operation: str = "multiply"
+
+    @property
+    def operands(self) -> tuple:
+        return (self.x, self.y) if self.z is None else (self.x, self.y, self.z)
 
     def describe(self) -> str:
+        from repro.verification.checker import render_application
+
         return (
             f"sample {self.index} [{self.operand_class}]: oracles disagree on "
-            f"{self.x} * {self.y} -> decnumber {self.primary} "
+            f"{render_application(self.operation, *self.operands)} -> "
+            f"decnumber {self.primary} "
             f"(0x{self.primary_bits:016x}) vs stdlib-decimal {self.secondary} "
             f"(0x{self.secondary_bits:016x})"
         )
@@ -164,21 +180,24 @@ class DualOracleChecker(ResultChecker):
     default oracles compute under.
     """
 
-    def __init__(self, primary=None, secondary=None, fmt: str = "decimal64") -> None:
+    def __init__(self, primary=None, secondary=None, fmt: str = "decimal64",
+                 operation: str = "multiply") -> None:
         super().__init__(
-            primary if primary is not None else GoldenReference(precision=fmt)
+            primary
+            if primary is not None
+            else GoldenReference(operation=operation, precision=fmt)
         )
         self.secondary = (
             secondary
             if secondary is not None
-            else StdlibDecimalReference(precision=fmt)
+            else StdlibDecimalReference(operation=operation, precision=fmt)
         )
 
     def _new_report(self) -> DualCheckReport:
         return DualCheckReport()
 
     def _cross_check(self, report, vector, golden) -> None:
-        second = self.secondary.compute(vector.x, vector.y)
+        second = self.secondary.compute(*vector.operands)
         if golden.encoded != second.encoded:
             report.oracle_disagreements.append(
                 OracleDisagreement(
@@ -186,6 +205,8 @@ class DualOracleChecker(ResultChecker):
                     operand_class=vector.operand_class,
                     x=vector.x,
                     y=vector.y,
+                    z=getattr(vector, "z", None),
+                    operation=self.secondary.operation,
                     primary=golden.value,
                     secondary=second.value,
                     primary_bits=golden.encoded,
@@ -194,7 +215,8 @@ class DualOracleChecker(ResultChecker):
             )
 
 
-def dual_checker_for_workload(workload: str = None, fmt: str = "decimal64") -> ResultChecker:
+def dual_checker_for_workload(workload: str = None, fmt: str = "decimal64",
+                              operation: str = "multiply") -> ResultChecker:
     """The differential-mode checker for a (possibly workload-scoped) run.
 
     Mirrors :func:`repro.core.evaluation.checker_for_workload`: a resolvable
@@ -215,11 +237,13 @@ def dual_checker_for_workload(workload: str = None, fmt: str = "decimal64") -> R
             resolved = None
         if resolved is not None:
             if type(resolved).expected is not Workload.expected:
-                return resolved.make_checker(fmt)
+                return resolved.make_checker(fmt, operation)
             return DualOracleChecker(
-                primary=resolved.make_checker(fmt).reference, fmt=fmt
+                primary=resolved.make_checker(fmt, operation).reference,
+                fmt=fmt,
+                operation=operation,
             )
-    return DualOracleChecker(fmt=fmt)
+    return DualOracleChecker(fmt=fmt, operation=operation)
 
 
 # ---------------------------------------------------------------- co-simulation
@@ -247,6 +271,8 @@ class Divergence:
     y: DecNumber
     words: dict          # model name -> result word
     values: dict         # model name -> decoded DecNumber
+    z: DecNumber = None
+    operation: str = "multiply"
 
     def disagreeing_models(self) -> tuple:
         """Models whose word differs from the (majority) reference word."""
@@ -259,17 +285,21 @@ class Divergence:
         )
 
     def describe(self) -> str:
+        from repro.verification.checker import render_application
+
+        operands = (self.x, self.y) if self.z is None else (self.x, self.y, self.z)
         per_model = ", ".join(
             f"{model}={self.values[model]} (0x{self.words[model]:016x})"
             for model in sorted(self.words)
         )
         return (
             f"vector {self.index} [{self.operand_class}]: "
-            f"{self.x} * {self.y} -> {per_model}"
+            f"{render_application(self.operation, *operands)} -> {per_model}"
         )
 
 
-def diff_result_words(vectors, words_by_model, decode=None) -> list:
+def diff_result_words(vectors, words_by_model, decode=None,
+                      operation: str = "multiply") -> list:
     """Vector-by-vector cross-model diff of architectural result words.
 
     ``words_by_model`` maps each model name to its full result-word list
@@ -293,6 +323,8 @@ def diff_result_words(vectors, words_by_model, decode=None) -> list:
                     operand_class=vector.operand_class,
                     x=vector.x,
                     y=vector.y,
+                    z=getattr(vector, "z", None),
+                    operation=operation,
                     words=words,
                     values={
                         model: decode(word) for model, word in words.items()
@@ -314,6 +346,7 @@ class DivergenceReport:
     check_report: object = None                    # DualCheckReport or None
     workload: str = None
     fmt: str = "decimal64"
+    operation: str = "multiply"
 
     @property
     def all_agree(self) -> bool:
@@ -354,6 +387,7 @@ class DivergenceReport:
         lines = [
             f"differential: {self.total} vectors x {len(self.models)} models "
             f"({', '.join(self.models)}), solution {self.solution_kind}"
+            + (f", operation {self.operation}" if self.operation != "multiply" else "")
             + (f", format {self.fmt}" if self.fmt != "decimal64" else "")
             + (f", workload {self.workload}" if self.workload else "")
         ]
@@ -400,9 +434,11 @@ class CoSimulator:
         workload: str = None,
         verify: bool = True,
         fmt: str = "decimal64",
+        operation: str = "multiply",
     ) -> None:
         from repro.core.solution import standard_solutions
         from repro.decnumber.formats import resolve_format_name
+        from repro.decnumber.operations import resolve_operation_name
         from repro.testgen.config import SolutionKind
 
         if solution is None:
@@ -430,8 +466,9 @@ class CoSimulator:
         self.workload = workload
         self.verify = verify
         self.fmt = resolve_format_name(fmt)
+        self.operation = resolve_operation_name(operation)
         if checker is None and verify and solution.verifiable:
-            checker = dual_checker_for_workload(workload, self.fmt)
+            checker = dual_checker_for_workload(workload, self.fmt, self.operation)
         self.checker = checker
 
     # ------------------------------------------------------------- model runs
@@ -491,6 +528,7 @@ class CoSimulator:
         config = TestProgramConfig(
             solution=self.solution.kind,
             precision=TestProgramConfig.precision_for_format(self.fmt),
+            operation=self.operation,
             num_samples=len(vectors),
             repetitions=repetitions,
             seed=seed,
@@ -509,11 +547,13 @@ class CoSimulator:
             runs=runs,
             workload=self.workload,
             fmt=self.fmt,
+            operation=self.operation,
         )
         report.divergences = diff_result_words(
             program.vectors,
             {model: run.result_words for model, run in runs.items()},
             decode=GoldenReference(precision=self.fmt).decode,
+            operation=self.operation,
         )
         if self.checker is not None and self.verify and self.solution.verifiable:
             reference_model = self.models[0]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.decnumber.arith import add, multiply, subtract
+from repro.decnumber.arith import add, fma, multiply, subtract
 from repro.decnumber.context import Context
 from repro.decnumber.formats import DECIMAL64, DECIMAL128
 from repro.decnumber.number import DecNumber
@@ -14,6 +14,7 @@ _OPERATIONS = {
     "multiply": multiply,
     "add": add,
     "subtract": subtract,
+    "fma": fma,
 }
 
 #: ``precision`` accepts the paper's double/quad terminology and the
@@ -62,10 +63,13 @@ class GoldenReference:
     def context(self) -> Context:
         return self._format_module.context()
 
-    def compute(self, x: DecNumber, y: DecNumber) -> GoldenResult:
-        """Expected rounded result and interchange encoding for (x op y)."""
+    def compute(self, *operands: DecNumber) -> GoldenResult:
+        """Expected rounded result and interchange encoding for op(operands).
+
+        Binary operations take ``(x, y)``; fma takes ``(x, y, z)``.
+        """
         ctx = self.context()
-        value = _OPERATIONS[self.operation](x, y, ctx)
+        value = _OPERATIONS[self.operation](*operands, ctx)
         encoded = self._format_module.encode(value, ctx.copy())
         return GoldenResult(value=value, encoded=encoded, flags=ctx.flags.raised())
 

@@ -13,6 +13,7 @@ from repro.workloads.builtin import (
     BUILTIN_WORKLOADS,
     CarryStress,
     CurrencyFx,
+    MacChain,
     PaperUniform,
     SparseDigits,
     SpecialValues,
@@ -43,6 +44,7 @@ __all__ = [
     "SparseDigits",
     "CarryStress",
     "SpecialValues",
+    "MacChain",
     "get_workload",
     "register",
     "registered_workloads",

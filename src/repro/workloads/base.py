@@ -56,12 +56,18 @@ class Workload:
         workloads are never silently run under a wider format they were not
         written for; declare ``("decimal64", "decimal128")`` (and accept the
         ``fmt`` argument in :meth:`vectors`) to opt in.
+    ``operations``
+        Canonical operation names the workload's distribution makes sense
+        for.  The default is multiply only — the pre-operation-axis
+        contract; declare e.g. ``("multiply", "fma")`` (and implement
+        :meth:`triple_for_format` for ternary ops) to opt in.
     """
 
     name: str = ""
     description: str = ""
     tags: tuple = ()
     formats: tuple = ("decimal64",)
+    operations: tuple = ("multiply",)
 
     # ------------------------------------------------------------- generation
     def pair(self, rng: random.Random, index: int):
@@ -82,12 +88,43 @@ class Workload:
         """
         return self.pair(rng, index)
 
-    def vectors(self, count: int, seed: int = 2018, fmt: str = "decimal64") -> list:
-        """``count`` :class:`VerificationVector` drawn deterministically."""
+    def triple_for_format(self, rng: random.Random, index: int, spec):
+        """One ``(x, y, z)`` fma triple sized for ``spec``.
+
+        The default draws two pairs from the workload's own distribution
+        and uses the second pair's first operand as the addend, so any
+        binary workload that opts into fma gets an addend shaped like its
+        own operands.  Workloads with a meaningful accumulation structure
+        (see ``mac-chain``) override this.
+        """
+        x, y = self.pair_for_format(rng, index, spec)
+        z, _ = self.pair_for_format(rng, index, spec)
+        return x, y, z
+
+    def vectors(self, count: int, seed: int = 2018, fmt: str = "decimal64",
+                operation: str = "multiply") -> list:
+        """``count`` :class:`VerificationVector` drawn deterministically.
+
+        ``operation`` sizes the operand tuple: binary operations draw
+        pairs (the multiply stream is unchanged — same rng consumption as
+        before the operation axis existed), ternary ones draw triples via
+        :meth:`triple_for_format`.
+        """
         from repro.decnumber.formats import get_format
+        from repro.decnumber.operations import get_operation
 
         spec = get_format(fmt)
         rng = random.Random(seed)
+        if get_operation(operation).arity == 3:
+            vectors = []
+            for index in range(count):
+                x, y, z = self.triple_for_format(rng, index, spec)
+                vectors.append(
+                    VerificationVector(
+                        x, y, operand_class=self.name, index=index, z=z
+                    )
+                )
+            return vectors
         return [
             VerificationVector(*self.pair_for_format(rng, index, spec),
                                operand_class=self.name, index=index)
@@ -99,6 +136,12 @@ class Workload:
         from repro.decnumber.formats import resolve_format_name
 
         return resolve_format_name(fmt) in self.formats
+
+    def supports_operation(self, operation) -> bool:
+        """Whether this workload declares support for ``operation``."""
+        from repro.decnumber.operations import resolve_operation_name
+
+        return resolve_operation_name(operation) in self.operations
 
     # ------------------------------------------------------------ oracle hook
     def expected(self, x, y, fmt: str = "decimal64"):
@@ -119,14 +162,23 @@ class Workload:
         """
         return self._reference(fmt).compute(x, y)
 
-    def make_checker(self, fmt: str = "decimal64"):
+    def make_checker(self, fmt: str = "decimal64", operation: str = "multiply"):
         """A :class:`~repro.verification.checker.ResultChecker` that judges
-        results with this workload's :meth:`expected` oracle under ``fmt``."""
+        results with this workload's :meth:`expected` oracle under ``fmt``.
+
+        The :meth:`expected` hook is multiply-shaped (the pre-operation-axis
+        custom-oracle contract), so non-multiply operations are judged by
+        the golden library directly — a domain-specific multiply oracle has
+        nothing to say about an add or an fma.
+        """
         from repro.verification.checker import ResultChecker
 
+        if operation != "multiply":
+            return ResultChecker(self._reference(fmt, operation))
         return ResultChecker(_OracleReference(self, fmt))
 
-    def _reference(self, fmt: str = "decimal64") -> GoldenReference:
+    def _reference(self, fmt: str = "decimal64",
+                   operation: str = "multiply") -> GoldenReference:
         from repro.decnumber.formats import resolve_format_name
 
         fmt = resolve_format_name(fmt)
@@ -134,10 +186,11 @@ class Workload:
         if cache is None:
             cache = {}
             self._golden_by_format = cache
-        reference = cache.get(fmt)
+        key = fmt if operation == "multiply" else (fmt, operation)
+        reference = cache.get(key)
         if reference is None:
-            reference = GoldenReference(precision=fmt)
-            cache[fmt] = reference
+            reference = GoldenReference(operation=operation, precision=fmt)
+            cache[key] = reference
         return reference
 
     # --------------------------------------------------------------- metadata
@@ -148,6 +201,7 @@ class Workload:
             "description": self.description,
             "tags": list(self.tags),
             "formats": list(self.formats),
+            "operations": list(self.operations),
         }
 
     def __repr__(self) -> str:
@@ -166,6 +220,9 @@ class _OracleReference:
     def __init__(self, workload: Workload, fmt: str = "decimal64") -> None:
         self._workload = workload
         self._fmt = fmt
+        # The custom-oracle contract is multiply-shaped (see make_checker);
+        # the checker reads this when rendering a failure.
+        self.operation = "multiply"
 
     def compute(self, x, y):
         if self._fmt == "decimal64":

@@ -45,6 +45,9 @@ class PaperUniform(Workload):
     )
     tags = ("paper", "reference")
     formats = ("decimal64", "decimal128")
+    #: Multiply only, deliberately: this workload IS the paper's pinned
+    #: stream, and pinning means never consuming rng draws for other ops.
+    operations = ("multiply",)
     classes = OperandClass.TABLE_IV_MIX
 
     def vectors(self, count: int, seed: int = 2018, fmt: str = "decimal64") -> list:
@@ -61,11 +64,19 @@ class TelcoBilling(Workload):
     )
     tags = ("financial",)
     formats = ("decimal64", "decimal128")
+    # Rating naturally accumulates: duration x tariff + running balance.
+    operations = ("multiply", "fma")
 
     def pair(self, rng, index):
         duration = DecNumber(0, rng.randint(1, 720_000), -2)   # up to 2 hours
         tariff = DecNumber(0, rng.randint(100, 9_999_999), -7)
         return duration, tariff
+
+    def triple_for_format(self, rng, index, spec):
+        duration, tariff = self.pair(rng, index)
+        # Running bill so far: dollars and cents, up to ~1e6.
+        balance = DecNumber(0, rng.randint(0, 99_999_999), -2)
+        return duration, tariff, balance
 
 
 class CurrencyFx(Workload):
@@ -78,6 +89,8 @@ class CurrencyFx(Workload):
     )
     tags = ("financial", "rounding")
     formats = ("decimal64", "decimal128")
+    # Conversion with fees folds in as amount x rate + fee.
+    operations = ("multiply", "fma")
 
     def pair(self, rng, index):
         amount = _finite(rng, (1, 13), (-2, -2), signed=False)
@@ -97,6 +110,8 @@ class TaxLadder(Workload):
     )
     tags = ("financial", "rounding")
     formats = ("decimal64", "decimal128")
+    # A ladder rung is amount x factor + flat levy: fma-shaped.
+    operations = ("multiply", "fma")
 
     def pair(self, rng, index):
         # The amount's precision grows along a ladder; model rungs by cycling
@@ -117,6 +132,8 @@ class SparseDigits(Workload):
     )
     tags = ("exponent",)
     formats = ("decimal64", "decimal128")
+    # Exponent/alignment logic dominates for every operation alike.
+    operations = ("multiply", "add", "subtract", "fma")
 
     def pair(self, rng, index):
         return (
@@ -140,6 +157,9 @@ class CarryStress(Workload):
     )
     tags = ("stress",)
     formats = ("decimal64", "decimal128")
+    # All-nines coefficients are the worst case for every BCD datapath:
+    # partial products, alignment adds, and the fma accumulator alike.
+    operations = ("multiply", "add", "subtract", "fma")
 
     def pair(self, rng, index, precision: int = 16):
         def nines():
@@ -165,6 +185,8 @@ class SpecialValues(Workload):
     )
     tags = ("special", "stress")
     formats = ("decimal64", "decimal128")
+    # NaN/Inf/zero propagation rules differ per operation; run them all.
+    operations = ("multiply", "add", "subtract", "fma")
 
     def _special(self, rng, spec):
         choice = rng.randint(0, 3)
@@ -198,6 +220,40 @@ class SpecialValues(Workload):
         return self.pair(rng, index, spec=spec)
 
 
+class MacChain(Workload):
+    """Dot-product accumulation: element x element + running sum (fma-only).
+
+    Models the inner loop of a decimal dot product / sum-of-products: two
+    half-precision factors and an accumulator that has already absorbed many
+    terms, so it carries (near-)full precision and usually dominates the
+    product.  About a quarter of the triples flip the accumulator's sign
+    against the product to exercise cancellation mid-chain.
+    """
+
+    name = "mac-chain"
+    description = (
+        "multiply-accumulate chains: half-precision factor pairs + a "
+        "full-precision running accumulator (fma only)"
+    )
+    tags = ("fma", "accumulation")
+    formats = ("decimal64", "decimal128")
+    operations = ("fma",)
+
+    def triple_for_format(self, rng, index, spec):
+        half = max(1, spec.precision // 2)
+        x = _finite(rng, (1, half), (-4, 4))
+        y = _finite(rng, (1, half), (-4, 4))
+        accumulator = _finite(rng, (half, spec.precision), (-4, 6))
+        if rng.random() < 0.25:
+            # Cancellation rung: accumulator opposes the incoming product.
+            accumulator = DecNumber(
+                1 - (x.sign ^ y.sign),
+                accumulator.coefficient,
+                accumulator.exponent,
+            )
+        return x, y, accumulator
+
+
 #: Instances in registration order (paper mix first).
 BUILTIN_WORKLOADS = (
     PaperUniform(),
@@ -207,4 +263,5 @@ BUILTIN_WORKLOADS = (
     SparseDigits(),
     CarryStress(),
     SpecialValues(),
+    MacChain(),
 )

@@ -83,17 +83,35 @@ def workloads_for_format(fmt) -> dict:
 
 
 def workload_vectors(workload: Workload, count: int, seed: int,
-                     fmt: str = "decimal64") -> list:
-    """Draw ``count`` vectors from ``workload`` for format ``fmt``.
+                     fmt: str = "decimal64",
+                     operation: str = "multiply") -> list:
+    """Draw ``count`` vectors from ``workload`` for ``fmt`` and ``operation``.
 
     The single call site the rest of the stack uses: it enforces the
-    workload's declared format support and keeps the decimal64 call shape
-    identical to the pre-format-axis one (so third-party ``vectors``
-    overrides without the ``fmt`` parameter keep working for decimal64).
+    workload's declared format and operation support and keeps the
+    decimal64-multiply call shape identical to the pre-axis one (so
+    third-party ``vectors`` overrides without the ``fmt``/``operation``
+    parameters keep working for decimal64 multiplication).
     """
     from repro.decnumber.formats import resolve_format_name
+    from repro.decnumber.operations import resolve_operation_name
 
     fmt = resolve_format_name(fmt)
+    operation = resolve_operation_name(operation)
+    if not workload.supports_operation(operation):
+        raise ConfigurationError(
+            f"workload {workload.name!r} does not support operation "
+            f"{operation!r} (declares {workload.operations}); see "
+            "docs/operations.md for the opt-in recipe"
+        )
+    if operation != "multiply":
+        if not workload.supports_format(fmt):
+            raise ConfigurationError(
+                f"workload {workload.name!r} does not support format {fmt!r} "
+                f"(declares {workload.formats}); see docs/formats.md for the "
+                "opt-in recipe"
+            )
+        return workload.vectors(count, seed, fmt=fmt, operation=operation)
     if fmt == "decimal64":
         return workload.vectors(count, seed)
     if not workload.supports_format(fmt):

@@ -256,3 +256,41 @@ class TestCampaignCoverage:
         assert report.check_failed == 0
         assert (report.start, report.stop) == (20, 25)
         assert len(report.raw_cycle_samples) == 5
+
+
+class TestOperationDifferentialSmoke:
+    """Mixed-op differential campaign: the ISSUE acceptance gate in-tree.
+
+    Every operation runs its method-1 kernel and the software kernel in
+    cross-model co-simulation with the dual oracle enabled; any divergence,
+    oracle split or functional check failure fails the suite.
+    """
+
+    @pytest.fixture(scope="class")
+    def mixed_op_result(self):
+        from repro.core.campaign import run_operation_campaign
+
+        return run_operation_campaign(
+            ("multiply", "add", "fma"),
+            formats=("decimal64",),
+            num_samples=100,
+            seed=SEED,
+            differential=True,
+        )
+
+    def test_differential_clean(self, mixed_op_result):
+        assert mixed_op_result.differential
+        assert mixed_op_result.total_divergences == 0
+        assert mixed_op_result.total_oracle_disagreements == 0
+        assert mixed_op_result.total_check_failures == 0
+        assert mixed_op_result.differential_clean
+
+    def test_all_cells_present_and_sized(self, mixed_op_result):
+        ops = {cell.op for cell in mixed_op_result.cells}
+        assert ops == {"multiply", "add", "fma"}
+        for report in mixed_op_result.reports:
+            assert report.num_samples == 100
+
+    def test_per_operation_tables(self, mixed_op_result):
+        tables = mixed_op_result.table_iv_by_operation()
+        assert {key[0] for key in tables} == {"multiply", "add", "fma"}

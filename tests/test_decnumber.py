@@ -23,6 +23,7 @@ from repro.decnumber import (
     decimal64,
     decimal128,
     dpd,
+    fma,
     multiply,
     subtract,
 )
@@ -253,6 +254,97 @@ class TestArithmeticAgainstPythonDecimal:
         ours = multiply(x, y, ctx)
         theirs = DECIMAL64_CONTEXT().to_python_context().multiply(
             x.to_decimal(), y.to_decimal()
+        )
+        assert str(ours.to_decimal()) == str(theirs)
+
+
+class TestAddSubFmaEdges:
+    """Direct edge coverage for add/subtract/fma special paths.
+
+    These cases were previously exercised only indirectly (through the
+    kernel oracles); each one cross-checks against stdlib decimal with the
+    same context settings.
+    """
+
+    def test_exact_cancellation_zero_sign_round_floor(self):
+        x = DecNumber(0, 123456, -3)
+        for rounding in (ROUND_FLOOR, ROUND_HALF_EVEN, ROUND_CEILING):
+            ctx = Context(prec=16, emax=384, emin=-383, rounding=rounding)
+            ours = subtract(x, x, ctx)
+            theirs = ctx.to_python_context().subtract(
+                x.to_decimal(), x.to_decimal()
+            )
+            assert str(ours.to_decimal()) == str(theirs), rounding
+            # Only ROUND_FLOOR directs an exact-cancellation zero negative.
+            assert (ours.sign == 1) == (rounding == ROUND_FLOOR)
+
+    def test_both_zero_sum_sign(self):
+        pos, neg = DecNumber.zero(0), DecNumber.zero(1)
+        for rounding in (ROUND_FLOOR, ROUND_HALF_EVEN):
+            for x, y in ((pos, neg), (neg, pos), (neg, neg), (pos, pos)):
+                ctx = Context(prec=16, emax=384, emin=-383, rounding=rounding)
+                ours = add(x, y, ctx)
+                theirs = ctx.to_python_context().add(
+                    x.to_decimal(), y.to_decimal()
+                )
+                assert str(ours.to_decimal()) == str(theirs), (x, y, rounding)
+
+    def test_inf_minus_inf_invalid_qnan(self):
+        ctx = DECIMAL64_CONTEXT()
+        inf = DecNumber.infinity(0)
+        result = subtract(inf, inf, ctx)
+        assert result.kind == "qnan" and result.coefficient == 0
+        assert ctx.flags.invalid
+        pyctx = DECIMAL64_CONTEXT().to_python_context()
+        theirs = pyctx.subtract(inf.to_decimal(), inf.to_decimal())
+        assert str(result.to_decimal()) == str(theirs)
+        assert pyctx.flags[decimal.InvalidOperation]
+        # Same-sign infinities subtract to the invalid case through the
+        # copy_negate path; opposite signs stay a clean infinity.
+        ctx = DECIMAL64_CONTEXT()
+        ok = subtract(inf, DecNumber.infinity(1), ctx)
+        assert ok.is_infinite and ok.sign == 0 and not ctx.flags.invalid
+
+    def test_nan_payload_through_subtract(self):
+        # A quiet-NaN y must keep its payload AND its sign: subtract's
+        # copy_negate shortcut may not flip the NaN before propagation.
+        ctx = DECIMAL64_CONTEXT()
+        nan = DecNumber.qnan(123, sign=1)
+        x = DecNumber(0, 5, 0)
+        result = subtract(x, nan, ctx)
+        assert result.kind == "qnan"
+        assert result.coefficient == 123 and result.sign == 1
+        assert not ctx.flags.invalid
+        pyctx = DECIMAL64_CONTEXT().to_python_context()
+        theirs = pyctx.subtract(x.to_decimal(), nan.to_decimal())
+        assert str(result.to_decimal()) == str(theirs)
+
+    def test_snan_through_subtract_signals_and_quiets(self):
+        ctx = DECIMAL64_CONTEXT()
+        result = subtract(DecNumber.from_int(1), DecNumber.snan(77), ctx)
+        assert result.kind == "qnan" and result.coefficient == 77
+        assert ctx.flags.invalid
+
+    def test_fma_inf_times_zero_invalid_before_z(self):
+        # Inf * 0 raises invalid before z is examined, matching stdlib fma.
+        ctx = DECIMAL64_CONTEXT()
+        result = fma(DecNumber.infinity(0), DecNumber.zero(), DecNumber.snan(9), ctx)
+        assert result.kind == "qnan" and result.coefficient == 0
+        assert ctx.flags.invalid
+        pyctx = DECIMAL64_CONTEXT().to_python_context()
+        theirs = pyctx.fma(
+            decimal.Decimal("Infinity"), decimal.Decimal(0), decimal.Decimal("sNaN9")
+        )
+        assert str(result.to_decimal()) == str(theirs)
+
+    def test_fma_single_rounding(self):
+        # 1 + ulp^2/... : the product must NOT be rounded before the add.
+        ctx = DECIMAL64_CONTEXT()
+        x = DecNumber(0, 10 ** 16 - 1, -16)   # just under 1
+        ours = fma(x, x, DecNumber(1, 1, -32), ctx)
+        pyctx = DECIMAL64_CONTEXT().to_python_context()
+        theirs = pyctx.fma(
+            x.to_decimal(), x.to_decimal(), decimal.Decimal("-1E-32")
         )
         assert str(ours.to_decimal()) == str(theirs)
 

@@ -89,13 +89,19 @@ def test_model_runs_capture_cycles_and_per_vector_samples():
 
 @pytest.mark.parametrize("name", sorted(registered_workloads()))
 def test_models_agree_on_every_builtin_workload(name):
-    vectors = registered_workloads()[name].vectors(20, seed=3)
+    # Run each workload under the first operation it declares, so op-scoped
+    # scenarios (e.g. the fma-only mac-chain) are exercised as themselves.
+    workload = registered_workloads()[name]
+    operation = workload.operations[0]
+    kwargs = {} if operation == "multiply" else {"operation": operation}
+    vectors = workload.vectors(20, seed=3, **kwargs)
     report = CoSimulator(
-        solution=SolutionKind.METHOD1, workload=name
+        solution=SolutionKind.METHOD1, workload=name, operation=operation
     ).co_simulate(vectors, seed=3)
     assert report.all_agree
     assert not report.failed
     assert report.workload == name
+    assert report.operation == operation
 
 
 def test_model_subset_and_unknown_model():

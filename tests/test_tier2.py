@@ -555,3 +555,157 @@ class TestCampaignWarmWorkers:
             assert runner.hits >= 1, "same-shape shards did not reuse the cache"
         finally:
             campaign_mod._SHARD_RUNNER = None
+
+
+# --------------------------------------------------------------------------
+# RoCC lockstep: the compiled tier must stay bit-identical when the
+# instruction stream interleaves accelerator commands with different funct
+# codes.  ``rocc`` is a tier-2 trace stopper, so every superblock ends at
+# the next accelerator command and re-enters tier 1 for the command itself;
+# these tests pin down that the hand-off preserves response values, the
+# status carry/borrow chain and the accelerator's architectural state.
+
+BCD_A = 0x0123456789012345
+BCD_B = 0x0864197532086419
+
+
+def _run_rocc_image(image, threshold):
+    """Run ``image`` with a fresh accelerator; return (observable state, executor)."""
+    from repro.rocc.decimal_accel import DecimalAccelerator
+
+    accelerator = DecimalAccelerator()
+    simulator = SpikeSimulator(image, accelerator=accelerator)
+    simulator.executor.promote_threshold = threshold
+    result = simulator.run()
+    state = (
+        result.read_dwords("out", 8),
+        result.instructions_retired,
+        accelerator.accumulator,
+        accelerator.status,
+        [accelerator.regfile.read(i)
+         for i in range(accelerator.config.num_registers)],
+    )
+    return state, simulator.executor
+
+
+def _assert_rocc_lockstep(image):
+    """Tier-1-only vs tier-2-forced runs of a RoCC program agree exactly."""
+    state1, ex1 = _run_rocc_image(image, threshold=0)
+    state2, ex2 = _run_rocc_image(image, threshold=16)
+    assert ex1.tier2_blocks == 0
+    assert ex2.tier2_blocks > 0, "tier 2 never engaged — test is vacuous"
+    assert state1 == state2
+    return state1
+
+
+class TestRoccLockstep:
+    def _finish(self, b):
+        from repro.asm.program import TOHOST_ADDRESS
+
+        b.li("t5", TOHOST_ADDRESS)
+        b.li("t6", 1)
+        b.emit("sd", "t6", "t5", 0)
+        b.label("spin")
+        b.j("spin")
+        return b.link()
+
+    def test_interleaved_funct_codes(self):
+        # One hot loop cycling through seven funct codes — value-mode
+        # chunked add/sub (status-chained carry), register-file writes, a
+        # register-mode wide add, the fused accumulate (DEC_FMA_ACC, which
+        # no kernel emits), the shift-accumulate and status readback.
+        from repro.asm.builder import AsmBuilder
+        from repro.rocc.decimal_accel import (
+            ACC_HI_SELECTOR,
+            ACC_LO_SELECTOR,
+            STATUS_SELECTOR,
+        )
+
+        b = AsmBuilder()
+        b.data()
+        b.label("out")
+        b.dword(*([0] * 8))
+        b.text()
+        b.label("_start")
+        b.la("a5", "out")
+        b.li("s0", BCD_A)
+        b.li("s1", BCD_B)
+        b.li("s2", 3)  # DEC_FMA_ACC shift in digits, passed by value
+        b.li("s3", 0)  # checksum over every response word
+        b.li("t0", 60)
+        b.label("loop")
+        b.rocc("DEC_ADDC", rd="a0", rs1="s0", rs2="s1",
+               xd=True, xs1=True, xs2=True)
+        b.emit("add", "s3", "s3", "a0")
+        b.rocc("DEC_SUBB", rd="a1", rs1="s1", rs2="s0",
+               xd=True, xs1=True, xs2=True)
+        b.emit("xor", "s3", "s3", "a1")
+        b.rocc("WR", rd=0, rs1="s0", rs2=1, xs1=True)
+        b.rocc("WR", rd=0, rs1="a0", rs2=2, xs1=True)
+        b.rocc("DEC_ADD", rd=3, rs1=1, rs2=2)
+        b.rocc("DEC_FMA_ACC", rd="a2", rs1=3, rs2="s2", xd=True, xs2=True)
+        b.emit("add", "s3", "s3", "a2")
+        b.rocc("DEC_ACCUM", rd=0, rs1=1, rs2=0)
+        b.rocc("RD", rd="a3", rs2=STATUS_SELECTOR, xd=True)
+        b.emit("add", "s3", "s3", "a3")
+        b.emit("addi", "t0", "t0", -1)
+        b.bnez("t0", "loop")
+        b.emit("sd", "s3", "a5", 0)
+        b.rocc("RD", rd="a0", rs2=ACC_LO_SELECTOR, xd=True)
+        b.emit("sd", "a0", "a5", 8)
+        b.rocc("RD", rd="a1", rs2=ACC_HI_SELECTOR, xd=True)
+        b.emit("sd", "a1", "a5", 16)
+        b.rocc("RD", rd="a2", rs2=STATUS_SELECTOR, xd=True)
+        b.emit("sd", "a2", "a5", 24)
+        b.rocc("RD", rd="a3", rs2=3, xd=True)
+        b.emit("sd", "a3", "a5", 32)
+        image = self._finish(b)
+        _assert_rocc_lockstep(image)
+
+    def test_chunked_carry_chain_matches_bigint(self):
+        # The kernels' wadd/wsub shape: stream a 4-word BCD number through
+        # DEC_ADDC word by word with the carry living in status bit 0, in a
+        # hot loop so the surrounding load/store blocks compile to tier 2.
+        # Besides lockstep, check the chained result against a big-integer
+        # decimal model of the same words.
+        from repro.asm.builder import AsmBuilder
+
+        x_words = [0x9999999999999999, 0x0000000000000001,
+                   BCD_A, 0x0000000000000042]
+        y_words = [0x0000000000000001, 0x9999999999999998,
+                   BCD_B, 0x0000000000000007]
+
+        b = AsmBuilder()
+        b.data()
+        b.label("out")
+        b.dword(*([0] * 8))
+        b.label("x")
+        b.dword(*x_words)
+        b.label("y")
+        b.dword(*y_words)
+        b.text()
+        b.label("_start")
+        b.la("a5", "out")
+        b.la("a3", "x")
+        b.la("a4", "y")
+        b.li("t0", 40)
+        b.label("loop")
+        b.rocc("CLR_ALL")  # carry chain starts clean every pass
+        for w in range(4):
+            b.emit("ld", "t1", "a3", 8 * w)
+            b.emit("ld", "t2", "a4", 8 * w)
+            b.rocc("DEC_ADDC", rd="t3", rs1="t1", rs2="t2",
+                   xd=True, xs1=True, xs2=True)
+            b.emit("sd", "t3", "a5", 8 * w)
+        b.emit("addi", "t0", "t0", -1)
+        b.bnez("t0", "loop")
+        image = self._finish(b)
+        state = _assert_rocc_lockstep(image)
+
+        def to_int(words):
+            return int("".join(f"{w:016x}" for w in reversed(words)))
+
+        total = to_int(x_words) + to_int(y_words)
+        expected = [int(f"{(total // 10 ** (16 * w)) % 10 ** 16:016d}", 16)
+                    for w in range(4)]
+        assert state[0][:4] == expected

@@ -23,6 +23,7 @@ from repro.workloads import (
     register,
     unregister,
     workload_names,
+    workload_vectors,
 )
 
 SEED = 2018
@@ -30,14 +31,14 @@ SAMPLES = 200
 
 EXPECTED_BUILTINS = {
     "paper-uniform", "telco-billing", "currency-fx", "tax-ladder",
-    "sparse-digits", "carry-stress", "special-values",
+    "sparse-digits", "carry-stress", "special-values", "mac-chain",
 }
 
 
 class TestRegistry:
     def test_builtins_registered(self):
         assert EXPECTED_BUILTINS <= set(workload_names())
-        assert len(BUILTIN_WORKLOADS) == 7
+        assert len(BUILTIN_WORKLOADS) == 8
         for workload in BUILTIN_WORKLOADS:
             assert get_workload(workload.name) is workload
             assert workload.description
@@ -112,16 +113,22 @@ class TestRegistry:
 class TestDeterminismAndEncodability:
     @pytest.mark.parametrize("name", sorted(EXPECTED_BUILTINS))
     def test_same_seed_same_vectors(self, name):
+        # Operation-only workloads (mac-chain) draw under their declared
+        # operation; everything else keeps the legacy multiply call shape.
         workload = get_workload(name)
-        first = workload.vectors(40, seed=9)
-        second = workload.vectors(40, seed=9)
+        operation = workload.operations[0]
+        first = workload_vectors(workload, 40, seed=9, operation=operation)
+        second = workload_vectors(workload, 40, seed=9, operation=operation)
         assert first == second
         assert [vector.index for vector in first] == list(range(40))
 
     @pytest.mark.parametrize("name", sorted(EXPECTED_BUILTINS))
     def test_different_seed_different_vectors(self, name):
         workload = get_workload(name)
-        assert workload.vectors(40, seed=9) != workload.vectors(40, seed=10)
+        operation = workload.operations[0]
+        assert (workload_vectors(workload, 40, seed=9, operation=operation)
+                != workload_vectors(workload, 40, seed=10,
+                                    operation=operation))
 
     @pytest.mark.parametrize("name", sorted(EXPECTED_BUILTINS))
     def test_operands_are_decimal64_exact(self, name):
@@ -129,8 +136,12 @@ class TestDeterminismAndEncodability:
         otherwise the kernel would compute on a different value than the
         golden model."""
         reference = GoldenReference()
-        for vector in get_workload(name).vectors(60, seed=5):
-            for operand in (vector.x, vector.y):
+        workload = get_workload(name)
+        vectors = workload_vectors(workload, 60, seed=5,
+                                   operation=workload.operations[0])
+        for vector in vectors:
+            operands = list(vector.operands)
+            for operand in operands:
                 decoded = reference.decode(reference.encode_operand(operand))
                 if operand.is_finite:
                     assert decoded == operand
@@ -238,9 +249,11 @@ class TestEndToEndSmoke:
         """Each built-in runs the full pipeline: build + spike verification
         against the golden model + Rocket cycle measurement."""
         solution = standard_solutions()[SolutionKind.METHOD1]
-        vectors = get_workload(name).vectors(6, seed=7)
+        workload = get_workload(name)
+        operation = workload.operations[0]
+        vectors = workload_vectors(workload, 6, seed=7, operation=operation)
         outcome = run_solution_shard(
-            solution, vectors, seed=7, workload=name
+            solution, vectors, seed=7, workload=name, operation=operation
         )
         report = outcome.shard_report
         assert report.verified and report.check_failed == 0
