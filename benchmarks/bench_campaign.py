@@ -17,6 +17,12 @@ Usage::
 ``run_operation_campaign``, with per-operation throughput
 (samples per simulator-wall second) recorded beside the scaling numbers.
 
+``--pipeline-sweep`` switches it to the microarchitecture design-space
+study (docs/pipeline.md): the same serial-vs-sharded comparison over
+``run_pipeline_sweep_campaign`` (a small depth × width grid by default),
+with the per-group Pareto frontier points recorded beside the scaling
+numbers.
+
 The paper-scale acceptance run is ``--samples 8000`` on a >= 4-core host;
 ``cpu_count`` is recorded with every entry because the achievable speedup is
 bounded by the cores actually available.
@@ -37,6 +43,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 from repro.core.campaign import (  # noqa: E402
     run_operation_campaign,
+    run_pipeline_sweep_campaign,
     run_table_iv_campaign,
 )
 
@@ -71,9 +78,42 @@ def _per_operation_stats(result) -> dict:
     return stats
 
 
+def _frontier_points(result) -> dict:
+    """Per-(operation, format) Pareto points of a pipeline-sweep campaign."""
+    from repro.core.pareto import frontier_of, points_from_campaign
+
+    groups = {}
+    for (op, fmt), points in points_from_campaign(result).items():
+        frontier = frontier_of(points)
+        groups[f"{op}/{fmt}"] = [
+            {
+                "name": point.name,
+                "avg_cycles": round(point.avg_cycles, 3),
+                "gate_equivalents": round(point.gate_equivalents, 1),
+                "flip_flops": point.flip_flops,
+                "pareto": point in frontier,
+            }
+            for point in sorted(
+                points,
+                key=lambda p: (p.avg_cycles, p.gate_equivalents, p.name),
+            )
+        ]
+    return groups
+
+
 def run_benchmark(samples: int, workers: int, shards_per_cell: int,
-                  workload: str = None, operations=None) -> dict:
-    if operations:
+                  workload: str = None, operations=None,
+                  pipeline_sweep: bool = False,
+                  depths=(1, 2, 4), widths=(1, 2)) -> dict:
+    if pipeline_sweep:
+        def run(workers):
+            return run_pipeline_sweep_campaign(
+                depths=depths, widths=widths,
+                operations=operations or ("multiply",),
+                num_samples=samples, shards_per_cell=shards_per_cell,
+                workers=workers,
+            )
+    elif operations:
         def run(workers):
             return run_operation_campaign(
                 operations, num_samples=samples,
@@ -111,7 +151,12 @@ def run_benchmark(samples: int, workers: int, shards_per_cell: int,
         "sim_wall_seconds": round(parallel.total_sim_wall_seconds, 3),
         "bit_identical_to_serial": _reports_identical(serial, parallel),
     }
-    if operations:
+    if pipeline_sweep:
+        record["pipeline_sweep"] = {
+            "depths": list(depths), "widths": list(widths),
+        }
+        record["pipeline_frontier"] = _frontier_points(parallel)
+    elif operations:
         record["operations"] = [str(op) for op in operations]
         record["per_operation"] = _per_operation_stats(parallel)
         record["table_iv_rows"] = {
@@ -170,9 +215,16 @@ def main(argv=None) -> int:
              "mul/sub/mac; docs/operations.md)",
     )
     parser.add_argument(
+        "--pipeline-sweep", action="store_true",
+        help="benchmark the staged-pipeline design-space campaign "
+             "(docs/pipeline.md) and record its Pareto frontier points",
+    )
+    parser.add_argument(
         "--out", default=DEFAULT_OUT, help="benchmark history JSON path"
     )
     args = parser.parse_args(argv)
+    if args.pipeline_sweep and args.workload:
+        parser.error("--pipeline-sweep and --workload are mutually exclusive")
     shards = args.shards_per_cell if args.shards_per_cell else max(1, args.workers)
 
     operations = None
@@ -183,7 +235,8 @@ def main(argv=None) -> int:
             for part in args.operations.split(",") if part.strip()
         )
     record = run_benchmark(args.samples, args.workers, shards,
-                           workload=args.workload, operations=operations)
+                           workload=args.workload, operations=operations,
+                           pipeline_sweep=args.pipeline_sweep)
     persist(record, args.out)
 
     print(f"campaign scaling, {record['samples']} samples/cell, "
@@ -193,6 +246,10 @@ def main(argv=None) -> int:
           f"{record['parallel_wall_seconds']:>8.2f} s")
     print(f"  speedup: {record['speedup']:.2f}x  "
           f"(merged reports identical: {record['bit_identical_to_serial']})")
+    for group, points in record.get("pipeline_frontier", {}).items():
+        on_frontier = sum(1 for point in points if point["pareto"])
+        print(f"  {group}: {len(points)} design points, "
+              f"{on_frontier} on the Pareto frontier")
     for op, stats in record.get("per_operation", {}).items():
         print(f"  {op}: {stats['samples']} samples in "
           f"{stats['sim_wall_seconds']} s sim wall "

@@ -36,6 +36,14 @@ dual-oracle checked — per format, rendered as one speedup table per
 
     PYTHONPATH=src python -m repro.campaign --samples 200 --workers 4 \\
         --op mul,add,fma --format decimal64,decimal128 --differential
+
+``--pipeline-sweep`` runs the microarchitecture design-space study
+(docs/pipeline.md): every staged-pipeline (depth × width) variant of
+Method-1 — plus the software baseline — is measured per requested format
+and operation, and each group renders a cycles-vs-area Pareto frontier::
+
+    PYTHONPATH=src python -m repro.campaign --samples 200 --workers 4 \\
+        --pipeline-sweep --depths 1,2,4,8 --widths 1,2,4 --differential
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from repro.core import reporting
 from repro.core.campaign import (
     run_format_campaign,
     run_operation_campaign,
+    run_pipeline_sweep_campaign,
     run_table_iv_campaign,
     run_workload_campaign,
 )
@@ -123,6 +132,37 @@ def _parse_operations(text: str):
             f"duplicate operation name(s): {', '.join(sorted(duplicates))}"
         )
     return tuple(names)
+
+
+def _parse_positive_ints(flag: str):
+    def parse(text: str):
+        values = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                value = int(part)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"{flag} values must be integers, got {part!r}"
+                ) from None
+            if value < 1:
+                raise argparse.ArgumentTypeError(
+                    f"{flag} values must be positive, got {value}"
+                )
+            values.append(value)
+        if not values:
+            raise argparse.ArgumentTypeError(f"{flag} needs at least one value")
+        duplicates = {value for value in values if values.count(value) > 1}
+        if duplicates:
+            raise argparse.ArgumentTypeError(
+                f"duplicate {flag} value(s): "
+                f"{', '.join(str(v) for v in sorted(duplicates))}"
+            )
+        return tuple(values)
+
+    return parse
 
 
 def _parse_kinds(text: str):
@@ -212,6 +252,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--pipeline-sweep", action="store_true",
+        help=(
+            "microarchitecture design-space study (docs/pipeline.md): "
+            "measure every staged-pipeline (depth x width) Method-1 "
+            "variant plus the software baseline per format/operation and "
+            "render a cycles-vs-area Pareto frontier per group"
+        ),
+    )
+    parser.add_argument(
+        "--depths", type=_parse_positive_ints("--depths"), default=(1, 2, 4, 8),
+        metavar="N[,N...]",
+        help="pipeline stage depths to sweep (default 1,2,4,8; "
+             "requires --pipeline-sweep)",
+    )
+    parser.add_argument(
+        "--widths", type=_parse_positive_ints("--widths"), default=(1, 2, 4),
+        metavar="N[,N...]",
+        help="issue widths to sweep (default 1,2,4; requires --pipeline-sweep)",
+    )
+    parser.add_argument(
         "--differential", action="store_true",
         help=(
             "cross-model differential mode: co-simulate every cell on "
@@ -243,6 +303,72 @@ def main(argv=None) -> int:
             "--classes and --workload are mutually exclusive: a workload "
             "defines its own operand distribution"
         )
+    if args.pipeline_sweep and args.workload:
+        build_parser().error(
+            "--pipeline-sweep and --workload are mutually exclusive: the "
+            "sweep measures the Table IV operand mix per design point"
+        )
+    if args.pipeline_sweep and args.kinds:
+        build_parser().error(
+            "--pipeline-sweep and --kinds are mutually exclusive: the sweep "
+            "defines its own design points (Method-1 variants + baseline)"
+        )
+
+    if args.pipeline_sweep:
+        # Microarchitecture design-space study: one cell per (operation x
+        # format x pipeline design point), rendered as per-group Pareto
+        # frontiers over (cycles, gate equivalents).
+        from repro.core.pareto import frontier_of, points_from_campaign
+
+        result = run_pipeline_sweep_campaign(
+            depths=args.depths,
+            widths=args.widths,
+            formats=args.formats or ("decimal64",),
+            operations=args.operations or ("multiply",),
+            num_samples=args.samples,
+            repetitions=args.repetitions,
+            seed=args.seed,
+            operand_classes=(
+                args.classes if args.classes is not None
+                else OperandClass.TABLE_IV_MIX
+            ),
+            verify_functionally=not args.no_verify,
+            differential=args.differential,
+            workers=args.workers,
+            shards_per_cell=args.shards_per_cell,
+            mp_start_method=args.mp_start_method,
+        )
+        print(reporting.render_pipeline_frontier(result))
+        if args.differential:
+            print()
+            print(reporting.render_differential(result))
+        print()
+        print(reporting.render_campaign(result))
+        if args.json:
+            summary = result.to_summary()
+            summary["pipeline_frontier"] = {}
+            for (op, fmt), points in points_from_campaign(result).items():
+                frontier = frontier_of(points)
+                summary["pipeline_frontier"][f"{op}/{fmt}"] = [
+                    {
+                        "name": point.name,
+                        "avg_cycles": round(point.avg_cycles, 3),
+                        "gate_equivalents": round(point.gate_equivalents, 1),
+                        "flip_flops": point.flip_flops,
+                        "pareto": point in frontier,
+                    }
+                    for point in sorted(
+                        points,
+                        key=lambda p: (p.avg_cycles, p.gate_equivalents, p.name),
+                    )
+                ]
+            with open(args.json, "w") as handle:
+                json.dump(summary, handle, indent=2)
+                handle.write("\n")
+            print(f"summary -> {os.path.abspath(args.json)}")
+        if args.differential and not result.differential_clean:
+            return 1
+        return 0
 
     common = dict(
         num_samples=args.samples,

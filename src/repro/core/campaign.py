@@ -919,6 +919,122 @@ def run_operation_campaign(
     )
 
 
+def pipeline_sweep_cells(
+    depths=(1, 2, 4, 8),
+    widths=(1, 2, 4),
+    formats=("decimal64",),
+    operations=("multiply",),
+    num_samples: int = 100,
+    repetitions: int = 1,
+    seed: int = 2018,
+    operand_classes=OperandClass.TABLE_IV_MIX,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    differential: bool = False,
+    include_baseline: bool = True,
+) -> list:
+    """One campaign cell per (operation × format × pipeline design point).
+
+    The cell grid behind ``python -m repro.campaign --pipeline-sweep``:
+    every (depth, width) microarchitecture variant of Method-1 — plus the
+    software baseline as the zero-hardware reference — is evaluated per
+    requested operation and format over the same shard plan, so the CLI can
+    render one cycles-vs-area Pareto frontier per group (docs/pipeline.md).
+    The default grid is 4 depths × 3 widths + baseline = 13 design points
+    per group.
+    """
+    from repro.core.solution import microarchitecture_variants
+    from repro.decnumber.operations import resolve_operation_name
+    from repro.errors import DecimalError
+
+    operations = list(operations)
+    formats = list(formats)
+    if not operations:
+        raise ConfigurationError("pipeline_sweep_cells needs at least one operation")
+    if not formats:
+        raise ConfigurationError("pipeline_sweep_cells needs at least one format")
+    try:
+        operations = [resolve_operation_name(name) for name in operations]
+    except DecimalError as error:
+        raise ConfigurationError(str(error)) from None
+    baseline = standard_solutions()[SolutionKind.SOFTWARE]
+    cells = []
+    for op in operations:
+        for fmt in formats:
+            solutions = [baseline] if include_baseline else []
+            solutions.extend(microarchitecture_variants(depths, widths, fmt=fmt))
+            for solution in solutions:
+                label = f"{solution.name} ({op}) [{fmt}]"
+                if differential:
+                    label += " [diff]"
+                cells.append(
+                    CampaignCell(
+                        solution=solution,
+                        num_samples=num_samples,
+                        operand_classes=tuple(operand_classes),
+                        repetitions=repetitions,
+                        seed=seed,
+                        rocket_config=(
+                            rocket_config
+                            if rocket_config is not None
+                            else RocketConfig()
+                        ),
+                        verify_functionally=verify_functionally,
+                        differential=differential,
+                        fmt=fmt,
+                        op=op,
+                        label=label,
+                    )
+                )
+    return cells
+
+
+def run_pipeline_sweep_campaign(
+    depths=(1, 2, 4, 8),
+    widths=(1, 2, 4),
+    formats=("decimal64",),
+    operations=("multiply",),
+    num_samples: int = 100,
+    repetitions: int = 1,
+    seed: int = 2018,
+    operand_classes=OperandClass.TABLE_IV_MIX,
+    rocket_config: RocketConfig = None,
+    verify_functionally: bool = True,
+    differential: bool = False,
+    include_baseline: bool = True,
+    workers: int = 1,
+    shards_per_cell: int = 1,
+    mp_start_method: str = None,
+) -> CampaignResult:
+    """Fan the pipeline design-space grid over the campaign engine.
+
+    The design-space study ROADMAP item 2 asks for: each cell measures one
+    staged-pipeline microarchitecture (cycles) whose area comes straight
+    off its pinned configuration; ``repro.core.pareto.points_from_campaign``
+    turns the result into per-group Pareto point clouds.
+    """
+    cells = pipeline_sweep_cells(
+        depths=depths,
+        widths=widths,
+        formats=formats,
+        operations=operations,
+        num_samples=num_samples,
+        repetitions=repetitions,
+        seed=seed,
+        operand_classes=operand_classes,
+        rocket_config=rocket_config,
+        verify_functionally=verify_functionally,
+        differential=differential,
+        include_baseline=include_baseline,
+    )
+    return run_campaign(
+        cells,
+        workers=workers,
+        shards_per_cell=shards_per_cell,
+        mp_start_method=mp_start_method,
+    )
+
+
 def run_workload_campaign(
     workloads,
     num_samples: int = 100,

@@ -37,6 +37,47 @@ class ParetoPoint:
         return not_worse and strictly_better
 
 
+def frontier_of(points) -> list:
+    """The non-dominated subset of ``points``, deterministically ordered.
+
+    A point survives iff no other point dominates it; coincident points
+    (neither dominates the other) all survive.  The order — ascending
+    cycles, then gate equivalents, then name — is a pure function of the
+    point set, so repeated sweeps render identically.
+    """
+    points = list(points)
+    frontier = [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points)
+    ]
+    return sorted(
+        frontier,
+        key=lambda point: (point.avg_cycles, point.gate_equivalents, point.name),
+    )
+
+
+def points_from_campaign(result) -> dict:
+    """Pareto points of a sweep-style campaign, grouped ``(op, fmt)``.
+
+    One :class:`ParetoPoint` per campaign cell: cycles from the merged
+    report, area straight off the solution's pinned configuration.  Used by
+    ``python -m repro.campaign --pipeline-sweep`` to render one frontier per
+    format × operation group.
+    """
+    groups: dict = {}
+    for cell, report in zip(result.cells, result.reports):
+        overhead = cell.solution.hardware_overhead(cell.fmt)
+        point = ParetoPoint(
+            name=cell.solution.name,
+            avg_cycles=report.avg_total_cycles,
+            gate_equivalents=overhead.total_gate_equivalents if overhead else 0.0,
+            flip_flops=overhead.total_flip_flops if overhead else 0,
+        )
+        groups.setdefault((cell.op, cell.fmt), []).append(point)
+    return groups
+
+
 @dataclass
 class ParetoAnalyzer:
     """Evaluates a family of solutions and reports the Pareto frontier."""
@@ -124,11 +165,35 @@ class ParetoAnalyzer:
         )
         return self.points
 
+    def sweep_microarchitecture(
+        self,
+        depths=(1, 2, 4, 8),
+        widths=(1, 2, 4),
+        include_baseline: bool = True,
+        workers: int = 1,
+        shards_per_cell: int = 1,
+    ) -> list:
+        """Evaluate a staged-pipeline depth × width grid as design points.
+
+        Builds one Method-1 variant per (depth, width) with a format-sized
+        datapath pinning those pipeline knobs (docs/pipeline.md), plus the
+        software baseline as the zero-hardware reference point, and fans
+        them through :meth:`evaluate_sweep`.  The recorded points trade
+        cycles (deeper pipelines overlap back-to-back RoCC commands)
+        against area (stage latch ranks and issue-queue registers).
+        """
+        from repro.core.solution import microarchitecture_variants
+
+        solutions = []
+        if include_baseline:
+            solutions.append(self.framework.solutions[SolutionKind.SOFTWARE])
+        solutions.extend(
+            microarchitecture_variants(depths, widths, fmt=self.framework.fmt)
+        )
+        return self.evaluate_sweep(
+            solutions, workers=workers, shards_per_cell=shards_per_cell
+        )
+
     def frontier(self) -> list:
         """The non-dominated subset of evaluated points, sorted by cycles."""
-        frontier = [
-            point
-            for point in self.points
-            if not any(other.dominates(point) for other in self.points)
-        ]
-        return sorted(frontier, key=lambda point: point.avg_cycles)
+        return frontier_of(self.points)

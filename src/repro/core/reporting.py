@@ -412,6 +412,48 @@ def render_workload_matrix(result, baseline_kind: str = None,
     return "\n".join(lines)
 
 
+def render_pipeline_frontier(result) -> str:
+    """Pareto tables of a ``--pipeline-sweep`` campaign, one per group.
+
+    Each (operation, format) group renders its design points — the staged-
+    pipeline depth × width grid plus the software baseline — sorted by
+    cycles, with area and frontier membership, so the cycles-vs-area
+    trade-off reads directly off the table (docs/pipeline.md).
+    """
+    from repro.core.pareto import frontier_of, points_from_campaign
+
+    sections = []
+    for (op, fmt), points in points_from_campaign(result).items():
+        frontier = {
+            (p.name, p.avg_cycles, p.gate_equivalents) for p in frontier_of(points)
+        }
+        header = (
+            f"{'Design point':<36s} {'Avg cycles':>12s} "
+            f"{'Gate equiv.':>12s} {'Flip-flops':>11s} {'Pareto':>8s}"
+        )
+        lines = [
+            f"Pipeline microarchitecture sweep — {op} / {fmt} (cycles vs area)",
+            header,
+            "-" * len(header),
+        ]
+        for point in sorted(
+            points,
+            key=lambda p: (p.avg_cycles, p.gate_equivalents, p.name),
+        ):
+            on_frontier = (
+                point.name,
+                point.avg_cycles,
+                point.gate_equivalents,
+            ) in frontier
+            lines.append(
+                f"{point.name:<36s} {point.avg_cycles:>12.0f} "
+                f"{point.gate_equivalents:>12.0f} {point.flip_flops:>11d} "
+                f"{'yes' if on_frontier else 'no':>8s}"
+            )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
 def render_pareto(points) -> str:
     """Design points and which of them are Pareto-optimal."""
     frontier = {

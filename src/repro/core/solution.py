@@ -80,6 +80,53 @@ class CoDesignSolution:
         return config.area_report()
 
 
+def microarchitecture_variants(
+    depths=(1, 2, 4, 8),
+    widths=(1, 2, 4),
+    fmt: str = "decimal64",
+    base: CoDesignSolution = None,
+) -> list:
+    """Method-1 variants pinning one staged-pipeline design point each.
+
+    The depth × width grid behind ``ParetoAnalyzer.sweep_microarchitecture``
+    and ``python -m repro.campaign --pipeline-sweep``: every variant shares
+    the Method-1 kernel and a format-sized datapath, differing only in the
+    :class:`~repro.rocc.decimal_accel.DecimalAcceleratorConfig` pipeline
+    knobs (docs/pipeline.md).  The ``d1w1`` point is timing-identical to the
+    paper's blocking accelerator.
+    """
+    import dataclasses
+
+    from repro.errors import ConfigurationError
+
+    depths = list(depths)
+    widths = list(widths)
+    if not depths or not widths:
+        raise ConfigurationError(
+            "microarchitecture_variants needs at least one depth and one width"
+        )
+    if base is None:
+        base = standard_solutions()[SolutionKind.METHOD1]
+    variants = []
+    for depth in depths:
+        for width in widths:
+            config = DecimalAcceleratorConfig.for_format(
+                fmt, pipeline_depth=depth, issue_width=width
+            )
+            variants.append(
+                dataclasses.replace(
+                    base,
+                    name=f"{base.name} d{depth}w{width}",
+                    description=(
+                        f"{base.description} — staged datapath, "
+                        f"{depth}-deep pipeline, {width}-wide issue"
+                    ),
+                    accelerator_config=config,
+                )
+            )
+    return variants
+
+
 def standard_solutions() -> dict:
     """The three solutions the paper's Table IV compares."""
     return {

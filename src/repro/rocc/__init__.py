@@ -7,8 +7,19 @@ the Table II instruction set (WR/RD/LD/ACCUM/CLR_ALL/DEC_CNV/DEC_ADD/DEC_MUL/
 DEC_ACCUM).
 """
 
-from repro.rocc.interface import Accelerator, RoccCommand, RoccResponse, RoccResult
+from repro.rocc.interface import (
+    Accelerator,
+    RoccCommand,
+    RoccResponse,
+    RoccResult,
+    RoccStatistics,
+)
 from repro.rocc.fsm import FsmState, InterfaceFsm
+from repro.rocc.pipeline import (
+    AcceleratorPipeline,
+    PipelineTransaction,
+    split_busy_cycles,
+)
 from repro.rocc.regfile import AcceleratorRegisterFile
 from repro.rocc.decimal_accel import DecimalAccelerator, DecimalAcceleratorConfig
 
@@ -17,8 +28,12 @@ __all__ = [
     "RoccCommand",
     "RoccResponse",
     "RoccResult",
+    "RoccStatistics",
     "FsmState",
     "InterfaceFsm",
+    "AcceleratorPipeline",
+    "PipelineTransaction",
+    "split_busy_cycles",
     "AcceleratorRegisterFile",
     "DecimalAccelerator",
     "DecimalAcceleratorConfig",

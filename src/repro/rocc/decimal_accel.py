@@ -28,6 +28,7 @@ from repro.hw.cost import AreaReport, GateCost, register_cost
 from repro.isa.rocc import DecimalFunct
 from repro.rocc.fsm import FsmState, InterfaceFsm
 from repro.rocc.interface import Accelerator, RoccCommand, RoccResult
+from repro.rocc.pipeline import AcceleratorPipeline
 from repro.rocc.regfile import AcceleratorRegisterFile
 
 #: RD selector values above the register file: the two low accumulator words
@@ -84,10 +85,22 @@ class DecimalAcceleratorConfig:
     include_multiplier: bool = False
     include_converter: bool = True
     digits: int = 16
+    #: Microarchitecture knobs (docs/pipeline.md).  ``pipeline_depth`` is the
+    #: physical register stage count of the staged datapath; ``issue_width``
+    #: the number of stage-0 issue slots.  The 1/1 default is timing-identical
+    #: to the paper's blocking FSM; ``pipelined=False`` removes the pipeline
+    #: model entirely (the legacy timing path, kept for lockstep tests).
+    pipeline_depth: int = 1
+    issue_width: int = 1
+    pipelined: bool = True
 
     def __post_init__(self) -> None:
         if self.digits < 1:
             raise AcceleratorError("operand digit width must be positive")
+        if self.pipeline_depth < 1:
+            raise AcceleratorError("pipeline depth must be positive")
+        if self.issue_width < 1:
+            raise AcceleratorError("issue width must be positive")
         if self.register_width_digits < self.digits + 1:
             # Multiples of a ``digits``-digit coefficient reach digits + 1.
             raise AcceleratorError(
@@ -168,6 +181,39 @@ class DecimalAcceleratorConfig:
             )
             for component in converter.cost().components:
                 report.add(component)
+        # Staged-pipeline overhead (docs/pipeline.md).  Both terms are zero at
+        # the blocking-equivalent depth=1 / width=1 point, so the paper's
+        # Table V area is unchanged for the baseline design.
+        if self.pipeline_depth > 1:
+            # One latch rank per stage boundary, wide enough for the datapath
+            # result in flight plus per-stage control/valid bits.
+            boundary_bits = 4 * self.accumulator_digits + 16
+            report.add(
+                register_cost(
+                    f"pipeline stage registers ({self.pipeline_depth} stages)",
+                    (self.pipeline_depth - 1) * boundary_bits,
+                )
+            )
+        if self.issue_width > 1:
+            # Each extra issue slot buffers a full RoCC command (two 64-bit
+            # operands + funct7/rd/rs1/rs2 + flags) and a pending response
+            # (64-bit data + rd tag), plus the select/arbiter logic.
+            command_bits = 2 * 64 + 7 + 3 * 5 + 3
+            response_bits = 64 + 5
+            extra = self.issue_width - 1
+            report.add(
+                register_cost(
+                    f"issue/retire queues (width {self.issue_width})",
+                    extra * (command_bits + response_bits),
+                )
+            )
+            report.add(
+                GateCost(
+                    "issue arbiter + retire select",
+                    60.0 * extra,
+                    3,
+                )
+            )
         return report
 
 
@@ -201,6 +247,11 @@ class DecimalAccelerator(Accelerator):
             else None
         )
         self.fsm = InterfaceFsm()
+        if self.config.pipelined:
+            self.pipeline = AcceleratorPipeline(
+                depth=self.config.pipeline_depth,
+                width=self.config.issue_width,
+            )
         self.accumulator = 0
         self.status = 0
         self.function_counts = Counter()
@@ -530,8 +581,9 @@ class DecimalAccelerator(Accelerator):
 
     # ------------------------------------------------------------------- state
     def reset(self) -> None:
-        super().reset()
+        super().reset()  # statistics + pipeline occupancy
         self.regfile.clear_all()
+        self.regfile.reset_statistics()
         self.accumulator = 0
         self.status = 0
         self.fsm.reset()

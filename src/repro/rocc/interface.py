@@ -44,6 +44,25 @@ class RoccResponse:
     data: int
 
 
+@dataclass
+class RoccStatistics:
+    """Cumulative counters of the command/response channel.
+
+    Grouped in one value object so :meth:`Accelerator.reset` (used between
+    warm :class:`~repro.sim.batch.BatchRunner` runs) can clear every counter
+    in one place and tests can snapshot/compare them wholesale.
+    """
+
+    commands_executed: int = 0
+    busy_cycles_total: int = 0
+    responses_sent: int = 0
+
+    def reset(self) -> None:
+        self.commands_executed = 0
+        self.busy_cycles_total = 0
+        self.responses_sent = 0
+
+
 @dataclass(frozen=True)
 class RoccResult:
     """What the executor needs to know after issuing a command.
@@ -71,9 +90,26 @@ class Accelerator:
     name = "accelerator"
 
     def __init__(self) -> None:
-        self.commands_executed = 0
-        self.busy_cycles_total = 0
-        self.responses_sent = 0
+        self.stats = RoccStatistics()
+        #: Occupancy model for staged datapaths (an
+        #: :class:`~repro.rocc.pipeline.AcceleratorPipeline`), or ``None``
+        #: for blocking accelerators.  The Rocket timing model threads
+        #: back-to-back command occupancy through this attribute.
+        self.pipeline = None
+
+    # ------------------------------------------------------------ statistics
+    # Historic attribute spelling; the counters live on ``self.stats``.
+    @property
+    def commands_executed(self) -> int:
+        return self.stats.commands_executed
+
+    @property
+    def busy_cycles_total(self) -> int:
+        return self.stats.busy_cycles_total
+
+    @property
+    def responses_sent(self) -> int:
+        return self.stats.responses_sent
 
     # ------------------------------------------------------------- executor API
     def execute(
@@ -102,10 +138,11 @@ class Accelerator:
             xs2=xs2,
         )
         result = self.execute_command(command, memory)
-        self.commands_executed += 1
-        self.busy_cycles_total += result.busy_cycles
+        stats = self.stats
+        stats.commands_executed += 1
+        stats.busy_cycles_total += result.busy_cycles
         if result.has_response:
-            self.responses_sent += 1
+            stats.responses_sent += 1
         return result
 
     def rocc_adapter(self):
@@ -119,9 +156,9 @@ class Accelerator:
 
     def reset(self) -> None:
         """Reset architectural state and statistics."""
-        self.commands_executed = 0
-        self.busy_cycles_total = 0
-        self.responses_sent = 0
+        self.stats.reset()
+        if self.pipeline is not None:
+            self.pipeline.reset()
 
     def area_report(self):
         """Hardware overhead report; subclasses should override."""

@@ -66,6 +66,15 @@ class AcceleratorRegisterFile:
         self._values = [0] * self.num_registers
         self.writes += self.num_registers
 
+    def reset_statistics(self) -> None:
+        """Zero the access counters (a simulator reset, not an instruction).
+
+        ``clear_all`` models the CLR_ALL instruction and therefore *counts*
+        its writes; accelerator reset between warm :class:`~repro.sim.batch.
+        BatchRunner` runs must also forget the access history."""
+        self.reads = 0
+        self.writes = 0
+
     def snapshot(self) -> tuple:
         """Current contents (for tests and debugging)."""
         return tuple(self._values)
