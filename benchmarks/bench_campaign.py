@@ -23,6 +23,12 @@ study (docs/pipeline.md): the same serial-vs-sharded comparison over
 with the per-group Pareto frontier points recorded beside the scaling
 numbers.
 
+``--service`` benchmarks the campaign service instead (docs/service.md):
+start a live HTTP server against a throwaway content-addressed result
+cache, submit the same Table IV campaign twice, and record the cold
+(computed) vs warm (100% cache hit) request latency, the hit rate, and
+whether the two summaries were bit-identical.
+
 The paper-scale acceptance run is ``--samples 8000`` on a >= 4-core host;
 ``cpu_count`` is recorded with every entry because the achievable speedup is
 bounded by the cores actually available.
@@ -169,6 +175,61 @@ def run_benchmark(samples: int, workers: int, shards_per_cell: int,
     return record
 
 
+def run_service_benchmark(samples: int, workers: int,
+                          shards_per_cell: int) -> dict:
+    """Cold-vs-warm latency of the same campaign over the live service."""
+    import tempfile
+
+    from repro.service import ResultCache, comparable_summary, serve_in_background
+    from repro.service.client import submit_and_wait
+
+    spec = {"samples": samples, "label": "bench"}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        cache = ResultCache(tmp)
+        with serve_in_background(
+            cache, workers=workers, shards_per_cell=shards_per_cell
+        ) as server:
+            started = time.perf_counter()
+            cold = submit_and_wait(server.base_url, spec)
+            cold_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            warm = submit_and_wait(server.base_url, spec)
+            warm_seconds = time.perf_counter() - started
+        hit_rate = cache.hit_rate
+    identical = comparable_summary(cold["summary"]) == comparable_summary(
+        warm["summary"]
+    )
+    if warm["cache"]["hits"] != warm["cache"]["cells"]:
+        raise AssertionError(
+            f"warm request was not a 100% cache hit: {warm['cache']}"
+        )
+    if not identical:
+        raise AssertionError(
+            "warm summary diverged from the cold run — cache-identity "
+            "regression (see docs/service.md)"
+        )
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "mode": "service",
+        "samples": samples,
+        "workers": workers,
+        "shards_per_cell": shards_per_cell,
+        "cells": cold["cache"]["cells"],
+        "cpu_count": os.cpu_count(),
+        "cold_wall_seconds": round(cold_seconds, 3),
+        "warm_wall_seconds": round(warm_seconds, 3),
+        "warm_speedup": round(
+            cold_seconds / warm_seconds if warm_seconds else 0.0, 2
+        ),
+        "cache_hit_rate": round(hit_rate, 4),
+        "summaries_identical": identical,
+        "table_iv_rows": [
+            [cell["solution"], cell["samples"], cell["avg_total_cycles"]]
+            for cell in warm["summary"]["cells"]
+        ],
+    }
+
+
 def persist(record: dict, path: str) -> dict:
     """Append ``record`` to the benchmark history file and return the doc."""
     document = {"benchmark": "campaign_scaling", "history": []}
@@ -220,12 +281,32 @@ def main(argv=None) -> int:
              "(docs/pipeline.md) and record its Pareto frontier points",
     )
     parser.add_argument(
+        "--service", action="store_true",
+        help="benchmark the campaign service (docs/service.md): cold vs "
+             "warm request latency and cache hit rate over a live server",
+    )
+    parser.add_argument(
         "--out", default=DEFAULT_OUT, help="benchmark history JSON path"
     )
     args = parser.parse_args(argv)
     if args.pipeline_sweep and args.workload:
         parser.error("--pipeline-sweep and --workload are mutually exclusive")
+    if args.service and (args.pipeline_sweep or args.workload or args.operations):
+        parser.error("--service benchmarks the Table IV campaign only")
     shards = args.shards_per_cell if args.shards_per_cell else max(1, args.workers)
+
+    if args.service:
+        record = run_service_benchmark(args.samples, args.workers, shards)
+        persist(record, args.out)
+        print(f"campaign service, {record['samples']} samples/cell, "
+              f"{record['cells']} cells, {record['workers']} workers")
+        print(f"  cold request (computed):  {record['cold_wall_seconds']:>8.3f} s")
+        print(f"  warm request (cached):    {record['warm_wall_seconds']:>8.3f} s")
+        print(f"  warm speedup: {record['warm_speedup']:.1f}x  "
+              f"(hit rate {record['cache_hit_rate']:.0%}, summaries "
+              f"identical: {record['summaries_identical']})")
+        print(f"history -> {os.path.abspath(args.out)}")
+        return 0
 
     operations = None
     if args.operations:

@@ -289,7 +289,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the campaign summary as JSON")
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help=(
+            "content-addressed result cache directory (docs/service.md): "
+            "cells already stored under the same inputs + code version are "
+            "served from disk instead of re-simulated, and fresh cells are "
+            "persisted for the next run.  The same store backs the "
+            "long-running service (python -m repro.serve)"
+        ),
+    )
     return parser
+
+
+def _render_cache_line(result, cache) -> str:
+    """One-line cache accounting printed under the campaign summary."""
+    total = result.cache_hits + result.cache_misses
+    rate = result.cache_hits / total if total else 0.0
+    return (
+        f"result cache: {result.cache_hits}/{total} cells served from "
+        f"{cache.path} ({rate:.0%} hit rate, {len(cache)} entries stored)"
+    )
 
 
 def main(argv=None) -> int:
@@ -314,6 +334,12 @@ def main(argv=None) -> int:
             "defines its own design points (Method-1 variants + baseline)"
         )
 
+    cache = None
+    if args.cache_dir:
+        from repro.service.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+
     if args.pipeline_sweep:
         # Microarchitecture design-space study: one cell per (operation x
         # format x pipeline design point), rendered as per-group Pareto
@@ -337,6 +363,7 @@ def main(argv=None) -> int:
             workers=args.workers,
             shards_per_cell=args.shards_per_cell,
             mp_start_method=args.mp_start_method,
+            cache=cache,
         )
         print(reporting.render_pipeline_frontier(result))
         if args.differential:
@@ -344,6 +371,8 @@ def main(argv=None) -> int:
             print(reporting.render_differential(result))
         print()
         print(reporting.render_campaign(result))
+        if cache is not None:
+            print(_render_cache_line(result, cache))
         if args.json:
             summary = result.to_summary()
             summary["pipeline_frontier"] = {}
@@ -380,6 +409,7 @@ def main(argv=None) -> int:
         shards_per_cell=args.shards_per_cell,
         mp_start_method=args.mp_start_method,
         differential=args.differential,
+        cache=cache,
     )
     if args.operations is not None:
         # Operation axis: one cell group per (operation x format x
@@ -463,6 +493,8 @@ def main(argv=None) -> int:
         print(reporting.render_differential(result))
     print()
     print(reporting.render_campaign(result))
+    if cache is not None:
+        print(_render_cache_line(result, cache))
     if args.json:
         summary = result.to_summary()
         if args.operations is not None:

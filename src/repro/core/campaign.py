@@ -202,10 +202,18 @@ class CampaignResult:
 
     cells: list
     reports: list                  # SolutionCycleReport, aligned with cells
-    workers: int                   # processes actually used (1 = in-process)
+    #: Worker processes the shard *plan* was sized for (1 = in-process).
+    #: Plan-based rather than task-based so a cache-hit rerun (which
+    #: schedules no tasks) summarises identically to the cold run.
+    workers: int
     shards_per_cell: int
     wall_seconds: float
     baseline_kind: str = SolutionKind.SOFTWARE
+    #: Content-addressed cache accounting (0/0 when no cache was attached).
+    #: Deliberately *not* part of :meth:`to_summary`: a warm rerun's summary
+    #: must stay bit-identical to the cold run's.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def total_samples(self) -> int:
@@ -503,6 +511,7 @@ def run_campaign(
     workers: int = 1,
     shards_per_cell: int = 1,
     mp_start_method: str = None,
+    cache=None,
 ) -> CampaignResult:
     """Run every cell, sharded and fanned out over worker processes.
 
@@ -511,42 +520,73 @@ def run_campaign(
     plan, because the plan — not the scheduling — defines the measurement.
     ``mp_start_method`` overrides the platform's multiprocessing start
     method ("fork" is fastest where available).
+
+    ``cache`` may pass a :class:`repro.service.cache.ResultCache`: cells
+    whose content address (inputs + code fingerprint) is already stored are
+    satisfied without generating vectors or scheduling shards, and freshly
+    computed cells are persisted for the next run.  Cached and fresh shard
+    reports merge through the same accounting, so a warm rerun's summary is
+    bit-identical to the cold run's (the ``--cache-dir`` CLI mode and the
+    campaign service both rest on this).
     """
     cells = list(cells)
     if not cells:
         raise ConfigurationError("a campaign needs at least one cell")
 
     started = time.perf_counter()
+    plans = [plan_shards(cell.num_samples, shards_per_cell) for cell in cells]
+    planned_shards = sum(len(plan) for plan in plans)
     # Vectors are generated once per cell in the parent and pre-sliced into
     # the tasks, so workers never regenerate a cell's full set per shard.
+    # Cache-hit cells skip vector generation entirely — their measurements
+    # are already on disk.
     tasks = []
+    shard_reports = {}
+    cell_keys = [None] * len(cells)
+    computed_ids = set()
     for cell_id, cell in enumerate(cells):
+        if cache is not None:
+            key = cache.key_for(cell, shards_per_cell)
+            cell_keys[cell_id] = key
+            cached = cache.load(key)
+            if cached is not None:
+                shard_reports[cell_id] = list(cached)
+                continue
+            computed_ids.add(cell_id)
+        shard_reports[cell_id] = []
         vectors = cell.generate_vectors()
-        for shard_index, (start, stop) in enumerate(
-            plan_shards(cell.num_samples, shards_per_cell)
-        ):
+        for shard_index, (start, stop) in enumerate(plans[cell_id]):
             tasks.append(
                 (cell_id, shard_index, start, stop, cell, vectors[start:stop])
             )
 
-    shard_reports = {cell_id: [] for cell_id in range(len(cells))}
     if workers is None:
         workers = os.cpu_count() or 1
-    if workers <= 1 or len(tasks) == 1:
-        pool_size = 1
+    # Plan-based, so a fully cached rerun reports the same worker count as
+    # the cold run it is replaying (see CampaignResult.workers).
+    pool_size = 1 if workers <= 1 or planned_shards == 1 else min(
+        workers, planned_shards
+    )
+    if pool_size == 1 or len(tasks) <= 1:
         for task in tasks:
             cell_id, report = _run_shard_task(task)
             shard_reports[cell_id].append(report)
-    else:
+    elif tasks:
         context = (
             multiprocessing.get_context(mp_start_method)
             if mp_start_method
             else multiprocessing.get_context()
         )
-        pool_size = min(workers, len(tasks))
-        with context.Pool(processes=pool_size) as pool:
+        with context.Pool(processes=min(pool_size, len(tasks))) as pool:
             for cell_id, report in pool.imap_unordered(_run_shard_task, tasks):
                 shard_reports[cell_id].append(report)
+    if cache is not None:
+        for cell_id in sorted(computed_ids):
+            cache.store(
+                cell_keys[cell_id],
+                shard_reports[cell_id],
+                label=cells[cell_id].label,
+            )
     wall_seconds = time.perf_counter() - started
 
     reports = [
@@ -564,6 +604,8 @@ def run_campaign(
         workers=pool_size,
         shards_per_cell=shards_per_cell,
         wall_seconds=wall_seconds,
+        cache_hits=len(cells) - len(computed_ids) if cache is not None else 0,
+        cache_misses=len(computed_ids),
     )
 
 
@@ -745,6 +787,7 @@ def run_format_campaign(
     mp_start_method: str = None,
     differential: bool = False,
     op: str = "multiply",
+    cache=None,
 ) -> CampaignResult:
     """Fan (format × workload × solution) cells over the campaign engine."""
     cells = format_cells(
@@ -766,6 +809,7 @@ def run_format_campaign(
         workers=workers,
         shards_per_cell=shards_per_cell,
         mp_start_method=mp_start_method,
+        cache=cache,
     )
 
 
@@ -888,6 +932,7 @@ def run_operation_campaign(
     shards_per_cell: int = 1,
     mp_start_method: str = None,
     differential: bool = False,
+    cache=None,
 ) -> CampaignResult:
     """Fan (operation × format × workload × solution) cells over the engine.
 
@@ -916,6 +961,7 @@ def run_operation_campaign(
         workers=workers,
         shards_per_cell=shards_per_cell,
         mp_start_method=mp_start_method,
+        cache=cache,
     )
 
 
@@ -1005,6 +1051,7 @@ def run_pipeline_sweep_campaign(
     workers: int = 1,
     shards_per_cell: int = 1,
     mp_start_method: str = None,
+    cache=None,
 ) -> CampaignResult:
     """Fan the pipeline design-space grid over the campaign engine.
 
@@ -1032,6 +1079,7 @@ def run_pipeline_sweep_campaign(
         workers=workers,
         shards_per_cell=shards_per_cell,
         mp_start_method=mp_start_method,
+        cache=cache,
     )
 
 
@@ -1050,6 +1098,7 @@ def run_workload_campaign(
     differential: bool = False,
     fmt: str = "decimal64",
     op: str = "multiply",
+    cache=None,
 ) -> CampaignResult:
     """Fan (solution × workload) cells over the sharded campaign engine."""
     cells = workload_cells(
@@ -1070,6 +1119,7 @@ def run_workload_campaign(
         workers=workers,
         shards_per_cell=shards_per_cell,
         mp_start_method=mp_start_method,
+        cache=cache,
     )
 
 
@@ -1089,6 +1139,7 @@ def run_table_iv_campaign(
     differential: bool = False,
     fmt: str = "decimal64",
     op: str = "multiply",
+    cache=None,
 ) -> CampaignResult:
     """Convenience wrapper: plan, run and merge a Table IV campaign."""
     cells = table_iv_cells(
@@ -1110,4 +1161,5 @@ def run_table_iv_campaign(
         workers=workers,
         shards_per_cell=shards_per_cell,
         mp_start_method=mp_start_method,
+        cache=cache,
     )

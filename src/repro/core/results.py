@@ -80,6 +80,28 @@ class ShardCycleReport:
         return self.stop - self.start
 
 
+def shard_report_to_dict(report: ShardCycleReport) -> dict:
+    """JSON-ready dict of one shard report (see :func:`shard_report_from_dict`).
+
+    Every field is a plain int/float/str/bool/list/dict, and floats survive a
+    ``json.dumps``/``loads`` round trip exactly (repr-based), so a report
+    persisted by the campaign service's result cache merges bit-identically
+    to the in-memory original.
+    """
+    import dataclasses
+
+    data = dataclasses.asdict(report)
+    data["models"] = list(report.models)
+    return data
+
+
+def shard_report_from_dict(data: dict) -> ShardCycleReport:
+    """Rebuild a :class:`ShardCycleReport` persisted by ``shard_report_to_dict``."""
+    data = dict(data)
+    data["models"] = tuple(data.get("models", ()))
+    return ShardCycleReport(**data)
+
+
 @dataclass
 class SolutionCycleReport:
     """Cycle-accurate measurements of one solution (one row of Table IV)."""

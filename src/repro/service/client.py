@@ -1,0 +1,93 @@
+"""Minimal stdlib HTTP client for the campaign service.
+
+Used by the CI smoke runner (``python -m repro.serve --smoke``), the
+``benchmarks/bench_campaign.py --service`` mode and the tests — anything
+that needs to drive a live server without adding a dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the campaign service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+def request_json(url: str, body: dict = None, timeout: float = 30):
+    """``(status, payload)`` of one JSON request (POST when ``body`` given)."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        try:
+            payload = json.loads(error.read().decode())
+        except (ValueError, OSError):
+            payload = {"error": str(error)}
+        return error.code, payload
+
+
+def get_json(url: str, timeout: float = 30) -> dict:
+    status, payload = request_json(url, timeout=timeout)
+    if status >= 400:
+        raise ServiceError(status, payload)
+    return payload
+
+
+def submit(base_url: str, spec: dict, timeout: float = 30) -> dict:
+    """POST a campaign spec; returns the ``202`` submit payload."""
+    status, payload = request_json(f"{base_url}/submit", spec, timeout=timeout)
+    if status != 202:
+        raise ServiceError(status, payload)
+    return payload
+
+
+def wait_for_result(base_url: str, job_id: str, poll_seconds: float = 0.05,
+                    timeout: float = 600) -> dict:
+    """Poll ``/status`` until the job finishes, then fetch ``/result``."""
+    deadline = time.monotonic() + timeout
+    while True:
+        status = get_json(f"{base_url}/status/{job_id}")
+        if status["status"] in ("done", "failed"):
+            break
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} still {status['status']!r} "
+                               f"after {timeout}s")
+        time.sleep(poll_seconds)
+    result_status, payload = request_json(f"{base_url}/result/{job_id}")
+    if result_status != 200:
+        raise ServiceError(result_status, payload)
+    return payload
+
+
+def submit_and_wait(base_url: str, spec: dict, poll_seconds: float = 0.05,
+                    timeout: float = 600) -> dict:
+    """Submit + wait; returns the ``/result`` payload (summary + cache info)."""
+    ticket = submit(base_url, spec)
+    return wait_for_result(base_url, ticket["job"], poll_seconds, timeout)
+
+
+def stream_events(base_url: str, job_id: str, timeout: float = 600) -> list:
+    """All NDJSON progress events of one job (blocks until it finishes)."""
+    events = []
+    with urllib.request.urlopen(
+        f"{base_url}/stream/{job_id}", timeout=timeout
+    ) as response:
+        for line in response:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line.decode()))
+    return events

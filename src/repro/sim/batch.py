@@ -35,6 +35,7 @@ the build/link — and keep the warm executor for the functional runs.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 from repro.sim.spike import SpikeSimulator
 
 #: Default cap on live cached simulators; beyond it the least recently used
@@ -48,6 +49,13 @@ class BatchRunner:
     """Warm-simulator cache keyed by program shape (see module docs)."""
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        # A cap below one would evict every entry right after inserting it:
+        # each acquire would rebuild cold while hits/misses still report a
+        # functioning cache.  Reject it up front.
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"BatchRunner max_entries must be at least 1, got {max_entries}"
+            )
         self._entries = {}
         self.max_entries = max_entries
         #: Cache statistics (exposed for benchmarks and tests).
@@ -57,8 +65,15 @@ class BatchRunner:
     @staticmethod
     def _key(solution, config) -> tuple:
         # Everything that determines the generated text + the simulator
-        # construction: the vectors themselves are the only thing that may
-        # differ between runs sharing a key.
+        # construction.  ``config.workload``, ``config.operand_classes`` and
+        # ``config.seed`` are deliberately absent: they only select *which
+        # vectors are drawn*, never the emitted kernel/harness, and vectors
+        # are always rebound on a hit — tests/test_tier2.py
+        # (``test_key_omits_vector_provenance_safely``) pins that a warm hit
+        # across different workloads/seeds still yields an image
+        # byte-identical to a cold build.  Anything persisted across
+        # processes must not inherit this shape-only key: the service's
+        # ``repro.service.cache.cell_key`` hashes the full provenance.
         return (
             solution.name,
             solution.kind,
@@ -117,5 +132,17 @@ class BatchRunner:
         return program, simulator.run()
 
     def clear(self) -> None:
-        """Drop every cached simulator."""
+        """Drop every cached simulator and reset the hit/miss statistics.
+
+        Benchmarks reuse one runner across phases; stale counters from a
+        previous phase would otherwise leak into the next phase's hit-rate
+        arithmetic.  Use :meth:`reset_stats` to zero the counters without
+        dropping the warm simulators.
+        """
         self._entries.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero ``hits``/``misses`` while keeping the cached simulators."""
+        self.hits = 0
+        self.misses = 0

@@ -93,6 +93,39 @@ class TestShardMerge:
         assert merged.hw_cycles_total == 80
         assert merged.verification_passed
 
+    def test_shuffled_mixed_cached_fresh_merge_identical(self):
+        # The service invariant (docs/service.md): shard reports that have
+        # round-tripped through the result cache's JSON store must merge
+        # with fresh in-memory reports to a report that is field-for-field
+        # identical regardless of arrival order.  Derived rates
+        # (icache/dcache hit rates, per-sample cycles) are recomputed from
+        # summed integers, so no merge-order dependence may survive.
+        import dataclasses
+
+        from repro.core.results import (
+            shard_report_from_dict,
+            shard_report_to_dict,
+        )
+
+        fresh = [self._shard(0, 3), self._shard(5, 9, shard_index=5)]
+        cached = [
+            shard_report_from_dict(shard_report_to_dict(shard))
+            for shard in (self._shard(3, 5, shard_index=3),
+                          self._shard(9, 11, shard_index=9))
+        ]
+        for shard, original in zip(
+            cached, (self._shard(3, 5, shard_index=3),
+                     self._shard(9, 11, shard_index=9))
+        ):
+            assert dataclasses.asdict(shard) == dataclasses.asdict(original)
+
+        reference = merge_shard_reports("s", "software", fresh + cached)
+        for seed in range(5):
+            shards = fresh + cached
+            random.Random(seed).shuffle(shards)
+            merged = merge_shard_reports("s", "software", shards)
+            assert dataclasses.asdict(merged) == dataclasses.asdict(reference)
+
     def test_merge_rejects_gaps(self):
         with pytest.raises(ConfigurationError):
             merge_shard_reports("s", "software", [self._shard(0, 3), self._shard(4, 6)])

@@ -503,6 +503,78 @@ class TestBatchRunner:
         assert len(runner._entries) == 2
         assert runner.misses == 4
 
+    def test_max_entries_below_one_rejected(self):
+        from repro.errors import ConfigurationError
+
+        for bad in (0, -1):
+            with pytest.raises(ConfigurationError):
+                BatchRunner(max_entries=bad)
+        assert BatchRunner(max_entries=1).max_entries == 1
+
+    def test_clear_resets_stats(self):
+        from repro.core.solution import standard_solutions
+        from repro.testgen.config import SolutionKind
+        from repro.testgen.generator import draw_vectors
+
+        solution = standard_solutions()[SolutionKind.SOFTWARE]
+        runner = BatchRunner()
+        vectors = draw_vectors(5, 2018)
+        config, _ = _build(SolutionKind.SOFTWARE, 5, 2018, vectors=vectors)
+        runner.run_functional(solution, config, vectors)
+        runner.run_functional(solution, config, vectors)
+        assert runner.hits == 1 and runner.misses == 1
+        runner.clear()
+        assert runner.hits == 0 and runner.misses == 0
+        assert not runner._entries
+        runner.run_functional(solution, config, vectors)
+        runner.reset_stats()
+        assert runner.hits == 0 and runner.misses == 0
+        assert runner._entries  # reset_stats keeps the warm simulators
+
+    def test_key_omits_vector_provenance_safely(self):
+        # ``BatchRunner._key`` deliberately omits ``workload``,
+        # ``operand_classes`` and ``seed``: those fields only select the
+        # operand *vectors*, which every warm hit rebinds anyway.  Pin the
+        # safety argument: two configs differing only in vector provenance
+        # share a key, and the warm-hit image after rebinding is
+        # byte-identical to a cold build over the same vectors.
+        from repro.core.solution import standard_solutions
+        from repro.testgen.config import SolutionKind, TestProgramConfig
+        from repro.testgen.generator import build_test_program, generate_vectors
+
+        solution = standard_solutions()[SolutionKind.SOFTWARE]
+        mix_config = TestProgramConfig(
+            solution=SolutionKind.SOFTWARE, num_samples=12, seed=2018
+        )
+        workload_config = TestProgramConfig(
+            solution=SolutionKind.SOFTWARE, num_samples=12, seed=99,
+            workload="telco-billing",
+        )
+        assert (BatchRunner._key(solution, mix_config)
+                == BatchRunner._key(solution, workload_config))
+
+        runner = BatchRunner()
+        mix_vectors = generate_vectors(mix_config)
+        runner.run_functional(solution, mix_config, mix_vectors)
+        workload_vectors = generate_vectors(workload_config)
+        program, _ = runner.run_functional(
+            solution, workload_config, workload_vectors
+        )
+        assert runner.hits == 1 and runner.misses == 1
+        cold = build_test_program(workload_config, vectors=workload_vectors)
+        for name, (base, data) in cold.image.segments.items():
+            warm_base, warm_data = program.image.segments[name]
+            assert warm_base == base
+            assert bytes(warm_data) == bytes(data), f"{name} segment differs"
+
+        # Fields that change the generated text DO key: a different sample
+        # count or solution kind must miss.
+        other = TestProgramConfig(
+            solution=SolutionKind.SOFTWARE, num_samples=13, seed=2018
+        )
+        assert (BatchRunner._key(solution, mix_config)
+                != BatchRunner._key(solution, other))
+
 
 class TestCampaignWarmWorkers:
     def test_workers_with_warm_runners_match_cold_serial(self):
