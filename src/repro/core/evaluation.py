@@ -196,11 +196,19 @@ def run_solution_shard(
                 f"on samples [{start}:{start + len(vectors)})"
             )
 
-    emulator = RocketEmulator(
-        program.image,
-        accelerator=solution.make_accelerator(fmt),
-        config=rocket_config if rocket_config is not None else RocketConfig(),
-    )
+    if runner is not None:
+        # Warm cycle-accurate path: cold caches are restored by reset(),
+        # only the timing compiler (decoded code + compiled spans) is
+        # reused — cycle counts are bit-identical to the cold branch.
+        _, emulator = runner.acquire_timed(
+            solution, config, vectors, rocket_config=rocket_config
+        )
+    else:
+        emulator = RocketEmulator(
+            program.image,
+            accelerator=solution.make_accelerator(fmt),
+            config=rocket_config if rocket_config is not None else RocketConfig(),
+        )
     started = time.perf_counter()
     timed = emulator.run()
     report.sim_wall_seconds += time.perf_counter() - started

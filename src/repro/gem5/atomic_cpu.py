@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.isa import csr as csrdefs
-from repro.sim.executor import Executor
+from repro.sim.executor import Executor, TC_MEM
 from repro.sim.hart import DEFAULT_STACK_TOP, Hart
 from repro.sim.htif import Htif
 from repro.sim.memory import SparseMemory
@@ -82,17 +82,50 @@ class AtomicSimpleCPU:
         limit = self.max_instructions
         extra = self.memory_access_extra_cycles
         if extra:
-            # Memory accesses cost extra cycles: consume per-step ExecInfo.
-            while not htif.exited and not executor.exit_requested:
-                if self.instructions_retired >= limit:
-                    raise SimulationError(
-                        f"instruction limit exceeded ({limit}); pc={self.hart.pc:#x}"
-                    )
-                info = executor.step()
-                self.cycles += 1
-                if info.mem_addr is not None:
-                    self.cycles += extra
-                self.instructions_retired += 1
+            # Memory accesses cost extra cycles.  The timing input per
+            # instruction is just its *static* timing class, so instead of
+            # the per-step ExecInfo protocol this loop drives the decode-once
+            # ``_timed`` tables directly (the same batching the Rocket
+            # emulator's interpreted loop uses): direct ops run their fast
+            # closure, only CSR/trap/RoCC ops pay for the info path.
+            hart = self.hart
+            timed_get = executor._timed.get
+            compile_ = executor._compile
+            retired_base = executor.retired
+            instructions = self.instructions_retired
+            cycles = self.cycles
+            done = 0
+            try:
+                while not htif.exited and not executor.exit_requested:
+                    if instructions >= limit:
+                        raise SimulationError(
+                            f"instruction limit exceeded ({limit}); "
+                            f"pc={hart.pc:#x}"
+                        )
+                    entry = timed_get(hart.pc)
+                    if entry is None:
+                        compile_(hart.pc)
+                        entry = timed_get(hart.pc)
+                    op, info, direct = entry
+                    if direct:
+                        # Direct ops are never TC_MEM (loads/stores keep
+                        # the info path), so the cycle charge is flat.
+                        hart.pc = op()
+                        cycles += 1
+                    else:
+                        # Counter CSRs observe the live counts mid-batch.
+                        executor.retired = retired_base + done
+                        self.cycles = cycles
+                        op()
+                        cycles += 1
+                        if info.timing_class == TC_MEM:
+                            cycles += extra
+                    instructions += 1
+                    done += 1
+            finally:
+                self.cycles = cycles
+                self.instructions_retired = instructions
+                executor.retired = retired_base + done
         else:
             # Pure 1-CPI: no per-step info needed, run the threaded-code loop.
             while not htif.exited and not executor.exit_requested:

@@ -79,5 +79,31 @@ class Cache:
         return self.config.miss_penalty_cycles
 
     def flush(self) -> None:
-        """Invalidate every line (keeps statistics)."""
-        self._tags = [[None] * self.config.ways for _ in range(self.config.sets)]
+        """Invalidate every line (keeps statistics).
+
+        Lines are cleared *in place*: the compiled timing tier
+        (:mod:`repro.rocket.timing`) binds the per-set way lists directly
+        into generated code, so the list objects must keep their identity
+        across a flush.
+        """
+        ways = self.config.ways
+        for tags in self._tags:
+            tags[:] = [None] * ways
+
+    def reset(self) -> None:
+        """Restore construction state in place: cold lines, zeroed stats.
+
+        Used by :meth:`repro.rocket.core.RocketEmulator.reset` so a warm
+        rerun starts from exactly the cold-cache state the paper measures.
+        The PRNG is deliberately *not* reseeded here — its seeding order is
+        owned by the emulator (one parent stream seeds both caches).
+        """
+        self.flush()
+        ways = self.config.ways
+        for lru in self._lru:
+            lru[:] = [0] * ways
+        self._tick = 0
+        stats = self.stats
+        stats.accesses = 0
+        stats.hits = 0
+        stats.misses = 0

@@ -24,11 +24,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.errors import SimulationError
 from repro.isa import csr as csrdefs
 from repro.rocket.cache import Cache
 from repro.rocket.config import RocketConfig
+from repro.rocket.timing import (
+    EXIT_BOOST,
+    INELIGIBLE,
+    PROMOTE_ARRIVALS,
+    compile_timing_span,
+)
 from repro.sim.executor import (
     Executor,
     TC_DIV,
@@ -76,11 +83,13 @@ class RocketEmulator:
         config: RocketConfig = None,
         stack_top: int = DEFAULT_STACK_TOP,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        timing_tier: bool = True,
     ) -> None:
         self.image = image
         self.config = config if config is not None else RocketConfig()
         self.accelerator = accelerator
         self.max_instructions = max_instructions
+        self.stack_top = stack_top
 
         self.memory = SparseMemory()
         self.memory.load_image(image)
@@ -109,6 +118,27 @@ class RocketEmulator:
         # available to dependent instructions (load / mul shadow latencies).
         self._reg_ready = [0] * 32
 
+        # Compiled timing tier (repro.rocket.timing): hot redirect targets
+        # are compiled into superblock functions that accumulate the cycle
+        # arithmetic in locals.  Only the random replacement policy — the
+        # paper's configuration — is compiled; LRU caches (and explicit
+        # ``timing_tier=False``, which the lockstep tests use as the
+        # reference) keep the per-instruction loop for every instruction.
+        self.timing_tier = bool(
+            timing_tier
+            and self.config.icache.replacement == "random"
+            and self.config.dcache.replacement == "random"
+        )
+        #: Redirect-arrival heat per target pc (INELIGIBLE marks pcs that
+        #: must never compile); compiled span sources kept for diagnostics.
+        self._timing_heat = {}
+        self._timing_sources = {}
+        self.timing_spans = 0
+        self.timing_compiled_instructions = 0
+        self.timing_interpreted_instructions = 0
+        self.timing_compile_seconds = 0.0
+        self.timing_deopts = 0
+
     # ------------------------------------------------------------------- CSRs
     def _read_counter(self, address: int) -> int:
         if address in (csrdefs.CYCLE, csrdefs.MCYCLE, csrdefs.TIME):
@@ -116,6 +146,71 @@ class RocketEmulator:
         if address in (csrdefs.INSTRET, csrdefs.MINSTRET):
             return self.executor.retired
         return 0
+
+    # ----------------------------------------------------------- timing tier
+    def _compile_timing(self, pc: int) -> None:
+        """Compile the timing span at ``pc`` or mark it permanently cold."""
+        started = perf_counter()
+        built = compile_timing_span(self, pc)
+        if built is None:
+            self._timing_heat[pc] = INELIGIBLE
+            return
+        fn, min_fuel, source = built
+        # The executor owns code-change visibility: fence.i and
+        # self-modifying stores clear ``_tblocks`` with every other
+        # compiled artifact, so a span can never outlive its code.
+        self.executor._tblocks[pc] = (fn, min_fuel)
+        self._timing_sources[pc] = source
+        self._timing_heat.pop(pc, None)
+        self.timing_spans += 1
+        self.timing_compile_seconds += perf_counter() - started
+
+    # ------------------------------------------------------------------ reset
+    def reset(self) -> None:
+        """Rewind for another timed run, keeping the timing compiler warm.
+
+        The paper's measurement starts from cold caches, so unlike
+        :meth:`repro.sim.spike.SpikeSimulator.reset` the microarchitectural
+        state is rewound too: cache lines are invalidated *in place* (the
+        compiled spans bind the way lists), the cache PRNGs are reseeded to
+        the construction sequence, and the statistics/cycle/ready state is
+        zeroed.  What survives is everything *learned*: decoded
+        instructions, tier-1 closures, compiled timing spans and their
+        heat.  A warm rerun is therefore cycle-identical and
+        result-identical to a fresh emulator over the same memory image.
+
+        Memory contents are *not* touched; callers rerunning with new
+        operand vectors must rewrite the operand region and zero the
+        scratch/result buffers first (the :class:`~repro.sim.batch.
+        BatchRunner` protocol).
+        """
+        hart = self.hart
+        regs = hart.regs
+        regs[:] = [0] * len(regs)
+        regs[2] = self.stack_top
+        hart.pc = self.image.entry
+        self.htif.reset()
+        executor = self.executor
+        executor.stop = False
+        executor.exit_requested = False
+        executor.exit_code = 0
+        executor.retired = 0
+        if self.accelerator is not None:
+            self.accelerator.reset()
+        # Reseed the cache PRNGs exactly as construction did: one parent
+        # stream (config.seed) seeds the I-cache then the D-cache, so the
+        # replacement draws of a warm run replay the cold run bit for bit.
+        rng = random.Random(self.config.seed)
+        self.icache.rng.seed(rng.random())
+        self.dcache.rng.seed(rng.random())
+        self.icache.reset()
+        self.dcache.reset()
+        self.cycle = 0
+        self.sw_cycles = 0
+        self.hw_cycles = 0
+        self.instructions_retired = 0
+        self.rocc_commands = 0
+        self._reg_ready[:] = [0] * 32
 
     # -------------------------------------------------------------------- run
     def run(self) -> RocketResult:
@@ -176,12 +271,18 @@ class RocketEmulator:
         dc_miss_penalty = dcache.config.miss_penalty_cycles
         dc_accesses = dc_hits = dc_misses = 0
 
+        timing = self.timing_tier
+        tblocks_get = executor._tblocks.get
+        timing_heat = self._timing_heat
+        compile_timing = self._compile_timing
+
         retired_base = executor.retired
         cycle = self.cycle
         sw_cycles = 0
         hw_cycles = 0
         rocc_commands = 0
         instructions = 0
+        timing_retired = 0
         try:
             while not htif.exited and not executor.exit_requested:
                 if instructions >= limit:
@@ -189,6 +290,39 @@ class RocketEmulator:
                         f"instruction limit exceeded ({limit}); pc={hart.pc:#x}"
                     )
                 pc = hart.pc
+
+                # Compiled timing tier: a span at this pc executes the whole
+                # superblock (caches, stalls, penalties and architectural
+                # effects) with the cycle count in a local.  The fuel gate
+                # guarantees the instruction budget is never overshot, so
+                # limit-hit behaviour is bit-identical to the interpreted
+                # loop.  Spans contain no RoCC/CSR instructions, so every
+                # span cycle is a software-part cycle.
+                if timing:
+                    tb = tblocks_get(pc)
+                    if tb is not None:
+                        fn, min_fuel = tb
+                        if limit - instructions >= min_fuel:
+                            pc, new_cycle, k = fn(cycle, limit - instructions)
+                            sw_cycles += new_cycle - cycle
+                            cycle = new_cycle
+                            self.cycle = cycle
+                            instructions += k
+                            timing_retired += k
+                            hart.pc = pc
+                            # Trace-tree link: a span exit without a
+                            # compiled continuation is boosted so a
+                            # recurring exit earns its own span after a
+                            # second arrival.
+                            if tblocks_get(pc) is None:
+                                heat = timing_heat.get(pc, 0)
+                                if heat >= 0:
+                                    heat += EXIT_BOOST
+                                    if heat >= PROMOTE_ARRIVALS:
+                                        compile_timing(pc)
+                                    else:
+                                        timing_heat[pc] = heat
+                            continue
 
                 entry = timed_get(pc)
                 if entry is None:
@@ -241,6 +375,18 @@ class RocketEmulator:
                         cost += div_latency - 1
                     elif info.branch_taken:  # jal/jalr: always taken
                         cost += jump_penalty
+                        # Redirect targets are where timing spans start:
+                        # count the arrival and compile once hot.
+                        if timing:
+                            target = hart.pc
+                            if tblocks_get(target) is None:
+                                heat = timing_heat.get(target, 0)
+                                if heat >= 0:
+                                    heat += 1
+                                    if heat >= PROMOTE_ARRIVALS:
+                                        compile_timing(target)
+                                    else:
+                                        timing_heat[target] = heat
                 else:
                     # Counter CSRs read executor.retired mid-instruction.
                     executor.retired = retired_base + instructions
@@ -305,6 +451,16 @@ class RocketEmulator:
                         rocc_commands += 1
                     elif info.branch_taken:
                         cost += branch_penalty
+                        if timing:
+                            target = hart.pc
+                            if tblocks_get(target) is None:
+                                heat = timing_heat.get(target, 0)
+                                if heat >= 0:
+                                    heat += 1
+                                    if heat >= PROMOTE_ARRIVALS:
+                                        compile_timing(target)
+                                    else:
+                                        timing_heat[target] = heat
 
                 cycle += cost + hw_cost
                 self.cycle = cycle  # rdcycle must observe the live count
@@ -317,6 +473,8 @@ class RocketEmulator:
             self.hw_cycles += hw_cycles
             self.rocc_commands += rocc_commands
             self.instructions_retired += instructions
+            self.timing_compiled_instructions += timing_retired
+            self.timing_interpreted_instructions += instructions - timing_retired
             executor.retired = retired_base + instructions
             ic_stats = icache.stats
             ic_stats.accesses += ic_accesses

@@ -57,10 +57,22 @@ class BatchRunner:
                 f"BatchRunner max_entries must be at least 1, got {max_entries}"
             )
         self._entries = {}
+        # Warm cycle-accurate emulators, cached separately: the Rocket
+        # measurement must start from cold caches, which
+        # RocketEmulator.reset() restores exactly, so only the *timing
+        # compiler* (decoded instructions, compiled timing spans, span
+        # heat) stays warm between runs of one program shape.
+        self._timed_entries = {}
+        # Promoted tier-2 heads of evicted entries, by key: a later rebuild
+        # of the same shape seeds promotion from them (Executor.preheat)
+        # instead of re-earning every head's heat organically.
+        self._promoted = {}
         self.max_entries = max_entries
         #: Cache statistics (exposed for benchmarks and tests).
         self.hits = 0
         self.misses = 0
+        self.timed_hits = 0
+        self.timed_misses = 0
 
     @staticmethod
     def _key(solution, config) -> tuple:
@@ -102,6 +114,13 @@ class BatchRunner:
             simulator = SpikeSimulator(
                 program.image, accelerator=solution.make_accelerator(config.fmt)
             )
+            # Rebuild of a previously evicted shape: arm the known-hot
+            # heads so the first execution of each promotes immediately
+            # (with live-register speculation) instead of re-earning
+            # thousands of instructions of heat.
+            heads = self._promoted.get(key)
+            if heads:
+                simulator.executor.preheat(heads)
             entry = (program, simulator)
         else:
             self.hits += 1
@@ -116,11 +135,63 @@ class BatchRunner:
             memory.write_bytes(start, b"\x00" * size)
             simulator.reset()
             entry = (template, simulator)
-        # Reinsert (LRU: dicts iterate in insertion order) and evict.
+        # Reinsert (LRU: dicts iterate in insertion order) and evict,
+        # remembering each victim's promoted heads for a future rebuild.
         self._entries[key] = entry
         while len(self._entries) > self.max_entries:
-            self._entries.pop(next(iter(self._entries)))
+            victim_key = next(iter(self._entries))
+            _, victim_sim = self._entries.pop(victim_key)
+            self._promoted[victim_key] = frozenset(victim_sim.executor._tier2)
         return program, simulator
+
+    def acquire_timed(self, solution, config, vectors, rocket_config=None) -> tuple:
+        """``(program, RocketEmulator)`` ready for a timed run of ``vectors``.
+
+        The cycle-accurate counterpart of :meth:`acquire`.  A hit rebinds
+        the cached template, patches the warm emulator's memory (operands
+        rewritten, scratch/result buffers zeroed — restoring exactly the
+        freshly-loaded data segment) and calls
+        :meth:`~repro.rocket.core.RocketEmulator.reset`, which rewinds
+        *microarchitectural* state too: cold caches, reseeded replacement
+        PRNGs, zeroed cycle/ready state.  What stays warm is the timing
+        compiler — decoded instructions and compiled timing spans — so the
+        returned emulator's cycle counts are bit-identical to a cold
+        construction over the same image while skipping the decode and
+        span-compile work.  Keyed by program shape plus the Rocket
+        configuration (different cache geometries compile different spans).
+        """
+        from repro.rocket.config import RocketConfig
+        from repro.rocket.core import RocketEmulator
+        from repro.testgen.generator import build_test_program
+
+        if rocket_config is None:
+            rocket_config = RocketConfig()
+        key = self._key(solution, config) + (repr(rocket_config),)
+        entry = self._timed_entries.pop(key, None)
+        if entry is None:
+            self.timed_misses += 1
+            program = build_test_program(config, vectors=vectors)
+            emulator = RocketEmulator(
+                program.image,
+                accelerator=solution.make_accelerator(config.fmt),
+                config=rocket_config,
+            )
+            entry = (program, emulator)
+        else:
+            self.timed_hits += 1
+            template, emulator = entry
+            encoded = template.encode_operands(vectors)
+            program = template.rebind(vectors, encoded=encoded)
+            memory = emulator.memory
+            memory.write_bytes(program.image.symbol("operands"), encoded[1])
+            start, size = template.scratch_span()
+            memory.write_bytes(start, b"\x00" * size)
+            emulator.reset()
+            entry = (template, emulator)
+        self._timed_entries[key] = entry
+        while len(self._timed_entries) > self.max_entries:
+            self._timed_entries.pop(next(iter(self._timed_entries)))
+        return program, emulator
 
     def run_functional(self, solution, config, vectors) -> tuple:
         """``(program, SimulationResult)`` for one batch of vectors.
@@ -140,9 +211,13 @@ class BatchRunner:
         dropping the warm simulators.
         """
         self._entries.clear()
+        self._timed_entries.clear()
+        self._promoted.clear()
         self.reset_stats()
 
     def reset_stats(self) -> None:
         """Zero ``hits``/``misses`` while keeping the cached simulators."""
         self.hits = 0
         self.misses = 0
+        self.timed_hits = 0
+        self.timed_misses = 0

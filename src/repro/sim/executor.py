@@ -95,7 +95,7 @@ from time import perf_counter
 from repro.errors import DecodingError, SimulationError, TrapError
 from repro.isa import csr as csrdefs
 from repro.isa.decoder import decode_cached
-from repro.sim.memory import HOST_IS_LITTLE_ENDIAN
+from repro.sim.memory import HOST_IS_LITTLE_ENDIAN, SparseMemory
 
 MASK64 = 0xFFFFFFFFFFFFFFFF
 _SIGN64 = 1 << 63
@@ -240,6 +240,7 @@ class ExecProfile:
         "tier2_execs",
         "tier2_instrs",
         "compiled",
+        "side_exits",
     )
 
     def __init__(self) -> None:
@@ -251,6 +252,11 @@ class ExecProfile:
         self.tier2_instrs = {}
         #: head -> (static trace length, compile seconds) for promoted blocks.
         self.compiled = {}
+        #: (trace head, exit pc) -> count of tier-2 exits that fell back to
+        #: tier 1 there (no compiled continuation was installed yet).  This
+        #: is the trace-tree worklist: the hottest entries are exactly the
+        #: side exits most worth extending with a compiled continuation.
+        self.side_exits = {}
 
     def _t1(self, pc: int, count: int) -> None:
         self.tier1_execs[pc] = self.tier1_execs.get(pc, 0) + 1
@@ -259,6 +265,10 @@ class ExecProfile:
     def _t2(self, pc: int, count: int) -> None:
         self.tier2_execs[pc] = self.tier2_execs.get(pc, 0) + 1
         self.tier2_instrs[pc] = self.tier2_instrs.get(pc, 0) + count
+
+    def _exit(self, head: int, exit_pc: int) -> None:
+        key = (head, exit_pc)
+        self.side_exits[key] = self.side_exits.get(key, 0) + 1
 
     @property
     def tier1_instructions(self) -> int:
@@ -282,7 +292,43 @@ class ExecProfile:
             "hottest_tier2": sorted(
                 self.tier2_instrs.items(), key=lambda item: -item[1]
             )[:8],
+            "hot_side_exits": [
+                {"head": head, "exit": exit_pc, "count": count}
+                for (head, exit_pc), count in sorted(
+                    self.side_exits.items(), key=lambda item: -item[1]
+                )[:8]
+            ],
         }
+
+    def summary(self, limit: int = 10) -> str:
+        """Human-readable per-tier totals plus the hot side-exit ranking.
+
+        The side-exit table ranks ``(trace head, exit pc)`` pairs by how
+        often a tier-2 trace left compiled code there without a compiled
+        continuation — i.e. the fall-back-to-tier-1 transitions that the
+        trace-tree extender targets.  In steady state the table should be
+        (close to) empty: every hot exit earns its own continuation after a
+        couple of arrivals.
+        """
+        lines = [
+            "execution profile:",
+            f"  tier-2: {self.tier2_instructions:>12,} instructions across "
+            f"{len(self.compiled)} compiled traces "
+            f"({self.compile_seconds:.4f}s compiling)",
+            f"  tier-1: {self.tier1_instructions:>12,} instructions across "
+            f"{len(self.tier1_instrs)} interpreted blocks",
+        ]
+        exits = sorted(self.side_exits.items(), key=lambda item: -item[1])
+        if exits:
+            lines.append(f"  hot side exits (top {min(limit, len(exits))} "
+                         f"of {len(exits)}; trace-tree continuation targets):")
+            lines.append("    head        exit        arrivals")
+            for (head, exit_pc), count in exits[:limit]:
+                lines.append(f"    {head:#010x}  {exit_pc:#010x}  {count:>8,}")
+        else:
+            lines.append("  hot side exits: none (every exit has a compiled "
+                         "continuation)")
+        return "\n".join(lines)
 
 
 # --------------------------------------------------------------------- helpers
@@ -384,6 +430,17 @@ class Executor:
                  counter_csrs=None):
         self.hart = hart
         self.memory = memory
+        # Tier-2's page-view memory lanes index the page bytearrays
+        # directly, which is only sound when the memory object's
+        # read/write are the stock SparseMemory methods: a subclass that
+        # overrides them (fault injectors, tracing wrappers) must see
+        # every access, so the lanes are disabled and compiled code goes
+        # through the bound rd_/wr_ methods instead.
+        mem_cls = type(memory)
+        self._direct_memory = (
+            getattr(mem_cls, "read", None) is SparseMemory.read
+            and getattr(mem_cls, "write", None) is SparseMemory.write
+        )
         self.csr_provider = csr_provider if csr_provider is not None else (lambda addr: 0)
         self.rocc = rocc
         #: CSR addresses whose read is *exactly* the current retired-
@@ -411,6 +468,12 @@ class Executor:
         # PC-indexed superblocks: straight-line runs of fast ops threaded into
         # a list so the dispatch loop pays one table lookup per block.
         self._blocks = {}
+        # PC-indexed *timing* superblocks, owned by the cycle-accurate Rocket
+        # front end (see repro.rocket.timing): head pc -> (fn, min_fuel).
+        # They live on the executor because the executor owns code-change
+        # visibility — fence.i and self-modifying stores must drop compiled
+        # timing spans exactly like every other compiled artifact.
+        self._tblocks = {}
         # [lo, hi) byte range covered by compiled instructions; shared with
         # store closures so writes into code invalidate stale table entries.
         self._code_bounds = [1 << 62, 0]
@@ -466,6 +529,7 @@ class Executor:
         self._kinds.clear()
         self._timed.clear()
         self._blocks.clear()
+        self._tblocks.clear()
         # De-promote: compiled superblocks embed stale decoded semantics, and
         # heat must restart so the block re-earns promotion from fresh code.
         self._tier2.clear()
@@ -489,6 +553,7 @@ class Executor:
         # all (rare: only stores into the compiled range get here).  Clearing
         # ``_heat`` de-promotes: the rewritten block must re-earn promotion.
         self._blocks.clear()
+        self._tblocks.clear()
         self._tier2.clear()
         self._heat.clear()
 
@@ -594,6 +659,14 @@ class Executor:
                     retired += count
                     if profile is not None:
                         profile._t2(block_pc, count)
+                    # Trace trees: a tier-2 exit that lands on an uncompiled
+                    # head is a side exit falling back to tier 1.  Reheat the
+                    # target so a recurring exit promotes into its own
+                    # compiled continuation after a second arrival — the
+                    # dispatcher then chains trace to trace and the tier-1
+                    # residue shrinks toward the genuinely-uncompilable rest.
+                    if threshold and tier2_get(pc) is None:
+                        self._reheat(block_pc, pc, profile)
                     continue
                 ops = blocks_get(pc)
                 if ops is None:
@@ -614,6 +687,12 @@ class Executor:
                     pc = hart.pc
                     if self.stop:
                         break
+                    # Slow-instruction resume points (rdcycle brackets and
+                    # the like) are the other recurring fall-back-to-tier-1
+                    # edge; reheat them like tier-2 side exits so the block
+                    # after a counter read compiles too.
+                    if threshold and tier2_get(pc) is None:
+                        self._reheat(None, pc, None)
                     continue
                 except _BlockExit as exited:
                     pc = exited.next_pc
@@ -1254,6 +1333,72 @@ class Executor:
     #: Sentinel heat marking a head that can never be promoted.
     _T2_INELIGIBLE = -(1 << 60)
 
+    def _reheat(self, head, exit_pc: int, profile) -> None:
+        """Trace-tree continuation heat for a fall-back-to-tier-1 edge.
+
+        Called when compiled code hands control to an uncompiled head:
+        either a tier-2 trace side exit (``head`` is the trace head, recorded
+        in the profile's hot-exit table) or a slow-instruction resume
+        (``head is None``).  Each arrival adds half the promotion threshold,
+        so a recurring edge promotes into a compiled continuation on its
+        second arrival while genuinely-one-shot exits never pay a compile.
+        Promotion right at the edge speculates on the live registers — which
+        are exactly the continuation's entry values, the best speculation
+        source there is.
+        """
+        heat = self._heat
+        hot = heat.get(exit_pc, 0)
+        if hot < 0:  # permanently ineligible head
+            return
+        if profile is not None and head is not None:
+            profile._exit(head, exit_pc)
+        hot += max(1, (self.promote_threshold + 1) >> 1)
+        if hot >= self.promote_threshold:
+            heat.pop(exit_pc, None)
+            try:
+                self._promote(exit_pc)
+            except (DecodingError, SimulationError):
+                # The continuation target is not (yet) valid code; execution
+                # will raise properly if control really stays there.
+                heat[exit_pc] = self._T2_INELIGIBLE
+                self.tier2_ineligible += 1
+        else:
+            heat[exit_pc] = hot
+
+    def preheat(self, heads) -> int:
+        """Seed promotion from a prior run: arm ``heads`` for instant tier 2.
+
+        ``heads`` may be an :class:`ExecProfile` (every head it saw promoted
+        or executing in tier 2) or an iterable of head pcs.  Each armed head
+        gets its heat set to the promotion threshold, so its *first* tier-1
+        execution promotes it — skipping the organic warm-up volume — while
+        speculation still happens against live register state at that first
+        execution, exactly like an organic promotion.  Heads already
+        promoted or marked ineligible are skipped.  Returns the number of
+        heads armed.
+
+        This is the batch-rerun warm-start knob: a
+        :class:`~repro.sim.batch.BatchRunner` that had to rebuild a
+        simulator re-arms the heads its evicted predecessor had promoted,
+        collapsing ``promotion_rounds_to_steady`` to ~1 round.
+        """
+        if isinstance(heads, ExecProfile):
+            heads = set(heads.compiled) | set(heads.tier2_execs)
+        threshold = self.promote_threshold
+        if not threshold:
+            return 0
+        armed = 0
+        for pc in heads:
+            if pc in self._tier2:
+                continue
+            hot = self._heat.get(pc, 0)
+            if hot < 0:
+                continue
+            if hot < threshold:
+                self._heat[pc] = threshold
+            armed += 1
+        return armed
+
     def _promote(self, head: int) -> None:
         """Compile the superblock at ``head`` to a single Python function.
 
@@ -1504,6 +1649,7 @@ class Executor:
             """
             if (
                 not HOST_IS_LITTLE_ENDIAN
+                or not self._direct_memory
                 or spec_vals is None
                 or rs1 == 0
                 or imm < 0
@@ -1993,7 +2139,7 @@ class Executor:
                 # by the hook-generation entry guard.  The view aliases the
                 # page bytearray, so stores through any path stay coherent.
                 ka = None
-                if pc not in banned and HOST_IS_LITTLE_ENDIAN:
+                if pc not in banned and HOST_IS_LITTLE_ENDIAN and self._direct_memory:
                     if rs1 == 0:
                         ka = imm & MASK64
                     elif kreg(rs1):
@@ -2071,7 +2217,7 @@ class Executor:
                         addr = f"{reg(rs1)} + {imm}"
                     else:
                         addr = f"({reg(rs1)} + {imm}) & {M}"
-                if rd != 0 and HOST_IS_LITTLE_ENDIAN:
+                if rd != 0 and HOST_IS_LITTLE_ENDIAN and self._direct_memory:
                     # Aligned loads skip the SparseMemory call: a cast page
                     # view ('Q'/'I'/'H', or the page bytearray for bytes)
                     # indexes the same bytes the scalar path would unpack.
@@ -2152,7 +2298,7 @@ class Executor:
                 # first comparison short-circuits for any data-segment
                 # address — in front of a single C-level view store.
                 ka = None
-                if pc not in banned and HOST_IS_LITTLE_ENDIAN:
+                if pc not in banned and HOST_IS_LITTLE_ENDIAN and self._direct_memory:
                     if rs1 == 0:
                         ka = imm & MASK64
                     elif kreg(rs1):
@@ -2240,7 +2386,7 @@ class Executor:
                         body.append((ind, f"a = {reg(rs1)} + {imm}"))
                     else:
                         body.append((ind, f"a = ({reg(rs1)} + {imm}) & {M}"))
-                if size == 8 and HOST_IS_LITTLE_ENDIAN:
+                if size == 8 and HOST_IS_LITTLE_ENDIAN and self._direct_memory:
                     # Aligned 64-bit stores write through the cast-'Q' view.
                     # One fused guard covers every slow case — unaligned,
                     # write-hooked (matched by exact address, as in
